@@ -1,0 +1,110 @@
+#include "bench_support.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "query/executor.h"
+
+namespace bix {
+namespace bench {
+
+BenchArgs BenchArgs::Parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--rows=", 7) == 0) {
+      args.rows = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--cardinality=", 14) == 0) {
+      args.cardinality = static_cast<uint32_t>(std::strtoul(a + 14, nullptr, 10));
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      args.seed = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strcmp(a, "--quick") == 0) {
+      args.quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--rows=N] [--cardinality=C] [--seed=S] "
+                   "[--quick]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print() const {
+  if (rows_.empty()) return;
+  std::vector<size_t> widths(rows_[0].size(), 0);
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    std::string line;
+    for (size_t i = 0; i < rows_[r].size(); ++i) {
+      std::string cell = rows_[r][i];
+      cell.resize(widths[i], ' ');
+      line += cell;
+      if (i + 1 < rows_[r].size()) line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+    if (r == 0) {
+      std::string sep;
+      for (size_t i = 0; i < widths.size(); ++i) {
+        sep += std::string(widths[i], '-');
+        if (i + 1 < widths.size()) sep += "  ";
+      }
+      std::printf("%s\n", sep.c_str());
+    }
+  }
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf);
+}
+
+QueryRunCost RunQueries(const BitmapIndex& index,
+                        const std::vector<MembershipQuery>& queries,
+                        uint64_t buffer_pool_bytes) {
+  ExecutorOptions opts;
+  opts.buffer_pool_bytes = buffer_pool_bytes;
+  opts.strategy = EvalStrategy::kComponentWise;
+  opts.cold_pool_per_query = true;
+  QueryExecutor exec(&index, opts);
+  for (const MembershipQuery& q : queries) {
+    exec.EvaluateMembership(q.values);
+  }
+  const IoStats& io = exec.stats();
+  QueryRunCost cost;
+  const double n = static_cast<double>(queries.size());
+  cost.avg_seconds = io.total_seconds() / n;
+  cost.avg_scans = static_cast<double>(io.scans) / n;
+  cost.avg_io_seconds = io.io_seconds / n;
+  cost.avg_decode_seconds = io.decode_seconds / n;
+  cost.avg_cpu_seconds = io.cpu_seconds / n;
+  return cost;
+}
+
+std::vector<MembershipQuery> FlattenQuerySets(
+    const std::vector<QuerySet>& sets) {
+  std::vector<MembershipQuery> all;
+  for (const QuerySet& set : sets) {
+    all.insert(all.end(), set.queries.begin(), set.queries.end());
+  }
+  return all;
+}
+
+}  // namespace bench
+}  // namespace bix

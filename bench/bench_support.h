@@ -1,0 +1,68 @@
+#ifndef BIX_BENCH_BENCH_SUPPORT_H_
+#define BIX_BENCH_BENCH_SUPPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bix {
+namespace bench {
+
+// Minimal flag parsing for the reproduction harnesses:
+//   --rows=N --cardinality=C --seed=S --quick
+// Unknown flags abort with a usage message.
+struct BenchArgs {
+  uint64_t rows = 1'000'000;
+  uint32_t cardinality = 50;
+  uint64_t seed = 42;
+  bool quick = false;  // smaller sweep for smoke runs
+
+  static BenchArgs Parse(int argc, char** argv);
+};
+
+// Fixed-width table printer matching the "rows/series the paper reports"
+// style: a header row, then data rows; all columns are strings.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  void Print() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string FormatDouble(double v, int precision = 3);
+
+}  // namespace bench
+}  // namespace bix
+
+#include "index/bitmap_index.h"
+#include "workload/query_gen.h"
+
+namespace bix {
+namespace bench {
+
+// Average per-query cost of evaluating every membership query in `queries`
+// against the index, with a cold buffer pool per query (the paper flushes
+// the file-system buffer before each query, Section 7).
+struct QueryRunCost {
+  double avg_seconds = 0.0;  // simulated I/O + simulated decode + real CPU
+  double avg_scans = 0.0;
+  double avg_io_seconds = 0.0;
+  double avg_decode_seconds = 0.0;
+  double avg_cpu_seconds = 0.0;
+};
+
+QueryRunCost RunQueries(const BitmapIndex& index,
+                        const std::vector<MembershipQuery>& queries,
+                        uint64_t buffer_pool_bytes = 11ull << 20);
+
+// Flattens the paper's query sets into one list.
+std::vector<MembershipQuery> FlattenQuerySets(
+    const std::vector<QuerySet>& sets);
+
+}  // namespace bench
+}  // namespace bix
+
+#endif  // BIX_BENCH_BENCH_SUPPORT_H_

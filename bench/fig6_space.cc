@@ -1,0 +1,77 @@
+// Reproduces paper Figure 6: space-efficiency and compressibility of the
+// encoding schemes as a function of the number of index components n
+// (C = 50, z = 1). Three ratios per (encoding, n):
+//   (a) uncompressed index size / uncompressed 1-component equality index
+//   (b) compressed index size   / its own uncompressed size
+//   (c) compressed index size   / uncompressed 1-component equality index
+// For each (encoding, n) the base sequence minimizing stored bitmaps is
+// used (the paper plots the best-space index per point).
+//
+//   $ ./fig6_space [--rows=N] [--cardinality=C] [--seed=S] [--quick]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_support.h"
+#include "core/bitmap_index_facade.h"
+#include "util/math.h"
+#include "workload/column_gen.h"
+
+namespace bix {
+namespace {
+
+void Run(const bench::BenchArgs& args) {
+  const uint32_t c = args.cardinality;
+  const uint32_t max_n = args.quick ? 3 : CeilLog2(c);
+  Column col = GenerateZipfColumn({.rows = args.rows, .cardinality = c,
+                                   .zipf_z = 1.0, .seed = args.seed});
+  // Base case: uncompressed one-component equality index.
+  const uint64_t base_bytes =
+      BitmapIndex::Build(col, Decomposition::SingleComponent(c),
+                         EncodingKind::kEquality, false)
+          .TotalStoredBytes();
+
+  std::printf("Figure 6: space-efficiency and compressibility "
+              "(C=%u, z=1, rows=%llu)\n",
+              c, static_cast<unsigned long long>(args.rows));
+  std::printf("base: uncompressed 1-component equality index = %.2f MB\n\n",
+              static_cast<double>(base_bytes) / (1 << 20));
+
+  bench::TablePrinter table({"encoding", "n", "bases", "bitmaps",
+                             "(a) unc/baseE", "(b) cmp/unc",
+                             "(c) cmp/baseE"});
+  for (EncodingKind enc : AllEncodingKinds()) {
+    for (uint32_t n = 1; n <= max_n; ++n) {
+      Result<Decomposition> d = ChooseSpaceOptimalBases(c, n, enc);
+      if (!d.ok()) continue;
+      BitmapIndex unc = BitmapIndex::Build(col, d.value(), enc, false);
+      BitmapIndex cmp = BitmapIndex::Build(col, d.value(), enc, true);
+      table.AddRow({EncodingKindName(enc), std::to_string(n),
+                    d.value().ToString(),
+                    std::to_string(unc.BitmapCount()),
+                    bench::FormatDouble(
+                        static_cast<double>(unc.TotalStoredBytes()) /
+                        static_cast<double>(base_bytes)),
+                    bench::FormatDouble(
+                        static_cast<double>(cmp.TotalStoredBytes()) /
+                        static_cast<double>(unc.TotalStoredBytes())),
+                    bench::FormatDouble(
+                        static_cast<double>(cmp.TotalStoredBytes()) /
+                        static_cast<double>(base_bytes))});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): (a) I < R < E at every n; (b) E compresses"
+      "\nbest and I worst; (c) I generally smallest compressed too.\n");
+}
+
+}  // namespace
+}  // namespace bix
+
+int main(int argc, char** argv) {
+  bix::bench::BenchArgs args = bix::bench::BenchArgs::Parse(argc, argv);
+  if (args.quick) args.rows = std::min<uint64_t>(args.rows, 200'000);
+  bix::Run(args);
+  return 0;
+}

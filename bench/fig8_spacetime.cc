@@ -1,0 +1,86 @@
+// Reproduces paper Figure 8: space-time tradeoff of the encoding schemes
+// per query set (C = 50, z = 1). For each of the paper's 8 query sets
+// (N_int x N_equ) and each (encoding, n, compressed?) configuration, prints
+// the index size and the average query processing time (simulated disk I/O
+// + measured CPU, component-wise evaluation, 11 MB buffer pool, cold pool
+// per query).
+//
+// Expected shape (paper): interval encoding offers the best space-time
+// tradeoff except when N_equ = N_int, where equality encoding wins.
+//
+//   $ ./fig8_spacetime [--rows=N] [--cardinality=C] [--seed=S] [--quick]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_support.h"
+#include "core/bitmap_index_facade.h"
+#include "workload/column_gen.h"
+
+namespace bix {
+namespace {
+
+void Run(const bench::BenchArgs& args) {
+  const uint32_t c = args.cardinality;
+  Column col = GenerateZipfColumn({.rows = args.rows, .cardinality = c,
+                                   .zipf_z = 1.0, .seed = args.seed});
+  std::vector<QuerySet> sets = GeneratePaperQuerySets(c, args.seed + 1);
+  const std::vector<uint32_t> ns =
+      args.quick ? std::vector<uint32_t>{1, 2} : std::vector<uint32_t>{1, 2, 3, 4, 6};
+
+  std::printf("Figure 8: space-time tradeoff per query set "
+              "(C=%u, z=1, rows=%llu, 11MB pool, component-wise)\n\n",
+              c, static_cast<unsigned long long>(args.rows));
+
+  // Build all configurations once; reuse across the 8 query sets.
+  struct Config {
+    std::string label;
+    BitmapIndex index;
+  };
+  std::vector<Config> configs;
+  for (EncodingKind enc : BasicEncodingKinds()) {
+    for (uint32_t n : ns) {
+      Result<Decomposition> d = ChooseSpaceOptimalBases(c, n, enc);
+      if (!d.ok()) continue;
+      for (bool compressed : {false, true}) {
+        std::string label = std::string(compressed ? "cmp " : "unc ") +
+                            EncodingKindName(enc) + " n=" +
+                            std::to_string(n);
+        configs.push_back(
+            {std::move(label),
+             BitmapIndex::Build(col, d.value(), enc, compressed)});
+      }
+    }
+  }
+
+  for (const QuerySet& set : sets) {
+    std::printf("--- query set %s ---\n", set.spec.Label().c_str());
+    bench::TablePrinter table({"config", "space(MB)", "time(ms)", "io(ms)",
+                               "decode(ms)", "cpu(ms)", "scans"});
+    for (const Config& cfg : configs) {
+      bench::QueryRunCost cost = bench::RunQueries(cfg.index, set.queries);
+      table.AddRow(
+          {cfg.label,
+           bench::FormatDouble(
+               static_cast<double>(cfg.index.TotalStoredBytes()) / (1 << 20),
+               2),
+           bench::FormatDouble(cost.avg_seconds * 1e3, 1),
+           bench::FormatDouble(cost.avg_io_seconds * 1e3, 1),
+           bench::FormatDouble(cost.avg_decode_seconds * 1e3, 1),
+           bench::FormatDouble(cost.avg_cpu_seconds * 1e3, 1),
+           bench::FormatDouble(cost.avg_scans, 1)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace bix
+
+int main(int argc, char** argv) {
+  bix::bench::BenchArgs args = bix::bench::BenchArgs::Parse(argc, argv);
+  if (args.quick) args.rows = std::min<uint64_t>(args.rows, 200'000);
+  bix::Run(args);
+  return 0;
+}

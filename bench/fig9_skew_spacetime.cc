@@ -1,0 +1,81 @@
+// Reproduces paper Figure 9: effect of data skew on the space-time
+// tradeoff. For z in {0, 1, 2, 3}, prints every (encoding, n, compressed?)
+// configuration's index size and average processing time over all 8 query
+// sets, and summarizes which form (compressed or uncompressed) dominates
+// per encoding.
+//
+// Expected shape (paper): for z in {0,1} uncompressed indexes dominate and
+// interval encoding wins overall; for z in {2,3} compressed indexes
+// dominate.
+//
+//   $ ./fig9_skew_spacetime [--rows=N] [--cardinality=C] [--seed=S] [--quick]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_support.h"
+#include "core/bitmap_index_facade.h"
+#include "workload/column_gen.h"
+
+namespace bix {
+namespace {
+
+void Run(const bench::BenchArgs& args) {
+  const uint32_t c = args.cardinality;
+  std::vector<MembershipQuery> queries =
+      bench::FlattenQuerySets(GeneratePaperQuerySets(c, args.seed + 1));
+  const std::vector<double> zs =
+      args.quick ? std::vector<double>{0.0, 2.0}
+                 : std::vector<double>{0.0, 1.0, 2.0, 3.0};
+  const std::vector<uint32_t> ns =
+      args.quick ? std::vector<uint32_t>{1, 2} : std::vector<uint32_t>{1, 2, 4, 6};
+
+  std::printf("Figure 9: effect of data skew on space-time tradeoff "
+              "(C=%u, rows=%llu, avg over all 8 query sets)\n\n",
+              c, static_cast<unsigned long long>(args.rows));
+
+  for (double z : zs) {
+    Column col = GenerateZipfColumn({.rows = args.rows, .cardinality = c,
+                                     .zipf_z = z, .seed = args.seed});
+    std::printf("--- z = %.0f ---\n", z);
+    bench::TablePrinter table({"config", "space(MB)", "time(ms)", "io(ms)",
+                               "decode(ms)", "cpu(ms)"});
+    // Track, per encoding at n=1, which form is faster (the paper's
+    // compressed-vs-uncompressed crossover).
+    for (EncodingKind enc : BasicEncodingKinds()) {
+      for (uint32_t n : ns) {
+        Result<Decomposition> d = ChooseSpaceOptimalBases(c, n, enc);
+        if (!d.ok()) continue;
+        for (bool compressed : {false, true}) {
+          BitmapIndex index = BitmapIndex::Build(col, d.value(), enc,
+                                                 compressed);
+          bench::QueryRunCost cost = bench::RunQueries(index, queries);
+          std::string label = std::string(compressed ? "cmp " : "unc ") +
+                              EncodingKindName(enc) + " n=" +
+                              std::to_string(n);
+          table.AddRow(
+              {label,
+               bench::FormatDouble(
+                   static_cast<double>(index.TotalStoredBytes()) / (1 << 20),
+                   2),
+               bench::FormatDouble(cost.avg_seconds * 1e3, 1),
+               bench::FormatDouble(cost.avg_io_seconds * 1e3, 1),
+               bench::FormatDouble(cost.avg_decode_seconds * 1e3, 1),
+               bench::FormatDouble(cost.avg_cpu_seconds * 1e3, 1)});
+        }
+      }
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace bix
+
+int main(int argc, char** argv) {
+  bix::bench::BenchArgs args = bix::bench::BenchArgs::Parse(argc, argv);
+  if (args.quick) args.rows = std::min<uint64_t>(args.rows, 200'000);
+  bix::Run(args);
+  return 0;
+}

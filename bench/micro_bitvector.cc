@@ -1,0 +1,108 @@
+// Microbenchmarks for the bit-vector substrate: the word-level operations
+// that dominate query CPU time.
+
+#include <benchmark/benchmark.h>
+
+#include "bitvector/bitvector.h"
+#include "util/rng.h"
+
+namespace bix {
+namespace {
+
+Bitvector MakeRandom(uint64_t bits, double density, uint64_t seed) {
+  Rng rng(seed);
+  Bitvector bv(bits);
+  for (uint64_t i = 0; i < bits; ++i) {
+    if (rng.Bernoulli(density)) bv.Set(i);
+  }
+  return bv;
+}
+
+void BM_And(benchmark::State& state) {
+  const uint64_t bits = state.range(0);
+  Bitvector a = MakeRandom(bits, 0.3, 1);
+  Bitvector b = MakeRandom(bits, 0.3, 2);
+  for (auto _ : state) {
+    Bitvector r = a;
+    r.AndWith(b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(state.iterations() * (bits / 8) * 2);
+}
+BENCHMARK(BM_And)->Arg(1 << 16)->Arg(1 << 20)->Arg(6 << 20);
+
+void BM_Or(benchmark::State& state) {
+  const uint64_t bits = state.range(0);
+  Bitvector a = MakeRandom(bits, 0.3, 1);
+  Bitvector b = MakeRandom(bits, 0.3, 2);
+  for (auto _ : state) {
+    Bitvector r = a;
+    r.OrWith(b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(state.iterations() * (bits / 8) * 2);
+}
+BENCHMARK(BM_Or)->Arg(1 << 20);
+
+void BM_Xor(benchmark::State& state) {
+  const uint64_t bits = state.range(0);
+  Bitvector a = MakeRandom(bits, 0.3, 1);
+  Bitvector b = MakeRandom(bits, 0.3, 2);
+  for (auto _ : state) {
+    Bitvector r = a;
+    r.XorWith(b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(state.iterations() * (bits / 8) * 2);
+}
+BENCHMARK(BM_Xor)->Arg(1 << 20);
+
+void BM_Not(benchmark::State& state) {
+  const uint64_t bits = state.range(0);
+  Bitvector a = MakeRandom(bits, 0.3, 1);
+  for (auto _ : state) {
+    Bitvector r = a;
+    r.NotSelf();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(state.iterations() * (bits / 8));
+}
+BENCHMARK(BM_Not)->Arg(1 << 20);
+
+void BM_Count(benchmark::State& state) {
+  Bitvector a = MakeRandom(state.range(0), 0.5, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Count());
+  }
+  state.SetBytesProcessed(state.iterations() * (state.range(0) / 8));
+}
+BENCHMARK(BM_Count)->Arg(1 << 20);
+
+void BM_SetBits(benchmark::State& state) {
+  const uint64_t bits = 1 << 20;
+  Rng rng(3);
+  std::vector<uint64_t> positions(10000);
+  for (auto& p : positions) p = rng.UniformInt(0, bits - 1);
+  for (auto _ : state) {
+    Bitvector bv(bits);
+    for (uint64_t p : positions) bv.Set(p);
+    benchmark::DoNotOptimize(bv);
+  }
+  state.SetItemsProcessed(state.iterations() * positions.size());
+}
+BENCHMARK(BM_SetBits);
+
+void BM_ForEachSetBit(benchmark::State& state) {
+  Bitvector a = MakeRandom(1 << 20, 0.01, 1);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    a.ForEachSetBit([&sum](uint64_t i) { sum += i; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ForEachSetBit);
+
+}  // namespace
+}  // namespace bix
+
+BENCHMARK_MAIN();

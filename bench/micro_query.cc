@@ -1,0 +1,96 @@
+// Microbenchmarks for end-to-end query evaluation (real CPU time, no
+// simulated I/O): rewrite + fetch + bitmap operations per encoding scheme
+// over a 1M-row in-memory index.
+
+#include <benchmark/benchmark.h>
+
+#include "query/executor.h"
+#include "workload/column_gen.h"
+
+namespace bix {
+namespace {
+
+struct Fixture {
+  Column col;
+  std::vector<std::unique_ptr<BitmapIndex>> indexes;  // by EncodingKind
+
+  static Fixture& Get() {
+    static Fixture* f = [] {
+      auto* fx = new Fixture;
+      fx->col = GenerateZipfColumn(
+          {.rows = 1'000'000, .cardinality = 50, .zipf_z = 1.0, .seed = 42});
+      for (size_t i = 0; i < AllEncodingKinds().size(); ++i) {
+        fx->indexes.push_back(std::make_unique<BitmapIndex>(
+            BitmapIndex::Build(fx->col, Decomposition::SingleComponent(50),
+                               AllEncodingKinds()[i], false)));
+      }
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+void BM_IntervalQuery(benchmark::State& state) {
+  Fixture& fx = Fixture::Get();
+  BitmapIndex& index = *fx.indexes[state.range(0)];
+  ExecutorOptions opts;
+  opts.cold_pool_per_query = false;  // measure CPU, not the cost model
+  QueryExecutor exec(&index, opts);
+  uint32_t lo = 10;
+  for (auto _ : state) {
+    Bitvector r = exec.EvaluateInterval({lo, lo + 17});
+    benchmark::DoNotOptimize(r);
+    lo = (lo + 7) % 30;
+  }
+  state.SetLabel(EncodingKindName(AllEncodingKinds()[state.range(0)]));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntervalQuery)->DenseRange(0, 6);
+
+void BM_MembershipQuery(benchmark::State& state) {
+  Fixture& fx = Fixture::Get();
+  BitmapIndex& index = *fx.indexes[state.range(0)];
+  ExecutorOptions opts;
+  opts.cold_pool_per_query = false;
+  QueryExecutor exec(&index, opts);
+  const std::vector<uint32_t> values = {6, 19, 20, 21, 22, 35};
+  for (auto _ : state) {
+    Bitvector r = exec.EvaluateMembership(values);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(EncodingKindName(AllEncodingKinds()[state.range(0)]));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MembershipQuery)->DenseRange(0, 6);
+
+void BM_RewriteOnly(benchmark::State& state) {
+  Fixture& fx = Fixture::Get();
+  BitmapIndex& index = *fx.indexes[state.range(0)];
+  QueryExecutor exec(&index, {});
+  const std::vector<uint32_t> values = {6, 19, 20, 21, 22, 35};
+  for (auto _ : state) {
+    auto exprs = exec.RewriteMembership(values);
+    benchmark::DoNotOptimize(exprs);
+  }
+  state.SetLabel(EncodingKindName(AllEncodingKinds()[state.range(0)]));
+}
+BENCHMARK(BM_RewriteOnly)->DenseRange(0, 6);
+
+void BM_IndexBuild(benchmark::State& state) {
+  Column col = GenerateZipfColumn(
+      {.rows = 100'000, .cardinality = 50, .zipf_z = 1.0, .seed = 1});
+  const EncodingKind enc = AllEncodingKinds()[state.range(0)];
+  for (auto _ : state) {
+    BitmapIndex index = BitmapIndex::Build(
+        col, Decomposition::SingleComponent(50), enc, false);
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetLabel(EncodingKindName(enc));
+  state.SetItemsProcessed(state.iterations() * col.row_count());
+}
+BENCHMARK(BM_IndexBuild)->DenseRange(0, 6);
+
+}  // namespace
+}  // namespace bix
+
+BENCHMARK_MAIN();

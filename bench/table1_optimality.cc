@@ -1,0 +1,185 @@
+// Reproduces paper Table 1 (optimality of the encoding schemes for the
+// query classes EQ, 1RQ, 2RQ, RQ — Theorems 3.1 and 4.1), mechanically:
+//   x  cells ("not optimal")  -> exhibit a dominating complete scheme
+//                                (cost-model dominance or exhaustive search)
+//   ok cells ("optimal")      -> exhaustive search over all complete
+//                                abstract schemes finds no dominator
+//                                (verified for small C; see notes)
+//
+//   $ ./table1_optimality [--quick]
+
+#include <cstdio>
+
+#include "bench_support.h"
+#include "theory/cost_model.h"
+#include "theory/optimality.h"
+
+namespace bix {
+namespace {
+
+const char* ClassLabel(QueryClass q) { return QueryClassName(q); }
+
+// Verifies a "not optimal" claim by exhibiting a dominator among the other
+// implemented schemes (cost model) for every C in [lo, hi].
+bool VerifyDominatedEverywhere(EncodingKind victim, QueryClass q, uint32_t lo,
+                               uint32_t hi) {
+  for (uint32_t c = lo; c <= hi; ++c) {
+    if (EnumerateQueries(q, c).empty()) continue;
+    bool dominated = false;
+    for (EncodingKind other : AllEncodingKinds()) {
+      if (other == victim) continue;
+      if (Dominates(ComputeCost(other, c, q), ComputeCost(victim, c, q))) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+// Verifies an "optimal" claim by exhaustive search for small C.
+bool VerifyNoDominatorSmallC(EncodingKind kind, QueryClass q, uint32_t lo,
+                             uint32_t hi) {
+  for (uint32_t c = lo; c <= hi; ++c) {
+    if (EnumerateQueries(q, c).empty()) continue;
+    AbstractScheme target = AbstractFromEncoding(kind, c);
+    if (FindDominatingScheme(target, q).has_value()) return false;
+  }
+  return true;
+}
+
+void Run(bool quick) {
+  std::printf("Table 1: optimality of encoding schemes "
+              "(mechanical verification)\n\n");
+  bench::TablePrinter table({"class", "E", "R", "I"});
+
+  const uint32_t search_hi = quick ? 5 : 6;
+
+  // EQ row.
+  {
+    const bool e_opt = VerifyNoDominatorSmallC(EncodingKind::kEquality,
+                                               QueryClass::kEq, 3, 5);
+    const bool r_small = VerifyNoDominatorSmallC(EncodingKind::kRange,
+                                                 QueryClass::kEq, 3, 5);
+    const bool r_big_dominated =
+        FindDominatingScheme(AbstractFromEncoding(EncodingKind::kRange, 6),
+                             QueryClass::kEq)
+            .has_value();
+    // I for EQ: pair-intersection scheme dominates at C >= 14.
+    AbstractScheme interval14 =
+        AbstractFromEncoding(EncodingKind::kInterval, 14);
+    AbstractScheme pair14 = PairIntersectionScheme(14);
+    const bool i_dominated_at_14 =
+        IsComplete(pair14) && pair14.space() < interval14.space() &&
+        ExpectedScans(pair14, QueryClass::kEq) <=
+            ExpectedScans(interval14, QueryClass::kEq) + 1e-12;
+    table.AddRow({"EQ", e_opt ? "ok (search C<=5)" : "VIOLATED",
+                  (r_small && r_big_dominated)
+                      ? "ok iff C<=5 (search)"
+                      : "VIOLATED",
+                  i_dominated_at_14 ? "x if C>=14 (pair scheme)"
+                                    : "VIOLATED"});
+  }
+  // 1RQ row.
+  {
+    const bool e_dom = VerifyDominatedEverywhere(EncodingKind::kEquality,
+                                                 QueryClass::k1Rq, 4, 40);
+    const bool r_opt = VerifyNoDominatorSmallC(EncodingKind::kRange,
+                                               QueryClass::k1Rq, 3, 5);
+    const bool i_c4 = VerifyNoDominatorSmallC(EncodingKind::kInterval,
+                                              QueryClass::k1Rq, 4, 4);
+    const bool i_c6 = VerifyNoDominatorSmallC(EncodingKind::kInterval,
+                                              QueryClass::k1Rq, 6, search_hi);
+    const bool i_c5_deviates =
+        FindDominatingScheme(
+            AbstractFromEncoding(EncodingKind::kInterval, 5),
+            QueryClass::k1Rq)
+            .has_value();
+    std::string i_cell = (i_c4 && i_c6)
+                             ? "ok (search C=4,6)"
+                             : "VIOLATED";
+    if (i_c5_deviates) i_cell += " [C=5 deviates; see notes]";
+    table.AddRow({"1RQ", e_dom ? "x (R dominates)" : "VIOLATED",
+                  r_opt ? "ok (search C<=5)" : "VIOLATED", i_cell});
+  }
+  // 2RQ row.
+  {
+    const bool e_dom = VerifyDominatedEverywhere(EncodingKind::kEquality,
+                                                 QueryClass::k2Rq, 5, 40);
+    const bool r_dom = VerifyDominatedEverywhere(EncodingKind::kRange,
+                                                 QueryClass::k2Rq, 5, 40);
+    const bool i_opt = VerifyNoDominatorSmallC(EncodingKind::kInterval,
+                                               QueryClass::k2Rq, 4, search_hi);
+    table.AddRow({"2RQ", e_dom ? "x (R dominates)" : "VIOLATED",
+                  r_dom ? "x (I dominates)" : "VIOLATED",
+                  i_opt ? "ok (search C<=6)" : "VIOLATED"});
+  }
+  // RQ row.
+  {
+    const bool e_dom = VerifyDominatedEverywhere(EncodingKind::kEquality,
+                                                 QueryClass::kRq, 5, 40);
+    const bool r_opt = VerifyNoDominatorSmallC(EncodingKind::kRange,
+                                               QueryClass::kRq, 4, 5);
+    const bool i_c4 = VerifyNoDominatorSmallC(EncodingKind::kInterval,
+                                              QueryClass::kRq, 4, 4);
+    const bool i_c6 = VerifyNoDominatorSmallC(EncodingKind::kInterval,
+                                              QueryClass::kRq, 6, search_hi);
+    const bool i_c5_deviates =
+        FindDominatingScheme(
+            AbstractFromEncoding(EncodingKind::kInterval, 5), QueryClass::kRq)
+            .has_value();
+    std::string i_cell =
+        (i_c4 && i_c6) ? "ok (search C=4,6)" : "VIOLATED";
+    if (i_c5_deviates) i_cell += " [C=5 deviates; see notes]";
+    table.AddRow({"RQ", e_dom ? "x (R dominates)" : "VIOLATED",
+                  r_opt ? "ok (search C<=5)" : "VIOLATED", i_cell});
+  }
+  table.Print();
+
+  std::printf(
+      "\nNotes:\n"
+      " * 'ok (search ...)': exhaustive search over all complete abstract\n"
+      "   schemes (up to bitmap complementation) found no dominator in the\n"
+      "   stated cardinality range; larger C is out of exhaustive reach.\n"
+      " * I/EQ at C >= 14: the pair-intersection scheme (k bitmaps, every\n"
+      "   value a distinct pairwise intersection, k(k-1)/2 >= C) is\n"
+      "   complete, answers every equality in 2 scans, and uses fewer\n"
+      "   bitmaps than interval encoding -- reproducing Theorem 4.1(1).\n"
+      " * I/1RQ at C = 5: under our exact expected-scan model a 3-bitmap\n"
+      "   scheme {{0},{0,1,2},{0,1,3}} averages 1.50 scans vs interval's\n"
+      "   1.67 -- a boundary deviation from Theorem 4.1(2) discussed in\n"
+      "   EXPERIMENTS.md (the paper's proof model is in the unavailable\n"
+      "   tech report [CI98a]).\n");
+
+  // Expected-scan reference table (exact, from the implementation).
+  std::printf("\nExpected scans per query class (1-component, C=50):\n");
+  bench::TablePrinter scans({"class", "E", "R", "I", "ER", "O", "EI", "EI*"});
+  for (QueryClass q : {QueryClass::kEq, QueryClass::k1Rq, QueryClass::k2Rq,
+                       QueryClass::kRq}) {
+    std::vector<std::string> row = {ClassLabel(q)};
+    for (EncodingKind enc : AllEncodingKinds()) {
+      row.push_back(
+          bench::FormatDouble(ComputeCost(enc, 50, q).expected_scans, 3));
+    }
+    scans.AddRow(std::move(row));
+  }
+  scans.Print();
+
+  std::printf("\nStored bitmaps (1-component, C=50): ");
+  for (EncodingKind enc : AllEncodingKinds()) {
+    std::printf("%s=%llu  ", EncodingKindName(enc),
+                static_cast<unsigned long long>(
+                    ComputeCost(enc, 50, QueryClass::kEq).space_bitmaps));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bix
+
+int main(int argc, char** argv) {
+  bix::bench::BenchArgs args = bix::bench::BenchArgs::Parse(argc, argv);
+  bix::Run(args.quick);
+  return 0;
+}

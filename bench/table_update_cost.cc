@@ -1,0 +1,42 @@
+// Reproduces the paper's Section 4.2 update-cost comparison: number of
+// bitmaps touched when a new record is inserted, per encoding scheme
+// (best / expected-under-uniform / worst over attribute values).
+//
+// Paper figures: E = 1/1/1; R = 1/(C-1)/2/(C-1); I = 1/~C/4/floor(C/2).
+// (We count bitmaps whose bit must be SET; a value touching zero bitmaps
+// (e.g. C-1 under R or I) still costs the record append itself, which is
+// encoding-independent and excluded here.)
+//
+//   $ ./table_update_cost [--cardinality=C]
+
+#include <cstdio>
+
+#include "bench_support.h"
+#include "theory/update_cost.h"
+
+namespace bix {
+namespace {
+
+void Run(uint32_t c) {
+  std::printf("Update cost: bitmaps touched per inserted record (C=%u)\n\n",
+              c);
+  bench::TablePrinter table({"encoding", "best", "expected", "worst"});
+  for (EncodingKind enc : AllEncodingKinds()) {
+    UpdateCost cost = ComputeUpdateCost(enc, c);
+    table.AddRow({EncodingKindName(enc), std::to_string(cost.best),
+                  bench::FormatDouble(cost.expected, 2),
+                  std::to_string(cost.worst)});
+  }
+  table.Print();
+  std::printf("\nExpected shape (paper Section 4.2): E = 1/1/1; R worst at\n"
+              "~(C-1)/2 expected; I in between at ~C/4 expected.\n");
+}
+
+}  // namespace
+}  // namespace bix
+
+int main(int argc, char** argv) {
+  bix::bench::BenchArgs args = bix::bench::BenchArgs::Parse(argc, argv);
+  bix::Run(args.cardinality);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// DSS scenario from the paper's motivation: ad-hoc selection queries over a
+// fact table in a decision-support system. A sales fact table has a
+// `day_of_year` dimension column (C = 200 buckets here, mirroring the
+// paper's C = 200 runs); analysts fire interval and membership predicates
+// ("Q4 sales", "campaign days", "holiday weeks") and combine them.
+//
+// The example contrasts the three basic encodings on the same workload and
+// prints per-encoding space and scan counts, showing the paper's headline
+// claim in action: interval encoding answers every selection with at most
+// two scans per component at half of range encoding's space.
+//
+//   $ ./dss_sales_analysis
+
+#include <cstdio>
+
+#include "core/bitmap_index_facade.h"
+#include "workload/column_gen.h"
+#include "workload/scan_baseline.h"
+
+namespace {
+
+struct NamedQuery {
+  const char* label;
+  std::vector<uint32_t> days;  // explicit membership set
+};
+
+std::vector<uint32_t> Range(uint32_t lo, uint32_t hi) {
+  std::vector<uint32_t> v;
+  for (uint32_t i = lo; i <= hi; ++i) v.push_back(i);
+  return v;
+}
+
+std::vector<uint32_t> Union(std::vector<uint32_t> a,
+                            const std::vector<uint32_t>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  constexpr uint32_t kDays = 200;
+  // Sales skew toward a few hot days (launches, holidays): z = 1.5.
+  bix::Column sales_day = bix::GenerateZipfColumn(
+      {.rows = 2'000'000, .cardinality = kDays, .zipf_z = 1.5, .seed = 7});
+
+  const std::vector<NamedQuery> workload = {
+      {"Q4 (days 150..199)", Range(150, 199)},
+      {"launch week (days 31..37)", Range(31, 37)},
+      {"campaign days {10, 45, 46, 47, 110}", {10, 45, 46, 47, 110}},
+      {"holiday weeks (days 0..6 and 180..186)",
+       Union(Range(0, 6), Range(180, 186))},
+      {"single hot day {42}", {42}},
+  };
+
+  std::printf("%-42s", "encoding:");
+  for (bix::EncodingKind enc : bix::BasicEncodingKinds()) {
+    std::printf("%14s", bix::EncodingKindName(enc));
+  }
+  std::printf("\n");
+
+  // Space line.
+  std::vector<bix::BitmapIndex> indexes;
+  std::printf("%-42s", "index size (MB)");
+  for (bix::EncodingKind enc : bix::BasicEncodingKinds()) {
+    bix::IndexConfig cfg;
+    cfg.encoding = enc;
+    indexes.push_back(std::move(bix::BuildIndex(sales_day, cfg).value()));
+    std::printf("%14.1f",
+                static_cast<double>(indexes.back().TotalStoredBytes()) /
+                    (1 << 20));
+  }
+  std::printf("\n");
+
+  // Per-query scan counts (cold pool per query, the paper's setting).
+  for (const NamedQuery& q : workload) {
+    std::printf("%-42s", q.label);
+    for (bix::BitmapIndex& index : indexes) {
+      bix::QueryExecutor exec(&index, bix::ExecutorOptions{});
+      bix::Bitvector result = exec.EvaluateMembership(q.days);
+      if (result != bix::NaiveEvaluateMembership(sales_day, q.days)) {
+        std::fprintf(stderr, "MISMATCH on %s\n", q.label);
+        return 1;
+      }
+      std::printf("%8llu scans",
+                  static_cast<unsigned long long>(exec.stats().scans));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nInterval encoding stores half of range encoding's bitmaps and\n"
+      "matches its two-scan bound on every constituent interval; equality\n"
+      "encoding needs a scan per distinct value in wide ranges.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "bitvector/bitvector.h"
+
+namespace bix {
+
+Bitvector Bitvector::FromPositions(uint64_t size,
+                                   const std::vector<uint64_t>& positions) {
+  Bitvector bv(size);
+  for (uint64_t p : positions) bv.Set(p);
+  return bv;
+}
+
+Bitvector Bitvector::AllOnes(uint64_t size) {
+  Bitvector bv(size);
+  for (uint64_t& w : bv.words_) w = ~uint64_t{0};
+  bv.ClearTrailingBits();
+  return bv;
+}
+
+void Bitvector::Resize(uint64_t new_size) {
+  size_ = new_size;
+  words_.resize(WordCount(new_size), 0);
+  ClearTrailingBits();
+}
+
+uint64_t Bitvector::Count() const {
+  uint64_t total = 0;
+  for (uint64_t w : words_) total += static_cast<uint64_t>(__builtin_popcountll(w));
+  return total;
+}
+
+void Bitvector::AndWith(const Bitvector& other) {
+  BIX_CHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void Bitvector::OrWith(const Bitvector& other) {
+  BIX_CHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void Bitvector::XorWith(const Bitvector& other) {
+  BIX_CHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+}
+
+void Bitvector::NotSelf() {
+  for (uint64_t& w : words_) w = ~w;
+  ClearTrailingBits();
+}
+
+Bitvector Bitvector::And(const Bitvector& a, const Bitvector& b) {
+  Bitvector r = a;
+  r.AndWith(b);
+  return r;
+}
+
+Bitvector Bitvector::Or(const Bitvector& a, const Bitvector& b) {
+  Bitvector r = a;
+  r.OrWith(b);
+  return r;
+}
+
+Bitvector Bitvector::Xor(const Bitvector& a, const Bitvector& b) {
+  Bitvector r = a;
+  r.XorWith(b);
+  return r;
+}
+
+Bitvector Bitvector::Not(const Bitvector& a) {
+  Bitvector r = a;
+  r.NotSelf();
+  return r;
+}
+
+void Bitvector::ClearTrailingBits() {
+  uint64_t tail = size_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+}  // namespace bix

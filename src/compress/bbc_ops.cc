@@ -1,0 +1,310 @@
+#include "compress/bbc_ops.h"
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace bix {
+namespace {
+
+// --- Stream reader: exposes the atom stream as (fill | literal) segments --
+
+struct Segment {
+  bool is_fill = false;
+  uint8_t fill_byte = 0;           // 0x00 or 0xFF
+  uint64_t length = 0;             // bytes remaining in this segment
+  const uint8_t* literals = nullptr;  // when !is_fill
+};
+
+class Cursor {
+ public:
+  explicit Cursor(const BbcEncoded& enc) : data_(enc.data) { Advance(); }
+
+  bool done() const { return done_; }
+  const Segment& segment() const { return seg_; }
+
+  // Consumes `n` bytes (n <= segment().length), moving to the next segment
+  // when the current one is exhausted.
+  void Consume(uint64_t n) {
+    BIX_DCHECK(n <= seg_.length);
+    seg_.length -= n;
+    if (!seg_.is_fill) seg_.literals += n;
+    if (seg_.length == 0) Advance();
+  }
+
+ private:
+  void Advance() {
+    // Move to the pending literal part of the current atom, or decode the
+    // next atom.
+    if (pending_literals_ > 0) {
+      seg_.is_fill = false;
+      seg_.literals = data_.data() + pos_;
+      seg_.length = pending_literals_;
+      pos_ += pending_literals_;
+      pending_literals_ = 0;
+      return;
+    }
+    while (pos_ < data_.size()) {
+      const uint8_t control = data_[pos_++];
+      const bool fill_bit = (control >> 7) & 1;
+      uint64_t fill_len = (control >> 3) & 0x0F;
+      const uint8_t literal_count = control & 0x07;
+      if (fill_len == 15) {
+        fill_len = ReadVarint();
+      }
+      if (fill_len > 0) {
+        seg_.is_fill = true;
+        seg_.fill_byte = fill_bit ? 0xFF : 0x00;
+        seg_.length = fill_len;
+        pending_literals_ = literal_count;
+        // Literal bytes follow at pos_; they are consumed on the next
+        // Advance via pending_literals_.
+        return;
+      }
+      if (literal_count > 0) {
+        seg_.is_fill = false;
+        seg_.literals = data_.data() + pos_;
+        seg_.length = literal_count;
+        pos_ += literal_count;
+        return;
+      }
+      // Empty atom (fill 0, literals 0): skip.
+    }
+    done_ = true;
+    seg_ = Segment{};
+  }
+
+  uint64_t ReadVarint() {
+    uint64_t v = 0;
+    uint32_t shift = 0;
+    while (pos_ < data_.size()) {
+      const uint8_t b = data_[pos_++];
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+    BIX_CHECK_MSG(false, "BBC: truncated varint");
+    return 0;
+  }
+
+  const std::vector<uint8_t>& data_;
+  size_t pos_ = 0;
+  uint8_t pending_literals_ = 0;
+  Segment seg_;
+  bool done_ = false;
+};
+
+// --- Stream builder: appends decoded bytes/runs, emits packed atoms -------
+
+class Builder {
+ public:
+  void AppendFill(uint8_t fill_byte, uint64_t len) {
+    if (len == 0) return;
+    if (len == 1) {
+      AppendByte(fill_byte);
+      return;
+    }
+    if (!literals_.empty() || (fill_len_ > 0 && fill_byte_ != fill_byte)) {
+      FlushAtom();
+    }
+    fill_byte_ = fill_byte;
+    fill_len_ += len;
+  }
+
+  void AppendByte(uint8_t b) {
+    if (b == 0x00 || b == 0xFF) {
+      // Merge into a pending fill run when possible (normalizes output so
+      // compressed-domain results stay compact).
+      if (literals_.empty() && (fill_len_ == 0 || fill_byte_ == b)) {
+        fill_byte_ = b;
+        ++fill_len_;
+        return;
+      }
+      // A fill byte arriving after literals: start buffering it as the run
+      // of a fresh atom.
+      FlushAtom();
+      fill_byte_ = b;
+      fill_len_ = 1;
+      return;
+    }
+    if (literals_.size() == 7) FlushAtom();
+    literals_.push_back(b);
+  }
+
+  std::vector<uint8_t> Finish() {
+    FlushAtom();
+    return std::move(out_);
+  }
+
+ private:
+  void FlushAtom() {
+    if (fill_len_ == 0 && literals_.empty()) return;
+    EmitAtom(static_cast<uint8_t>(literals_.size()));
+    out_.insert(out_.end(), literals_.begin(), literals_.end());
+    literals_.clear();
+    fill_len_ = 0;
+  }
+
+  void EmitAtom(uint8_t literal_count) {
+    uint8_t control =
+        static_cast<uint8_t>((fill_byte_ == 0xFF ? 1u : 0u) << 7);
+    control |= literal_count;
+    if (fill_len_ <= 14) {
+      control |= static_cast<uint8_t>(fill_len_) << 3;
+      out_.push_back(control);
+    } else {
+      control |= 15u << 3;
+      out_.push_back(control);
+      uint64_t v = fill_len_;
+      while (v >= 0x80) {
+        out_.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+      }
+      out_.push_back(static_cast<uint8_t>(v));
+    }
+  }
+
+  uint8_t fill_byte_ = 0;
+  uint64_t fill_len_ = 0;
+  std::vector<uint8_t> literals_;
+  std::vector<uint8_t> out_;
+};
+
+enum class Op { kAnd, kOr, kXor };
+
+uint8_t ApplyOp(Op op, uint8_t a, uint8_t b) {
+  switch (op) {
+    case Op::kAnd:
+      return a & b;
+    case Op::kOr:
+      return a | b;
+    case Op::kXor:
+      return a ^ b;
+  }
+  return 0;
+}
+
+BbcEncoded Binary(Op op, const BbcEncoded& a, const BbcEncoded& b) {
+  BIX_CHECK_MSG(a.bit_count == b.bit_count, "BBC op: bit_count mismatch");
+  BbcEncoded out;
+  out.bit_count = a.bit_count;
+  Cursor ca(a), cb(b);
+  Builder builder;
+  while (!ca.done() && !cb.done()) {
+    const Segment& sa = ca.segment();
+    const Segment& sb = cb.segment();
+    const uint64_t take = sa.length < sb.length ? sa.length : sb.length;
+    if (sa.is_fill && sb.is_fill) {
+      builder.AppendFill(ApplyOp(op, sa.fill_byte, sb.fill_byte), take);
+    } else if (sa.is_fill || sb.is_fill) {
+      const Segment& fill = sa.is_fill ? sa : sb;
+      const Segment& lit = sa.is_fill ? sb : sa;
+      const bool fill_ones = fill.fill_byte == 0xFF;
+      switch (op) {
+        case Op::kAnd:
+          if (!fill_ones) {
+            builder.AppendFill(0x00, take);
+          } else {
+            for (uint64_t i = 0; i < take; ++i) {
+              builder.AppendByte(lit.literals[i]);
+            }
+          }
+          break;
+        case Op::kOr:
+          if (fill_ones) {
+            builder.AppendFill(0xFF, take);
+          } else {
+            for (uint64_t i = 0; i < take; ++i) {
+              builder.AppendByte(lit.literals[i]);
+            }
+          }
+          break;
+        case Op::kXor:
+          for (uint64_t i = 0; i < take; ++i) {
+            builder.AppendByte(
+                static_cast<uint8_t>(lit.literals[i] ^ fill.fill_byte));
+          }
+          break;
+      }
+    } else {
+      for (uint64_t i = 0; i < take; ++i) {
+        builder.AppendByte(ApplyOp(op, sa.literals[i], sb.literals[i]));
+      }
+    }
+    ca.Consume(take);
+    cb.Consume(take);
+  }
+  BIX_CHECK_MSG(ca.done() && cb.done(), "BBC op: stream length mismatch");
+  out.data = builder.Finish();
+  return out;
+}
+
+}  // namespace
+
+BbcEncoded BbcAnd(const BbcEncoded& a, const BbcEncoded& b) {
+  return Binary(Op::kAnd, a, b);
+}
+BbcEncoded BbcOr(const BbcEncoded& a, const BbcEncoded& b) {
+  return Binary(Op::kOr, a, b);
+}
+BbcEncoded BbcXor(const BbcEncoded& a, const BbcEncoded& b) {
+  return Binary(Op::kXor, a, b);
+}
+
+BbcEncoded BbcNot(const BbcEncoded& a) {
+  BbcEncoded out;
+  out.bit_count = a.bit_count;
+  const uint64_t total_bytes = CeilDiv(a.bit_count, 8);
+  const uint32_t tail_bits = a.bit_count & 7;
+  const uint8_t tail_mask =
+      tail_bits == 0 ? 0xFF : static_cast<uint8_t>((1u << tail_bits) - 1);
+  Cursor cursor(a);
+  Builder builder;
+  uint64_t emitted = 0;
+  while (!cursor.done()) {
+    const Segment& s = cursor.segment();
+    uint64_t take = s.length;
+    const bool contains_last = emitted + take == total_bytes;
+    if (contains_last && take > 0) --take;  // final byte handled separately
+    if (s.is_fill) {
+      builder.AppendFill(static_cast<uint8_t>(~s.fill_byte), take);
+    } else {
+      for (uint64_t i = 0; i < take; ++i) {
+        builder.AppendByte(static_cast<uint8_t>(~s.literals[i]));
+      }
+    }
+    if (contains_last) {
+      const uint8_t last =
+          s.is_fill ? s.fill_byte : s.literals[take];
+      builder.AppendByte(static_cast<uint8_t>(~last & tail_mask));
+      cursor.Consume(take + 1);
+      emitted += take + 1;
+    } else {
+      cursor.Consume(take);
+      emitted += take;
+    }
+  }
+  BIX_CHECK(emitted == total_bytes);
+  out.data = builder.Finish();
+  return out;
+}
+
+uint64_t BbcCount(const BbcEncoded& a) {
+  // Padding bits are zero in well-formed streams, so a byte-wise popcount
+  // is exact.
+  uint64_t count = 0;
+  Cursor cursor(a);
+  while (!cursor.done()) {
+    const Segment& s = cursor.segment();
+    if (s.is_fill) {
+      if (s.fill_byte == 0xFF) count += s.length * 8;
+    } else {
+      for (uint64_t i = 0; i < s.length; ++i) {
+        count += static_cast<uint64_t>(__builtin_popcount(s.literals[i]));
+      }
+    }
+    cursor.Consume(s.length);
+  }
+  return count;
+}
+
+}  // namespace bix

@@ -1,0 +1,30 @@
+#ifndef BIX_COMPRESS_BBC_OPS_H_
+#define BIX_COMPRESS_BBC_OPS_H_
+
+#include "compress/bbc.h"
+
+namespace bix {
+
+// Logical operations directly on BBC-compressed streams, without
+// materializing verbatim bitmaps. The paper's experiments decompress before
+// operating (its time metric includes decompression); these operators are
+// the natural extension — later systems (e.g. FastBit's WAH) made
+// compressed-domain operations the default — and `bench/ablation_bbc_ops`
+// quantifies the difference under this codec.
+//
+// All binary operators require equal bit_count. Outputs are well-formed BBC
+// streams (decodable by BbcDecode) with greedy run packing; padding bits
+// remain zero (binary operators preserve zero padding; BbcNot masks the
+// final partial byte explicitly).
+
+BbcEncoded BbcAnd(const BbcEncoded& a, const BbcEncoded& b);
+BbcEncoded BbcOr(const BbcEncoded& a, const BbcEncoded& b);
+BbcEncoded BbcXor(const BbcEncoded& a, const BbcEncoded& b);
+BbcEncoded BbcNot(const BbcEncoded& a);
+
+// Number of set bits, computed on the compressed form.
+uint64_t BbcCount(const BbcEncoded& a);
+
+}  // namespace bix
+
+#endif  // BIX_COMPRESS_BBC_OPS_H_

@@ -1,0 +1,28 @@
+#include "compress/bytes.h"
+
+#include "util/math.h"
+
+namespace bix {
+
+std::vector<uint8_t> BitvectorToBytes(const Bitvector& bv) {
+  const uint64_t n_bytes = CeilDiv(bv.size(), 8);
+  std::vector<uint8_t> out(n_bytes, 0);
+  const std::vector<uint64_t>& words = bv.words();
+  for (uint64_t j = 0; j < n_bytes; ++j) {
+    out[j] = static_cast<uint8_t>(words[j >> 3] >> ((j & 7) * 8));
+  }
+  return out;
+}
+
+Bitvector BitvectorFromBytes(const std::vector<uint8_t>& bytes,
+                             uint64_t bit_count) {
+  BIX_CHECK(bytes.size() == CeilDiv(bit_count, 8));
+  Bitvector bv(bit_count);
+  std::vector<uint64_t>& words = bv.mutable_words();
+  for (uint64_t j = 0; j < bytes.size(); ++j) {
+    words[j >> 3] |= static_cast<uint64_t>(bytes[j]) << ((j & 7) * 8);
+  }
+  return bv;
+}
+
+}  // namespace bix

@@ -1,0 +1,32 @@
+#include "core/bitmap_index_facade.h"
+
+namespace bix {
+
+Result<BitmapIndex> BuildIndex(const Column& column,
+                               const IndexConfig& config) {
+  if (column.cardinality < 2) {
+    return Status::InvalidArgument("column cardinality must be >= 2");
+  }
+  for (uint32_t v : column.values) {
+    if (v >= column.cardinality) {
+      return Status::InvalidArgument("column value out of domain");
+    }
+  }
+  std::vector<uint32_t> bases = config.bases_msb_first;
+  if (bases.empty()) bases = {column.cardinality};
+  Result<Decomposition> d = Decomposition::Make(column.cardinality, bases);
+  if (!d.ok()) return d.status();
+  return BitmapIndex::Build(column, d.value(), config.encoding,
+                            config.compressed);
+}
+
+Result<std::vector<uint32_t>> SpaceOptimalBases(uint32_t cardinality,
+                                                uint32_t num_components,
+                                                EncodingKind encoding) {
+  Result<Decomposition> d =
+      ChooseSpaceOptimalBases(cardinality, num_components, encoding);
+  if (!d.ok()) return d.status();
+  return d.value().BasesMsbFirst();
+}
+
+}  // namespace bix

@@ -1,0 +1,34 @@
+#ifndef BIX_CORE_BITMAP_INDEX_FACADE_H_
+#define BIX_CORE_BITMAP_INDEX_FACADE_H_
+
+#include <optional>
+#include <vector>
+
+#include "index/bitmap_index.h"
+#include "query/executor.h"
+#include "util/status.h"
+
+namespace bix {
+
+// One-stop configuration for building a bitmap index. This is the
+// recommended entry point for library users; the underlying modules remain
+// available for finer control.
+struct IndexConfig {
+  EncodingKind encoding = EncodingKind::kInterval;
+  // Base sequence <b_n, ..., b_1>; empty selects a single component of base
+  // `cardinality`.
+  std::vector<uint32_t> bases_msb_first;
+  bool compressed = false;
+};
+
+// Validates the config against the column and builds the index.
+Result<BitmapIndex> BuildIndex(const Column& column, const IndexConfig& config);
+
+// Convenience: space-optimal bases for (cardinality, components, encoding).
+Result<std::vector<uint32_t>> SpaceOptimalBases(uint32_t cardinality,
+                                                uint32_t num_components,
+                                                EncodingKind encoding);
+
+}  // namespace bix
+
+#endif  // BIX_CORE_BITMAP_INDEX_FACADE_H_

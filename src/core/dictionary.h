@@ -1,0 +1,89 @@
+#ifndef BIX_CORE_DICTIONARY_H_
+#define BIX_CORE_DICTIONARY_H_
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "index/column.h"
+#include "query/query.h"
+#include "util/check.h"
+
+namespace bix {
+
+// Order-preserving dictionary encoding: maps an arbitrary totally-ordered
+// value domain onto the consecutive integers [0, C) the paper's framework
+// assumes (Section 1, "the domain of A is assumed to be a set of
+// consecutive integers"). Because the mapping is monotone, range predicates
+// on the original domain translate directly to interval queries on codes.
+//
+// T needs operator< and operator==; typical instantiations are int64_t,
+// double and std::string.
+template <typename T>
+class Dictionary {
+ public:
+  // Builds the dictionary from the distinct values of `raw` and returns the
+  // encoded column alongside it.
+  static Dictionary Build(const std::vector<T>& raw, Column* encoded) {
+    BIX_CHECK(encoded != nullptr);
+    Dictionary dict;
+    dict.values_ = raw;
+    std::sort(dict.values_.begin(), dict.values_.end());
+    dict.values_.erase(std::unique(dict.values_.begin(), dict.values_.end()),
+                       dict.values_.end());
+    encoded->cardinality = static_cast<uint32_t>(dict.values_.size());
+    encoded->values.clear();
+    encoded->values.reserve(raw.size());
+    for (const T& v : raw) {
+      encoded->values.push_back(*dict.Code(v));
+    }
+    return dict;
+  }
+
+  uint32_t cardinality() const {
+    return static_cast<uint32_t>(values_.size());
+  }
+
+  // Code of an exact value; nullopt if absent from the dictionary.
+  std::optional<uint32_t> Code(const T& value) const {
+    auto it = std::lower_bound(values_.begin(), values_.end(), value);
+    if (it == values_.end() || !(*it == value)) return std::nullopt;
+    return static_cast<uint32_t>(it - values_.begin());
+  }
+
+  const T& Value(uint32_t code) const {
+    BIX_CHECK(code < values_.size());
+    return values_[code];
+  }
+
+  // Translates "lo <= A <= hi" over the original domain into an interval
+  // query over codes; nullopt when no dictionary value falls in the range.
+  // The bounds need not be present in the dictionary.
+  std::optional<IntervalQuery> Range(const T& lo, const T& hi) const {
+    auto first = std::lower_bound(values_.begin(), values_.end(), lo);
+    auto last = std::upper_bound(values_.begin(), values_.end(), hi);
+    if (first >= last) return std::nullopt;
+    IntervalQuery q;
+    q.lo = static_cast<uint32_t>(first - values_.begin());
+    q.hi = static_cast<uint32_t>(last - values_.begin()) - 1;
+    return q;
+  }
+
+  // Translates a membership set, dropping values absent from the domain.
+  std::vector<uint32_t> Membership(const std::vector<T>& values) const {
+    std::vector<uint32_t> codes;
+    for (const T& v : values) {
+      if (std::optional<uint32_t> c = Code(v); c.has_value()) {
+        codes.push_back(*c);
+      }
+    }
+    return codes;
+  }
+
+ private:
+  std::vector<T> values_;  // sorted distinct values; index = code
+};
+
+}  // namespace bix
+
+#endif  // BIX_CORE_DICTIONARY_H_

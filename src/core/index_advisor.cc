@@ -1,0 +1,66 @@
+#include "core/index_advisor.h"
+
+#include <algorithm>
+
+#include "theory/cost_model.h"
+#include "util/math.h"
+
+namespace bix {
+
+std::vector<AdvisorChoice> AdviseIndex(uint32_t cardinality,
+                                       const WorkloadProfile& workload,
+                                       const AdvisorOptions& options) {
+  std::vector<EncodingKind> encodings =
+      options.encodings.empty() ? AllEncodingKinds() : options.encodings;
+  std::vector<uint32_t> component_counts = options.component_counts;
+  if (component_counts.empty()) {
+    for (uint32_t n = 1; n <= CeilLog2(cardinality); ++n) {
+      component_counts.push_back(n);
+    }
+  }
+  const double total_weight = workload.equality_weight +
+                              workload.one_sided_weight +
+                              workload.two_sided_weight;
+
+  std::vector<AdvisorChoice> choices;
+  for (EncodingKind enc : encodings) {
+    for (uint32_t n : component_counts) {
+      Result<Decomposition> d = ChooseSpaceOptimalBases(cardinality, n, enc);
+      if (!d.ok()) continue;
+      const uint64_t bitmaps = TotalBitmaps(d.value(), enc);
+      if (options.max_bitmaps != 0 && bitmaps > options.max_bitmaps) continue;
+
+      double scans = 0.0;
+      if (total_weight > 0.0) {
+        scans += workload.equality_weight *
+                 ComputeCost(d.value(), enc, QueryClass::kEq).expected_scans;
+        scans += workload.one_sided_weight *
+                 ComputeCost(d.value(), enc, QueryClass::k1Rq).expected_scans;
+        scans += workload.two_sided_weight *
+                 ComputeCost(d.value(), enc, QueryClass::k2Rq).expected_scans;
+        scans /= total_weight;
+      }
+
+      AdvisorChoice choice;
+      choice.config.encoding = enc;
+      choice.config.bases_msb_first = d.value().BasesMsbFirst();
+      choice.bitmaps = bitmaps;
+      choice.expected_scans = scans;
+      choice.rationale = std::string(EncodingKindName(enc)) + " base-" +
+                         d.value().ToString() + ": " +
+                         std::to_string(bitmaps) + " bitmaps, " +
+                         std::to_string(scans) + " expected scans/query";
+      choices.push_back(std::move(choice));
+    }
+  }
+  std::sort(choices.begin(), choices.end(),
+            [](const AdvisorChoice& a, const AdvisorChoice& b) {
+              if (a.expected_scans != b.expected_scans) {
+                return a.expected_scans < b.expected_scans;
+              }
+              return a.bitmaps < b.bitmaps;
+            });
+  return choices;
+}
+
+}  // namespace bix

@@ -1,0 +1,47 @@
+#ifndef BIX_CORE_INDEX_ADVISOR_H_
+#define BIX_CORE_INDEX_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/bitmap_index_facade.h"
+#include "query/query.h"
+
+namespace bix {
+
+// Workload description for the advisor: relative weights of the paper's
+// query classes plus membership-query shape hints.
+struct WorkloadProfile {
+  double equality_weight = 1.0;
+  double one_sided_weight = 1.0;
+  double two_sided_weight = 1.0;
+};
+
+struct AdvisorOptions {
+  // Hard cap on stored bitmaps (the paper's space axis). 0 = unlimited.
+  uint64_t max_bitmaps = 0;
+  // Encodings to consider; empty = all seven.
+  std::vector<EncodingKind> encodings;
+  // Component counts to consider; empty = 1..ceil(log2 C).
+  std::vector<uint32_t> component_counts;
+};
+
+struct AdvisorChoice {
+  IndexConfig config;
+  uint64_t bitmaps = 0;
+  double expected_scans = 0.0;  // weighted by the workload profile
+  std::string rationale;
+};
+
+// Enumerates (encoding, components) candidates with space-optimal bases,
+// scores each by workload-weighted expected bitmap scans (exact, via the
+// cost model), filters by the space cap, and returns candidates sorted by
+// expected scans (ties: fewer bitmaps). The first entry is the
+// recommendation.
+std::vector<AdvisorChoice> AdviseIndex(uint32_t cardinality,
+                                       const WorkloadProfile& workload,
+                                       const AdvisorOptions& options = {});
+
+}  // namespace bix
+
+#endif  // BIX_CORE_INDEX_ADVISOR_H_

@@ -1,0 +1,172 @@
+#include "core/index_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace bix {
+namespace {
+
+constexpr char kMagic[4] = {'B', 'I', 'X', 'I'};
+constexpr uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  explicit Writer(std::FILE* f) : f_(f) {}
+  bool ok() const { return ok_; }
+
+  void Bytes(const void* p, size_t n) {
+    if (ok_ && std::fwrite(p, 1, n, f_) != n) ok_ = false;
+  }
+  void U8(uint8_t v) { Bytes(&v, 1); }
+  void U32(uint32_t v) { Bytes(&v, 4); }
+  void U64(uint64_t v) { Bytes(&v, 8); }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* f) : f_(f) {}
+  bool ok() const { return ok_; }
+
+  void Bytes(void* p, size_t n) {
+    if (ok_ && std::fread(p, 1, n, f_) != n) ok_ = false;
+  }
+  uint8_t U8() {
+    uint8_t v = 0;
+    Bytes(&v, 1);
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Bytes(&v, 4);
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Bytes(&v, 8);
+    return v;
+  }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+Status SaveIndex(const BitmapIndex& index, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open file for writing: " + path);
+  }
+  Writer w(f);
+  w.Bytes(kMagic, 4);
+  w.U32(kVersion);
+  w.U8(static_cast<uint8_t>(index.encoding_kind()));
+  w.U8(index.compressed() ? 1 : 0);
+  w.U32(index.decomposition().cardinality());
+  w.U64(index.row_count());
+  const std::vector<uint32_t> bases = index.decomposition().BasesMsbFirst();
+  w.U32(static_cast<uint32_t>(bases.size()));
+  for (uint32_t b : bases) w.U32(b);
+  w.U64(index.BitmapCount());
+  index.store().ForEachBlob(
+      [&](const BitmapKey& key, const BitmapStore::Blob& blob) {
+        w.U32(key.component);
+        w.U32(key.slot);
+        w.U8(blob.compressed ? 1 : 0);
+        w.U64(blob.bit_count);
+        w.U64(blob.bytes.size());
+        w.Bytes(blob.bytes.data(), blob.bytes.size());
+      });
+  const bool write_ok = w.ok();
+  const bool close_ok = std::fclose(f) == 0;
+  if (!write_ok || !close_ok) {
+    return Status::Corruption("short write saving index to " + path);
+  }
+  return Status::OK();
+}
+
+Result<BitmapIndex> LoadIndex(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open file: " + path);
+  }
+  Reader r(f);
+  char magic[4];
+  r.Bytes(magic, 4);
+  if (!r.ok() || std::memcmp(magic, kMagic, 4) != 0) {
+    std::fclose(f);
+    return Status::Corruption("not a bix index file");
+  }
+  if (r.U32() != kVersion) {
+    std::fclose(f);
+    return Status::NotSupported("unknown index file version");
+  }
+  const uint8_t encoding_raw = r.U8();
+  if (encoding_raw > static_cast<uint8_t>(EncodingKind::kEiStar)) {
+    std::fclose(f);
+    return Status::Corruption("bad encoding kind");
+  }
+  const EncodingKind encoding = static_cast<EncodingKind>(encoding_raw);
+  const bool compressed = r.U8() != 0;
+  const uint32_t cardinality = r.U32();
+  const uint64_t row_count = r.U64();
+  const uint32_t n = r.U32();
+  if (!r.ok() || n == 0 || n > 64) {
+    std::fclose(f);
+    return Status::Corruption("bad component count");
+  }
+  std::vector<uint32_t> bases(n);
+  for (uint32_t i = 0; i < n; ++i) bases[i] = r.U32();
+  Result<Decomposition> d = Decomposition::Make(cardinality, bases);
+  if (!d.ok()) {
+    std::fclose(f);
+    return d.status();
+  }
+  const uint64_t bitmap_count = r.U64();
+  const uint64_t expected_bitmaps = TotalBitmaps(d.value(), encoding);
+  if (!r.ok() || bitmap_count != expected_bitmaps) {
+    std::fclose(f);
+    return Status::Corruption("bitmap inventory mismatch");
+  }
+  BitmapStore store;
+  for (uint64_t i = 0; i < bitmap_count; ++i) {
+    BitmapKey key;
+    key.component = r.U32();
+    key.slot = r.U32();
+    BitmapStore::Blob blob;
+    blob.compressed = r.U8() != 0;
+    blob.bit_count = r.U64();
+    const uint64_t len = r.U64();
+    if (!r.ok() || len > (1ull << 40) || blob.bit_count != row_count) {
+      std::fclose(f);
+      return Status::Corruption("bad bitmap header");
+    }
+    blob.bytes.resize(len);
+    r.Bytes(blob.bytes.data(), len);
+    if (!r.ok()) {
+      std::fclose(f);
+      return Status::Corruption("truncated bitmap payload");
+    }
+    if (store.Contains(key)) {
+      std::fclose(f);
+      return Status::Corruption("duplicate bitmap key in file");
+    }
+    if (key.component == 0 || key.component > n ||
+        key.slot >= GetEncoding(encoding).NumBitmaps(
+                        d.value().base(key.component))) {
+      std::fclose(f);
+      return Status::Corruption("bitmap key out of range");
+    }
+    store.PutBlob(key, std::move(blob));
+  }
+  std::fclose(f);
+  return BitmapIndex::FromParts(std::move(d.value()), encoding, compressed,
+                                row_count, std::move(store));
+}
+
+}  // namespace bix

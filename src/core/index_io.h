@@ -1,0 +1,29 @@
+#ifndef BIX_CORE_INDEX_IO_H_
+#define BIX_CORE_INDEX_IO_H_
+
+#include <string>
+
+#include "index/bitmap_index.h"
+#include "util/status.h"
+
+namespace bix {
+
+// On-disk persistence for bitmap indexes. The file keeps each bitmap in its
+// stored form (verbatim bytes or BBC stream), so saving and loading neither
+// decompresses nor re-encodes anything.
+//
+// Format (all integers little-endian):
+//   magic "BIXI" | version u32 | encoding u8 | compressed u8 |
+//   cardinality u32 | row_count u64 | n u32 | base[n] u32 (msb first) |
+//   bitmap_count u64 | bitmap_count x
+//     { component u32 | slot u32 | compressed u8 | bit_count u64 |
+//       byte_len u64 | bytes }
+Status SaveIndex(const BitmapIndex& index, const std::string& path);
+
+// Validates the header and the bitmap inventory against the configuration;
+// returns Corruption/InvalidArgument on malformed files.
+Result<BitmapIndex> LoadIndex(const std::string& path);
+
+}  // namespace bix
+
+#endif  // BIX_CORE_INDEX_IO_H_

@@ -1,0 +1,58 @@
+#include "core/multi_attribute.h"
+
+#include "util/check.h"
+
+namespace bix {
+
+void MultiAttributeSelector::AddAttribute(std::string name,
+                                          const BitmapIndex* index) {
+  BIX_CHECK(index != nullptr);
+  if (!attributes_.empty()) {
+    BIX_CHECK_MSG(index->row_count() == attributes_.front().row_count,
+                  "attribute indexes cover different relations");
+  }
+  for (const Attribute& a : attributes_) {
+    BIX_CHECK_MSG(a.name != name, "duplicate attribute name");
+  }
+  Attribute attr;
+  attr.name = std::move(name);
+  attr.executor = std::make_unique<QueryExecutor>(index, options_);
+  attr.row_count = index->row_count();
+  attributes_.push_back(std::move(attr));
+}
+
+QueryExecutor* MultiAttributeSelector::FindExecutor(const std::string& name) {
+  for (Attribute& a : attributes_) {
+    if (a.name == name) return a.executor.get();
+  }
+  BIX_CHECK_MSG(false, "unknown attribute");
+  return nullptr;
+}
+
+Bitvector MultiAttributeSelector::EvaluateConjunction(
+    const std::vector<Predicate>& predicates) {
+  BIX_CHECK(!attributes_.empty());
+  Bitvector result = Bitvector::AllOnes(attributes_.front().row_count);
+  for (const Predicate& p : predicates) {
+    result.AndWith(FindExecutor(p.attribute)->EvaluateMembership(p.values));
+  }
+  return result;
+}
+
+Bitvector MultiAttributeSelector::EvaluateDisjunction(
+    const std::vector<Predicate>& predicates) {
+  BIX_CHECK(!attributes_.empty());
+  Bitvector result(attributes_.front().row_count);
+  for (const Predicate& p : predicates) {
+    result.OrWith(FindExecutor(p.attribute)->EvaluateMembership(p.values));
+  }
+  return result;
+}
+
+IoStats MultiAttributeSelector::stats() const {
+  IoStats total;
+  for (const Attribute& a : attributes_) total.Add(a.executor->stats());
+  return total;
+}
+
+}  // namespace bix

@@ -1,0 +1,56 @@
+#ifndef BIX_CORE_MULTI_ATTRIBUTE_H_
+#define BIX_CORE_MULTI_ATTRIBUTE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/executor.h"
+
+namespace bix {
+
+// Conjunctive / disjunctive selections across several indexed attributes of
+// the same relation — the DSS setting that motivates bitmap indexes in the
+// paper's introduction (complex ad-hoc predicates combined with cheap
+// bit-wise operations). Each attribute carries its own BitmapIndex (any
+// encoding/decomposition/compression) and its own executor over a shared
+// cost model.
+class MultiAttributeSelector {
+ public:
+  explicit MultiAttributeSelector(ExecutorOptions options = {})
+      : options_(options) {}
+
+  // Registers an attribute. The index must outlive the selector and all
+  // indexes must cover the same relation (equal row counts).
+  void AddAttribute(std::string name, const BitmapIndex* index);
+
+  // One per-attribute predicate of a conjunction/disjunction.
+  struct Predicate {
+    std::string attribute;
+    std::vector<uint32_t> values;  // membership set
+  };
+
+  // Rows satisfying every predicate (attributes not mentioned are
+  // unconstrained). Aborts on unknown attribute names.
+  Bitvector EvaluateConjunction(const std::vector<Predicate>& predicates);
+  // Rows satisfying at least one predicate.
+  Bitvector EvaluateDisjunction(const std::vector<Predicate>& predicates);
+
+  // Aggregated I/O counters across all attributes' executors.
+  IoStats stats() const;
+
+ private:
+  QueryExecutor* FindExecutor(const std::string& name);
+
+  struct Attribute {
+    std::string name;
+    std::unique_ptr<QueryExecutor> executor;
+    uint64_t row_count = 0;
+  };
+  ExecutorOptions options_;
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_CORE_MULTI_ATTRIBUTE_H_

@@ -1,0 +1,53 @@
+#include "encoding/ei_star_encoding.h"
+
+#include "encoding/formulas.h"
+#include "encoding/interval_encoding.h"
+
+namespace bix {
+
+using encoding_internal::MakeLeafFn;
+
+uint32_t EiStarEncoding::NumBitmaps(uint32_t c) const {
+  return IntervalEncoding().NumBitmaps(c) + R(c);
+}
+
+void EiStarEncoding::SlotsForValue(uint32_t c, uint32_t v,
+                                   std::vector<uint32_t>* slots) const {
+  IntervalEncoding().SlotsForValue(c, v, slots);
+  const uint32_t r = R(c);
+  if (r == 0) return;
+  const uint32_t k = IntervalEncoding::K(c);
+  const uint32_t m = IntervalEncoding::M(c);
+  // P^i = {i, i+m+1}, stored at slot k + i - 1.
+  if (v >= 1 && v <= r) slots->push_back(k + v - 1);
+  if (v >= m + 2 && v <= r + m + 1) slots->push_back(k + (v - m - 1) - 1);
+}
+
+ExprPtr EiStarEncoding::EqExpr(uint32_t comp, uint32_t c, uint32_t v) const {
+  BIX_CHECK(v < c);
+  const uint32_t r = R(c);
+  if (r > 0) {
+    const uint32_t k = IntervalEncoding::K(c);
+    const uint32_t m = IntervalEncoding::M(c);
+    const ExprPtr i0 = ExprLeaf(comp, 0);
+    if (v >= 1 && v <= r) {
+      return ExprAnd(ExprLeaf(comp, k + v - 1), i0);
+    }
+    if (v >= m + 2 && v <= r + m + 1) {
+      return ExprAnd(ExprLeaf(comp, k + (v - m - 1) - 1), ExprNot(i0));
+    }
+  }
+  return encoding_internal::IntervalEncEq(MakeLeafFn(comp), c, v);
+}
+
+ExprPtr EiStarEncoding::LeExpr(uint32_t comp, uint32_t c, uint32_t v) const {
+  return encoding_internal::IntervalEncLe(MakeLeafFn(comp), c, v);
+}
+
+ExprPtr EiStarEncoding::IntervalExpr(uint32_t comp, uint32_t c, uint32_t lo,
+                                     uint32_t hi) const {
+  if (lo == hi) return EqExpr(comp, c, lo);
+  return encoding_internal::IntervalEncInterval(MakeLeafFn(comp), c, lo, hi);
+}
+
+}  // namespace bix

@@ -1,0 +1,44 @@
+#ifndef BIX_ENCODING_EI_STAR_ENCODING_H_
+#define BIX_ENCODING_EI_STAR_ENCODING_H_
+
+#include "encoding/encoding_scheme.h"
+
+namespace bix {
+
+// EI* (paper Section 5.4): interval bitmaps plus r = ceil((c-4)/2) "paired
+// equality" bitmaps P^i = E^i ∪ E^{i+m+1} (1 <= i <= r), exploiting that
+// I^0 = [0, floor(c/2)-1] separates each pair. Storage layout:
+//   slots [0, K)        : I^0..I^{K-1}         (K = ceil(c/2))
+//   slots [K, K + r)    : P^1..P^r
+// EI* reduces to I when c <= 4.
+//
+// The paper defers EI*'s evaluation expressions to [CI98a]; the derivation
+// used here (validated exhaustively against naive evaluation in the tests):
+// with m = floor(c/2)-1, P covers the "low" values [1, r] and the "high"
+// values [m+2, r+m+1], so
+//   A = v, 1 <= v <= r          : P^v ∧ I^0        (v <= m, v+m+1 > m)
+//   A = v, m+2 <= v <= r+m+1    : P^{v-m-1} ∧ ¬I^0
+//   A = v otherwise             : interval-encoding Eq. (4)
+// and every range query uses the interval-encoding expressions (Eqs. 5-6).
+// The uncovered values are {0, m, m+1, c-1} for even c and {0, m+1, c-1}
+// for odd c; all of them have 2-scan interval expressions.
+class EiStarEncoding final : public EncodingScheme {
+ public:
+  EncodingKind kind() const override { return EncodingKind::kEiStar; }
+  const char* name() const override { return "EI*"; }
+  uint32_t NumBitmaps(uint32_t c) const override;
+  void SlotsForValue(uint32_t c, uint32_t v,
+                     std::vector<uint32_t>* slots) const override;
+  ExprPtr EqExpr(uint32_t comp, uint32_t c, uint32_t v) const override;
+  ExprPtr LeExpr(uint32_t comp, uint32_t c, uint32_t v) const override;
+  ExprPtr IntervalExpr(uint32_t comp, uint32_t c, uint32_t lo,
+                       uint32_t hi) const override;
+  bool PrefersEqualityAlpha() const override { return false; }
+
+  // Number of paired-equality bitmaps: r = ceil((c-4)/2), 0 for c <= 4.
+  static uint32_t R(uint32_t c) { return c <= 4 ? 0 : (c - 3) / 2; }
+};
+
+}  // namespace bix
+
+#endif  // BIX_ENCODING_EI_STAR_ENCODING_H_

@@ -1,0 +1,87 @@
+#include "encoding/encoding_scheme.h"
+
+#include "encoding/ei_star_encoding.h"
+#include "encoding/equality_encoding.h"
+#include "encoding/equality_interval_encoding.h"
+#include "encoding/equality_range_encoding.h"
+#include "encoding/interval_encoding.h"
+#include "encoding/oreo_encoding.h"
+#include "encoding/range_encoding.h"
+#include "util/check.h"
+
+namespace bix {
+
+const char* EncodingKindName(EncodingKind kind) {
+  switch (kind) {
+    case EncodingKind::kEquality:
+      return "E";
+    case EncodingKind::kRange:
+      return "R";
+    case EncodingKind::kInterval:
+      return "I";
+    case EncodingKind::kEqualityRange:
+      return "ER";
+    case EncodingKind::kOreo:
+      return "O";
+    case EncodingKind::kEqualityInterval:
+      return "EI";
+    case EncodingKind::kEiStar:
+      return "EI*";
+  }
+  return "?";
+}
+
+const std::vector<EncodingKind>& AllEncodingKinds() {
+  static const std::vector<EncodingKind>& kinds = *new std::vector<EncodingKind>{
+      EncodingKind::kEquality,      EncodingKind::kRange,
+      EncodingKind::kInterval,      EncodingKind::kEqualityRange,
+      EncodingKind::kOreo,          EncodingKind::kEqualityInterval,
+      EncodingKind::kEiStar};
+  return kinds;
+}
+
+const std::vector<EncodingKind>& BasicEncodingKinds() {
+  static const std::vector<EncodingKind>& kinds = *new std::vector<EncodingKind>{
+      EncodingKind::kEquality, EncodingKind::kRange, EncodingKind::kInterval};
+  return kinds;
+}
+
+ExprPtr EncodingScheme::IntervalExpr(uint32_t comp, uint32_t c, uint32_t lo,
+                                     uint32_t hi) const {
+  BIX_CHECK(lo <= hi && hi < c);
+  if (lo == hi) return EqExpr(comp, c, lo);
+  if (lo == 0) return LeExpr(comp, c, hi);
+  if (hi + 1 == c) return ExprNot(LeExpr(comp, c, lo - 1));
+  return ExprAnd(ExprNot(LeExpr(comp, c, lo - 1)), LeExpr(comp, c, hi));
+}
+
+const EncodingScheme& GetEncoding(EncodingKind kind) {
+  // Leaked singletons (trivial-destruction rule for static storage).
+  static const EqualityEncoding& equality = *new EqualityEncoding;
+  static const RangeEncoding& range = *new RangeEncoding;
+  static const IntervalEncoding& interval = *new IntervalEncoding;
+  static const EqualityRangeEncoding& er = *new EqualityRangeEncoding;
+  static const OreoEncoding& oreo = *new OreoEncoding;
+  static const EqualityIntervalEncoding& ei = *new EqualityIntervalEncoding;
+  static const EiStarEncoding& ei_star = *new EiStarEncoding;
+  switch (kind) {
+    case EncodingKind::kEquality:
+      return equality;
+    case EncodingKind::kRange:
+      return range;
+    case EncodingKind::kInterval:
+      return interval;
+    case EncodingKind::kEqualityRange:
+      return er;
+    case EncodingKind::kOreo:
+      return oreo;
+    case EncodingKind::kEqualityInterval:
+      return ei;
+    case EncodingKind::kEiStar:
+      return ei_star;
+  }
+  BIX_CHECK(false);
+  return *new EqualityEncoding;
+}
+
+}  // namespace bix

@@ -1,0 +1,81 @@
+#ifndef BIX_ENCODING_ENCODING_SCHEME_H_
+#define BIX_ENCODING_ENCODING_SCHEME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "expr/bitmap_expr.h"
+
+namespace bix {
+
+// The seven bitmap encoding schemes studied in the paper: the three basic
+// schemes (Sections 2 and 4) and the four hybrids (Section 5).
+enum class EncodingKind : uint8_t {
+  kEquality,          // E   (Section 2, Eq. 1)
+  kRange,             // R   (Section 2, Eq. 2)
+  kInterval,          // I   (Section 4, Eqs. 4-6) -- the paper's contribution
+  kEqualityRange,     // ER  (Section 5.1)
+  kOreo,              // O   (Section 5.2)
+  kEqualityInterval,  // EI  (Section 5.3)
+  kEiStar,            // EI* (Section 5.4)
+};
+
+const char* EncodingKindName(EncodingKind kind);
+// All seven kinds, basic schemes first.
+const std::vector<EncodingKind>& AllEncodingKinds();
+// The three basic schemes E, R, I.
+const std::vector<EncodingKind>& BasicEncodingKinds();
+
+// A bitmap encoding scheme determines (a) which attribute values set each
+// stored bitmap's bits ("column view": SlotsForValue) and (b) how interval
+// predicates over one index component are rewritten into bitmap-level
+// expressions ("query view": EqExpr / LeExpr / IntervalExpr). Instances are
+// stateless singletons obtained from GetEncoding().
+//
+// All methods take the component's cardinality `c` explicitly because the
+// same scheme is applied per component of a multi-component index, each with
+// its own base (paper Section 6). `comp` is the component number the
+// produced leaves should carry.
+class EncodingScheme {
+ public:
+  virtual ~EncodingScheme() = default;
+
+  virtual EncodingKind kind() const = 0;
+  virtual const char* name() const = 0;
+
+  // Number of bitmaps stored for a component of cardinality c. Follows the
+  // paper's conventions, including footnote 2 (equality encoding with c = 2
+  // stores a single bitmap).
+  virtual uint32_t NumBitmaps(uint32_t c) const = 0;
+
+  // Appends the slots of all stored bitmaps whose bit is set for rows whose
+  // component digit equals v. Used by the index builder and by update-cost
+  // analysis (Section 4.2).
+  virtual void SlotsForValue(uint32_t c, uint32_t v,
+                             std::vector<uint32_t>* slots) const = 0;
+
+  // Bitmap expression for the digit predicate "A = v", 0 <= v < c.
+  virtual ExprPtr EqExpr(uint32_t comp, uint32_t c, uint32_t v) const = 0;
+
+  // Bitmap expression for "A <= v", 0 <= v <= c-1 (v = c-1 yields the
+  // constant-true expression).
+  virtual ExprPtr LeExpr(uint32_t comp, uint32_t c, uint32_t v) const = 0;
+
+  // Bitmap expression for "lo <= A <= hi", 0 <= lo <= hi <= c-1. The base
+  // implementation composes EqExpr/LeExpr; schemes override it with the
+  // paper's direct forms where those use fewer scans.
+  virtual ExprPtr IntervalExpr(uint32_t comp, uint32_t c, uint32_t lo,
+                               uint32_t hi) const;
+
+  // Chooses the alpha_k predicate form in the one-sided rewrite (paper
+  // Eq. 8): true selects "(A_k = v_k)", false selects "(A_k <= v_k)". Set
+  // per scheme to whichever it evaluates with fewer scans.
+  virtual bool PrefersEqualityAlpha() const = 0;
+};
+
+// Stateless singleton accessor.
+const EncodingScheme& GetEncoding(EncodingKind kind);
+
+}  // namespace bix
+
+#endif  // BIX_ENCODING_ENCODING_SCHEME_H_

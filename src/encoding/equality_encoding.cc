@@ -1,0 +1,38 @@
+#include "encoding/equality_encoding.h"
+
+#include "encoding/formulas.h"
+
+namespace bix {
+
+using encoding_internal::MakeLeafFn;
+
+uint32_t EqualityEncoding::NumBitmaps(uint32_t c) const {
+  if (c <= 1) return 0;
+  if (c == 2) return 1;
+  return c;
+}
+
+void EqualityEncoding::SlotsForValue(uint32_t c, uint32_t v,
+                                     std::vector<uint32_t>* slots) const {
+  if (c <= 1) return;
+  if (c == 2) {
+    if (v == 0) slots->push_back(0);
+    return;
+  }
+  slots->push_back(v);
+}
+
+ExprPtr EqualityEncoding::EqExpr(uint32_t comp, uint32_t c, uint32_t v) const {
+  return encoding_internal::EqualityEq(MakeLeafFn(comp), c, v);
+}
+
+ExprPtr EqualityEncoding::LeExpr(uint32_t comp, uint32_t c, uint32_t v) const {
+  return encoding_internal::EqualityLe(MakeLeafFn(comp), c, v);
+}
+
+ExprPtr EqualityEncoding::IntervalExpr(uint32_t comp, uint32_t c, uint32_t lo,
+                                       uint32_t hi) const {
+  return encoding_internal::EqualityInterval(MakeLeafFn(comp), c, lo, hi);
+}
+
+}  // namespace bix

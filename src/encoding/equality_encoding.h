@@ -1,0 +1,28 @@
+#ifndef BIX_ENCODING_EQUALITY_ENCODING_H_
+#define BIX_ENCODING_EQUALITY_ENCODING_H_
+
+#include "encoding/encoding_scheme.h"
+
+namespace bix {
+
+// Equality encoding E (paper Section 2): c bitmaps E^v = {v}, the simplest
+// and most common design. One scan for equality queries; up to floor(c/2)
+// scans for range queries (Eq. 1). For c == 2 only E^0 is stored
+// (footnote 2: E^1 is its complement).
+class EqualityEncoding final : public EncodingScheme {
+ public:
+  EncodingKind kind() const override { return EncodingKind::kEquality; }
+  const char* name() const override { return "E"; }
+  uint32_t NumBitmaps(uint32_t c) const override;
+  void SlotsForValue(uint32_t c, uint32_t v,
+                     std::vector<uint32_t>* slots) const override;
+  ExprPtr EqExpr(uint32_t comp, uint32_t c, uint32_t v) const override;
+  ExprPtr LeExpr(uint32_t comp, uint32_t c, uint32_t v) const override;
+  ExprPtr IntervalExpr(uint32_t comp, uint32_t c, uint32_t lo,
+                       uint32_t hi) const override;
+  bool PrefersEqualityAlpha() const override { return true; }
+};
+
+}  // namespace bix
+
+#endif  // BIX_ENCODING_EQUALITY_ENCODING_H_

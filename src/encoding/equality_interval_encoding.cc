@@ -1,0 +1,47 @@
+#include "encoding/equality_interval_encoding.h"
+
+#include "encoding/equality_encoding.h"
+#include "encoding/formulas.h"
+#include "encoding/interval_encoding.h"
+
+namespace bix {
+
+using encoding_internal::MakeLeafFn;
+
+uint32_t EqualityIntervalEncoding::NumBitmaps(uint32_t c) const {
+  if (c < 3) return EqualityEncoding().NumBitmaps(c);
+  return c + IntervalEncoding::K(c);
+}
+
+void EqualityIntervalEncoding::SlotsForValue(
+    uint32_t c, uint32_t v, std::vector<uint32_t>* slots) const {
+  EqualityEncoding().SlotsForValue(c, v, slots);
+  if (c < 3) return;
+  std::vector<uint32_t> interval_slots;
+  IntervalEncoding().SlotsForValue(c, v, &interval_slots);
+  for (uint32_t s : interval_slots) slots->push_back(c + s);
+}
+
+ExprPtr EqualityIntervalEncoding::EqExpr(uint32_t comp, uint32_t c,
+                                         uint32_t v) const {
+  return encoding_internal::EqualityEq(MakeLeafFn(comp), c, v);
+}
+
+ExprPtr EqualityIntervalEncoding::LeExpr(uint32_t comp, uint32_t c,
+                                         uint32_t v) const {
+  if (c < 3) return encoding_internal::EqualityLe(MakeLeafFn(comp), c, v);
+  return encoding_internal::IntervalEncLe(MakeLeafFn(comp, c), c, v);
+}
+
+ExprPtr EqualityIntervalEncoding::IntervalExpr(uint32_t comp, uint32_t c,
+                                               uint32_t lo,
+                                               uint32_t hi) const {
+  if (lo == hi) return EqExpr(comp, c, lo);
+  if (c < 3) {
+    return encoding_internal::EqualityInterval(MakeLeafFn(comp), c, lo, hi);
+  }
+  return encoding_internal::IntervalEncInterval(MakeLeafFn(comp, c), c, lo,
+                                                hi);
+}
+
+}  // namespace bix

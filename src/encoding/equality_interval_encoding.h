@@ -1,0 +1,32 @@
+#ifndef BIX_ENCODING_EQUALITY_INTERVAL_ENCODING_H_
+#define BIX_ENCODING_EQUALITY_INTERVAL_ENCODING_H_
+
+#include "encoding/encoding_scheme.h"
+
+namespace bix {
+
+// Equality-interval hybrid EI = E ∪ I (paper Section 5.3): equality
+// constituents use the equality bitmaps (1 scan), range constituents use
+// the interval bitmaps (<= 2 scans). Storage layout:
+//   slots [0, e)       : E^0..E^{c-1}
+//   slots [e, e + K)   : I^0..I^{K-1}
+// EI reduces to E when c < 3 (the interval part would duplicate E^0).
+class EqualityIntervalEncoding final : public EncodingScheme {
+ public:
+  EncodingKind kind() const override {
+    return EncodingKind::kEqualityInterval;
+  }
+  const char* name() const override { return "EI"; }
+  uint32_t NumBitmaps(uint32_t c) const override;
+  void SlotsForValue(uint32_t c, uint32_t v,
+                     std::vector<uint32_t>* slots) const override;
+  ExprPtr EqExpr(uint32_t comp, uint32_t c, uint32_t v) const override;
+  ExprPtr LeExpr(uint32_t comp, uint32_t c, uint32_t v) const override;
+  ExprPtr IntervalExpr(uint32_t comp, uint32_t c, uint32_t lo,
+                       uint32_t hi) const override;
+  bool PrefersEqualityAlpha() const override { return true; }
+};
+
+}  // namespace bix
+
+#endif  // BIX_ENCODING_EQUALITY_INTERVAL_ENCODING_H_

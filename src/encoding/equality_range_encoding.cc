@@ -1,0 +1,69 @@
+#include "encoding/equality_range_encoding.h"
+
+#include <algorithm>
+
+#include "encoding/equality_encoding.h"
+#include "encoding/formulas.h"
+
+namespace bix {
+
+using encoding_internal::MakeLeafFn;
+
+namespace {
+uint32_t EqualityCount(uint32_t c) {
+  return EqualityEncoding().NumBitmaps(c);
+}
+}  // namespace
+
+uint32_t EqualityRangeEncoding::NumBitmaps(uint32_t c) const {
+  return EqualityCount(c) + (c > 3 ? c - 3 : 0);
+}
+
+void EqualityRangeEncoding::SlotsForValue(uint32_t c, uint32_t v,
+                                          std::vector<uint32_t>* slots) const {
+  EqualityEncoding().SlotsForValue(c, v, slots);
+  const uint32_t e = EqualityCount(c);
+  // Stored range bitmaps are R^1..R^{c-3} at slots e + (w-1); value v is in
+  // R^w iff v <= w.
+  if (c <= 3) return;
+  for (uint32_t w = std::max<uint32_t>(v, 1); w <= c - 3; ++w) {
+    slots->push_back(e + w - 1);
+  }
+}
+
+ExprPtr EqualityRangeEncoding::RangeBitmap(uint32_t comp, uint32_t c,
+                                           uint32_t w) const {
+  BIX_CHECK(w + 1 < c);
+  if (w == 0) {
+    return encoding_internal::EqualityEq(MakeLeafFn(comp), c, 0);  // R^0 = E^0
+  }
+  if (w == c - 2) {
+    // R^{c-2} = NOT E^{c-1}.
+    return ExprNot(encoding_internal::EqualityEq(MakeLeafFn(comp), c, c - 1));
+  }
+  const uint32_t e = EqualityCount(c);
+  return ExprLeaf(comp, e + w - 1);
+}
+
+ExprPtr EqualityRangeEncoding::EqExpr(uint32_t comp, uint32_t c,
+                                      uint32_t v) const {
+  return encoding_internal::EqualityEq(MakeLeafFn(comp), c, v);
+}
+
+ExprPtr EqualityRangeEncoding::LeExpr(uint32_t comp, uint32_t c,
+                                      uint32_t v) const {
+  BIX_CHECK(v < c);
+  if (v + 1 == c) return ExprConst(true);
+  return RangeBitmap(comp, c, v);
+}
+
+ExprPtr EqualityRangeEncoding::IntervalExpr(uint32_t comp, uint32_t c,
+                                            uint32_t lo, uint32_t hi) const {
+  BIX_CHECK(lo <= hi && hi < c);
+  if (lo == hi) return EqExpr(comp, c, lo);
+  if (lo == 0) return LeExpr(comp, c, hi);
+  if (hi + 1 == c) return ExprNot(LeExpr(comp, c, lo - 1));
+  return ExprXor(RangeBitmap(comp, c, hi), RangeBitmap(comp, c, lo - 1));
+}
+
+}  // namespace bix

@@ -1,0 +1,36 @@
+#ifndef BIX_ENCODING_EQUALITY_RANGE_ENCODING_H_
+#define BIX_ENCODING_EQUALITY_RANGE_ENCODING_H_
+
+#include "encoding/encoding_scheme.h"
+
+namespace bix {
+
+// Equality-range hybrid ER = E ∪ R (paper Section 5.1). The bitmaps R^0 and
+// R^{c-2} are not materialized because R^0 = E^0 and R^{c-2} = NOT E^{c-1};
+// the stored layout is
+//   slots [0, e)            : E^0..E^{c-1}   (e = equality bitmap count)
+//   slots [e, e + c-3)      : R^1..R^{c-3}
+// so ER stores e + max(0, c-3) bitmaps and reduces to E for c <= 3.
+// Equality constituents are answered in one scan via E; one-sided ranges in
+// at most two scans via (possibly virtual) R bitmaps.
+class EqualityRangeEncoding final : public EncodingScheme {
+ public:
+  EncodingKind kind() const override { return EncodingKind::kEqualityRange; }
+  const char* name() const override { return "ER"; }
+  uint32_t NumBitmaps(uint32_t c) const override;
+  void SlotsForValue(uint32_t c, uint32_t v,
+                     std::vector<uint32_t>* slots) const override;
+  ExprPtr EqExpr(uint32_t comp, uint32_t c, uint32_t v) const override;
+  ExprPtr LeExpr(uint32_t comp, uint32_t c, uint32_t v) const override;
+  ExprPtr IntervalExpr(uint32_t comp, uint32_t c, uint32_t lo,
+                       uint32_t hi) const override;
+  bool PrefersEqualityAlpha() const override { return true; }
+
+ private:
+  // Expression for the (possibly virtual) range bitmap R^w, 0 <= w <= c-2.
+  ExprPtr RangeBitmap(uint32_t comp, uint32_t c, uint32_t w) const;
+};
+
+}  // namespace bix
+
+#endif  // BIX_ENCODING_EQUALITY_RANGE_ENCODING_H_

@@ -1,0 +1,132 @@
+#include "encoding/formulas.h"
+
+#include "util/check.h"
+
+namespace bix {
+namespace encoding_internal {
+
+LeafFn MakeLeafFn(uint32_t comp, uint32_t offset) {
+  return [comp, offset](uint32_t slot) { return ExprLeaf(comp, offset + slot); };
+}
+
+// ---------------------------------------------------------------------------
+// Equality encoding (paper Eq. 1)
+// ---------------------------------------------------------------------------
+
+ExprPtr EqualityEq(const LeafFn& leaf, uint32_t c, uint32_t v) {
+  BIX_CHECK(v < c);
+  if (c == 1) return ExprConst(true);
+  if (c == 2) return v == 0 ? leaf(0) : ExprNot(leaf(0));
+  return leaf(v);
+}
+
+ExprPtr EqualityLe(const LeafFn& leaf, uint32_t c, uint32_t v) {
+  BIX_CHECK(v < c);
+  if (v + 1 == c) return ExprConst(true);
+  return EqualityInterval(leaf, c, 0, v);
+}
+
+ExprPtr EqualityInterval(const LeafFn& leaf, uint32_t c, uint32_t lo,
+                         uint32_t hi) {
+  BIX_CHECK(lo <= hi && hi < c);
+  if (lo == 0 && hi + 1 == c) return ExprConst(true);
+  if (lo == hi) return EqualityEq(leaf, c, lo);
+  // c >= 3 below (c == 2 is covered by the two cases above), so every value
+  // has its own stored bitmap.
+  const uint32_t width = hi - lo + 1;
+  std::vector<ExprPtr> terms;
+  if (width <= c - width) {  // direct disjunction (Eq. 1, first case)
+    for (uint32_t i = lo; i <= hi; ++i) terms.push_back(leaf(i));
+    return ExprOr(std::move(terms));
+  }
+  // Negated disjunction over the complement (Eq. 1, second case).
+  for (uint32_t i = 0; i < lo; ++i) terms.push_back(leaf(i));
+  for (uint32_t i = hi + 1; i < c; ++i) terms.push_back(leaf(i));
+  return ExprNot(ExprOr(std::move(terms)));
+}
+
+// ---------------------------------------------------------------------------
+// Range encoding (paper Eq. 2)
+// ---------------------------------------------------------------------------
+
+ExprPtr RangeEq(const LeafFn& leaf, uint32_t c, uint32_t v) {
+  BIX_CHECK(v < c);
+  if (c == 1) return ExprConst(true);
+  if (v == 0) return leaf(0);
+  if (v + 1 == c) return ExprNot(leaf(c - 2));
+  return ExprXor(leaf(v), leaf(v - 1));
+}
+
+ExprPtr RangeLe(const LeafFn& leaf, uint32_t c, uint32_t v) {
+  BIX_CHECK(v < c);
+  if (v + 1 == c) return ExprConst(true);
+  return leaf(v);
+}
+
+ExprPtr RangeInterval(const LeafFn& leaf, uint32_t c, uint32_t lo,
+                      uint32_t hi) {
+  BIX_CHECK(lo <= hi && hi < c);
+  if (lo == 0) return RangeLe(leaf, c, hi);
+  if (hi + 1 == c) return ExprNot(leaf(lo - 1));  // NOT R^{lo-1}
+  // R^{hi} XOR R^{lo-1}; valid because [0, lo-1] is a subset of [0, hi].
+  return ExprXor(leaf(hi), leaf(lo - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Interval encoding (paper Eqs. 4-6)
+// ---------------------------------------------------------------------------
+
+namespace {
+uint32_t IntervalK(uint32_t c) { return (c + 1) / 2; }   // ceil(c/2)
+uint32_t IntervalM(uint32_t c) { return c / 2 - 1; }     // floor(c/2) - 1
+}  // namespace
+
+ExprPtr IntervalEncEq(const LeafFn& leaf, uint32_t c, uint32_t v) {
+  BIX_CHECK(v < c);
+  if (c == 1) return ExprConst(true);
+  if (c == 2) return v == 0 ? leaf(0) : ExprNot(leaf(0));
+  if (c == 3) {
+    // m = 0: I^0 = {0}, I^1 = {1}.
+    if (v < 2) return leaf(v);
+    return ExprNot(ExprOr(leaf(0), leaf(1)));
+  }
+  const uint32_t k = IntervalK(c);
+  const uint32_t m = IntervalM(c);  // >= 1 for c >= 4
+  if (v + 1 == c) return ExprNot(ExprOr(leaf(k - 1), leaf(0)));
+  if (v < m) return ExprAnd(leaf(v), ExprNot(leaf(v + 1)));
+  if (v == m) return ExprAnd(leaf(m), leaf(0));
+  // m < v < c-1
+  return ExprAnd(leaf(v - m), ExprNot(leaf(v - m - 1)));
+}
+
+ExprPtr IntervalEncLe(const LeafFn& leaf, uint32_t c, uint32_t v) {
+  BIX_CHECK(v < c);
+  if (v + 1 == c) return ExprConst(true);
+  if (v == 0) return IntervalEncEq(leaf, c, 0);
+  if (c == 3) return ExprOr(leaf(0), leaf(1));  // v == 1
+  const uint32_t m = IntervalM(c);
+  if (v < m) return ExprAnd(leaf(0), ExprNot(leaf(v + 1)));
+  if (v == m) return leaf(0);
+  return ExprOr(leaf(0), leaf(v - m));  // m < v < c-1
+}
+
+ExprPtr IntervalEncInterval(const LeafFn& leaf, uint32_t c, uint32_t lo,
+                            uint32_t hi) {
+  BIX_CHECK(lo <= hi && hi < c);
+  if (lo == hi) return IntervalEncEq(leaf, c, lo);
+  if (lo == 0) return IntervalEncLe(leaf, c, hi);
+  if (hi + 1 == c) return ExprNot(IntervalEncLe(leaf, c, lo - 1));
+  // 0 < lo < hi < c-1 implies c >= 4, so m >= 1. Case analysis from
+  // DESIGN.md Section 7 (the paper's Eq. 6); each case uses <= 2 bitmaps.
+  const uint32_t m = IntervalM(c);
+  const uint32_t d = hi - lo;
+  if (d == m) return leaf(lo);
+  if (d > m) return ExprOr(leaf(lo), leaf(hi - m));
+  // d < m:
+  if (hi < m) return ExprAnd(leaf(lo), ExprNot(leaf(hi + 1)));
+  if (lo > m) return ExprAnd(leaf(hi - m), ExprNot(leaf(lo - 1 - m)));
+  return ExprAnd(leaf(lo), leaf(hi - m));  // lo <= m <= hi
+}
+
+}  // namespace encoding_internal
+}  // namespace bix

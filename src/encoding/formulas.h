@@ -1,0 +1,48 @@
+#ifndef BIX_ENCODING_FORMULAS_H_
+#define BIX_ENCODING_FORMULAS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "expr/bitmap_expr.h"
+
+namespace bix {
+namespace encoding_internal {
+
+// The paper's per-component evaluation formulas, parameterized over a leaf
+// factory so that hybrid schemes can embed a basic scheme's bitmaps at a
+// slot offset (e.g. EI places interval bitmaps after the equality bitmaps).
+// `LeafFn(s)` must return the expression leaf for the embedded scheme's
+// bitmap number s.
+using LeafFn = std::function<ExprPtr(uint32_t)>;
+
+// --- Equality encoding, paper Eq. (1) -------------------------------------
+// Stored bitmaps: E^0..E^{c-1}; for c == 2 only E^0 (footnote 2).
+ExprPtr EqualityEq(const LeafFn& leaf, uint32_t c, uint32_t v);
+ExprPtr EqualityLe(const LeafFn& leaf, uint32_t c, uint32_t v);
+ExprPtr EqualityInterval(const LeafFn& leaf, uint32_t c, uint32_t lo,
+                         uint32_t hi);
+
+// --- Range encoding, paper Eq. (2) -----------------------------------------
+// Stored bitmaps: R^0..R^{c-2}, R^v = [0, v].
+ExprPtr RangeEq(const LeafFn& leaf, uint32_t c, uint32_t v);
+ExprPtr RangeLe(const LeafFn& leaf, uint32_t c, uint32_t v);
+ExprPtr RangeInterval(const LeafFn& leaf, uint32_t c, uint32_t lo,
+                      uint32_t hi);
+
+// --- Interval encoding, paper Eqs. (4)-(6) ---------------------------------
+// Stored bitmaps: I^0..I^{K-1}, K = ceil(c/2), I^j = [j, j+m],
+// m = floor(c/2) - 1. The two-sided case analysis (Eq. 6) is spelled out in
+// DESIGN.md Section 7 and proven by exhaustive test.
+ExprPtr IntervalEncEq(const LeafFn& leaf, uint32_t c, uint32_t v);
+ExprPtr IntervalEncLe(const LeafFn& leaf, uint32_t c, uint32_t v);
+ExprPtr IntervalEncInterval(const LeafFn& leaf, uint32_t c, uint32_t lo,
+                            uint32_t hi);
+
+// Convenience leaf factory: slots of component `comp` starting at `offset`.
+LeafFn MakeLeafFn(uint32_t comp, uint32_t offset = 0);
+
+}  // namespace encoding_internal
+}  // namespace bix
+
+#endif  // BIX_ENCODING_FORMULAS_H_

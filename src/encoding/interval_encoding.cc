@@ -1,0 +1,39 @@
+#include "encoding/interval_encoding.h"
+
+#include <algorithm>
+
+#include "encoding/formulas.h"
+
+namespace bix {
+
+using encoding_internal::MakeLeafFn;
+
+uint32_t IntervalEncoding::NumBitmaps(uint32_t c) const {
+  return c <= 1 ? 0 : K(c);
+}
+
+void IntervalEncoding::SlotsForValue(uint32_t c, uint32_t v,
+                                     std::vector<uint32_t>* slots) const {
+  if (c <= 1) return;
+  const uint32_t k = K(c);
+  const uint32_t m = M(c);  // 0 for c in {2,3}
+  // v is in I^j = [j, j+m] iff max(0, v-m) <= j <= min(v, k-1).
+  const uint32_t j_lo = v > m ? v - m : 0;
+  const uint32_t j_hi = std::min(v, k - 1);
+  for (uint32_t j = j_lo; j <= j_hi && j < k; ++j) slots->push_back(j);
+}
+
+ExprPtr IntervalEncoding::EqExpr(uint32_t comp, uint32_t c, uint32_t v) const {
+  return encoding_internal::IntervalEncEq(MakeLeafFn(comp), c, v);
+}
+
+ExprPtr IntervalEncoding::LeExpr(uint32_t comp, uint32_t c, uint32_t v) const {
+  return encoding_internal::IntervalEncLe(MakeLeafFn(comp), c, v);
+}
+
+ExprPtr IntervalEncoding::IntervalExpr(uint32_t comp, uint32_t c, uint32_t lo,
+                                       uint32_t hi) const {
+  return encoding_internal::IntervalEncInterval(MakeLeafFn(comp), c, lo, hi);
+}
+
+}  // namespace bix

@@ -1,0 +1,85 @@
+#include "encoding/oreo_encoding.h"
+
+#include "util/check.h"
+
+namespace bix {
+namespace {
+
+// Slot of O^i (1 <= i <= c-1).
+uint32_t Slot(uint32_t i) { return i - 1; }
+
+}  // namespace
+
+uint32_t OreoEncoding::NumBitmaps(uint32_t c) const {
+  return c <= 1 ? 0 : c - 1;
+}
+
+void OreoEncoding::SlotsForValue(uint32_t c, uint32_t v,
+                                 std::vector<uint32_t>* slots) const {
+  if (c <= 1) return;
+  for (uint32_t i = 1; i + 1 <= c - 1; ++i) {
+    // O^i for i < c-1: pair {i-1, i} when i is even, range [0, i] when odd.
+    const bool member =
+        (i % 2 == 0) ? (v + 1 == i || v == i) : (v <= i);
+    if (member) slots->push_back(Slot(i));
+  }
+  if (v % 2 == 0) slots->push_back(Slot(c - 1));  // parity bitmap
+}
+
+ExprPtr OreoEncoding::EqExpr(uint32_t comp, uint32_t c, uint32_t v) const {
+  BIX_CHECK(v < c);
+  if (c == 1) return ExprConst(true);
+  if (c == 2) return v == 0 ? ExprLeaf(comp, 0) : ExprNot(ExprLeaf(comp, 0));
+  const ExprPtr parity = ExprLeaf(comp, Slot(c - 1));
+  if (v + 1 == c) {
+    if (c % 2 == 1) {
+      // c-1 even, O^{c-2} = R^{c-2} (c-2 odd): E^{c-1} = NOT [0, c-2].
+      return ExprNot(ExprLeaf(comp, Slot(c - 2)));
+    }
+    // c even: [0, c-2] = O^{c-3} ∪ O^{c-2} = [0,c-3] ∪ {c-3,c-2}. For c == 4
+    // O^{c-3} = O^1 = [0,1] and O^{c-2} = O^2 = {1,2}, still correct.
+    return ExprNot(
+        ExprOr(ExprLeaf(comp, Slot(c - 3)), ExprLeaf(comp, Slot(c - 2))));
+  }
+  if (v == 0) return ExprAnd(ExprLeaf(comp, Slot(1)), parity);
+  if (v % 2 == 0) {
+    // O^v is the stored pair {v-1, v} (v even, 2 <= v <= c-2).
+    return ExprAnd(ExprLeaf(comp, Slot(v)), parity);
+  }
+  // v odd.
+  if (v + 1 <= c - 2) {
+    // O^{v+1} is the stored pair {v, v+1}.
+    return ExprAnd(ExprLeaf(comp, Slot(v + 1)), ExprNot(parity));
+  }
+  // v == c-2 with c odd: isolate {v-1, v} from range bitmaps
+  // R^v ⊕ R^{v-2} (both odd, stored), then keep the odd member.
+  ExprPtr base = v >= 3
+                     ? ExprXor(ExprLeaf(comp, Slot(v)), ExprLeaf(comp, Slot(v - 2)))
+                     : ExprLeaf(comp, Slot(v));  // v == 1: R^1 = [0,1]
+  return ExprAnd(std::move(base), ExprNot(parity));
+}
+
+ExprPtr OreoEncoding::LeExpr(uint32_t comp, uint32_t c, uint32_t v) const {
+  BIX_CHECK(v < c);
+  if (v + 1 == c) return ExprConst(true);
+  if (c == 2) return ExprLeaf(comp, 0);  // v == 0
+  if (v == 0) return EqExpr(comp, c, 0);
+  if (v % 2 == 1) return ExprLeaf(comp, Slot(v));  // O^v = R^v, one scan
+  // v even >= 2: R^v = R^{v-1} ∨ E^v; O^v = {v-1, v} is stored since
+  // v <= c-2.
+  const ExprPtr parity = ExprLeaf(comp, Slot(c - 1));
+  return ExprOr(ExprLeaf(comp, Slot(v - 1)),
+                ExprAnd(ExprLeaf(comp, Slot(v)), parity));
+}
+
+ExprPtr OreoEncoding::IntervalExpr(uint32_t comp, uint32_t c, uint32_t lo,
+                                   uint32_t hi) const {
+  BIX_CHECK(lo <= hi && hi < c);
+  if (lo == hi) return EqExpr(comp, c, lo);
+  if (lo == 0) return LeExpr(comp, c, hi);
+  if (hi + 1 == c) return ExprNot(LeExpr(comp, c, lo - 1));
+  // XOR is valid because [0, lo-1] is a subset of [0, hi].
+  return ExprXor(LeExpr(comp, c, hi), LeExpr(comp, c, lo - 1));
+}
+
+}  // namespace bix

@@ -1,0 +1,47 @@
+#ifndef BIX_ENCODING_OREO_ENCODING_H_
+#define BIX_ENCODING_OREO_ENCODING_H_
+
+#include "encoding/encoding_scheme.h"
+
+namespace bix {
+
+// OREO — Oscillating Range and Equality Organization (paper Section 5.2):
+// c-1 bitmaps O^1..O^{c-1} (slot i-1 holds O^i), where
+//   O^{c-1} = union of E^i for even i                ("parity" bitmap)
+//   O^i     = E^{i-1} ∪ E^i  = {i-1, i}  for even i < c-1   ("pair")
+//   O^i     = R^i = [0, i]                for odd  i < c-1   ("range")
+//
+// The paper defers OREO's evaluation expressions to [CI98a]; the derivation
+// used here (validated exhaustively against naive evaluation in the tests):
+//
+//   A = 0              : O^1 ∧ P                      (O^1 = [0,1])
+//   A = v, v even >= 2 : O^v ∧ P                      (pair minus odd half)
+//   A = v, v odd, v+2 <= c-1 : O^{v+1} ∧ ¬P           (pair minus even half)
+//   A = v, v odd = c-2 : (O^v ⊕ O^{v-2}) ∧ ¬P         (ranges isolate {v-1,v};
+//                        O^{v-2} omitted when v = 1)
+//   A = c-1, c odd     : ¬O^{c-2}                     (O^{c-2} = [0, c-2])
+//   A = c-1, c even    : ¬(O^{c-3} ∨ O^{c-2})         ([0,c-3] ∪ {c-3,c-2})
+//   A <= v, v odd      : O^v                          (one scan)
+//   A <= v, v even >= 2: O^{v-1} ∨ (O^v ∧ P)          (R^{v-1} ∨ E^v)
+//   A <= 0             : O^1 ∧ P
+//   [lo, hi] interior  : (A <= hi) ⊕ (A <= lo-1)
+//
+// where P = O^{c-1}. For c == 2, O^1 = P = {0} = E^0 and the scheme behaves
+// exactly like equality encoding.
+class OreoEncoding final : public EncodingScheme {
+ public:
+  EncodingKind kind() const override { return EncodingKind::kOreo; }
+  const char* name() const override { return "O"; }
+  uint32_t NumBitmaps(uint32_t c) const override;
+  void SlotsForValue(uint32_t c, uint32_t v,
+                     std::vector<uint32_t>* slots) const override;
+  ExprPtr EqExpr(uint32_t comp, uint32_t c, uint32_t v) const override;
+  ExprPtr LeExpr(uint32_t comp, uint32_t c, uint32_t v) const override;
+  ExprPtr IntervalExpr(uint32_t comp, uint32_t c, uint32_t lo,
+                       uint32_t hi) const override;
+  bool PrefersEqualityAlpha() const override { return false; }
+};
+
+}  // namespace bix
+
+#endif  // BIX_ENCODING_OREO_ENCODING_H_

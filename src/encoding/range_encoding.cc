@@ -1,0 +1,33 @@
+#include "encoding/range_encoding.h"
+
+#include "encoding/formulas.h"
+
+namespace bix {
+
+using encoding_internal::MakeLeafFn;
+
+uint32_t RangeEncoding::NumBitmaps(uint32_t c) const {
+  return c <= 1 ? 0 : c - 1;
+}
+
+void RangeEncoding::SlotsForValue(uint32_t c, uint32_t v,
+                                  std::vector<uint32_t>* slots) const {
+  // Value v belongs to R^w = [0, w] for all w >= v; stored slots are
+  // 0..c-2.
+  for (uint32_t w = v; w + 1 < c; ++w) slots->push_back(w);
+}
+
+ExprPtr RangeEncoding::EqExpr(uint32_t comp, uint32_t c, uint32_t v) const {
+  return encoding_internal::RangeEq(MakeLeafFn(comp), c, v);
+}
+
+ExprPtr RangeEncoding::LeExpr(uint32_t comp, uint32_t c, uint32_t v) const {
+  return encoding_internal::RangeLe(MakeLeafFn(comp), c, v);
+}
+
+ExprPtr RangeEncoding::IntervalExpr(uint32_t comp, uint32_t c, uint32_t lo,
+                                    uint32_t hi) const {
+  return encoding_internal::RangeInterval(MakeLeafFn(comp), c, lo, hi);
+}
+
+}  // namespace bix

@@ -1,0 +1,27 @@
+#ifndef BIX_ENCODING_RANGE_ENCODING_H_
+#define BIX_ENCODING_RANGE_ENCODING_H_
+
+#include "encoding/encoding_scheme.h"
+
+namespace bix {
+
+// Range encoding R (paper Section 2): c-1 bitmaps R^v = [0, v]. One scan
+// for one-sided range queries; two for equality and two-sided ranges
+// (Eq. 2). Optimal for 1RQ and RQ but not for 2RQ (Theorem 3.1).
+class RangeEncoding final : public EncodingScheme {
+ public:
+  EncodingKind kind() const override { return EncodingKind::kRange; }
+  const char* name() const override { return "R"; }
+  uint32_t NumBitmaps(uint32_t c) const override;
+  void SlotsForValue(uint32_t c, uint32_t v,
+                     std::vector<uint32_t>* slots) const override;
+  ExprPtr EqExpr(uint32_t comp, uint32_t c, uint32_t v) const override;
+  ExprPtr LeExpr(uint32_t comp, uint32_t c, uint32_t v) const override;
+  ExprPtr IntervalExpr(uint32_t comp, uint32_t c, uint32_t lo,
+                       uint32_t hi) const override;
+  bool PrefersEqualityAlpha() const override { return false; }
+};
+
+}  // namespace bix
+
+#endif  // BIX_ENCODING_RANGE_ENCODING_H_

@@ -1,0 +1,194 @@
+#include "expr/bitmap_expr.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace bix {
+namespace {
+
+ExprPtr MakeNode(ExprNode node) {
+  return std::make_shared<const ExprNode>(std::move(node));
+}
+
+// Shared builder for the three n-ary operators.
+//
+// identity: the constant that can be dropped from the child list.
+// annihilator: for AND/OR, the constant that makes the whole expression
+// constant; XOR has none (pass nullopt semantics via has_annihilator).
+ExprPtr MakeNary(ExprOp op, std::vector<ExprPtr> children, bool identity,
+                 bool has_annihilator, bool annihilator) {
+  // 1. Flatten nested nodes with the same operator.
+  std::vector<ExprPtr> flat;
+  flat.reserve(children.size());
+  for (ExprPtr& c : children) {
+    BIX_CHECK(c != nullptr);
+    if (c->op == op) {
+      for (const ExprPtr& gc : c->children) flat.push_back(gc);
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  // 2. Fold constants. XOR with an odd number of kTrue constants toggles a
+  // trailing NOT.
+  bool xor_parity = false;
+  std::vector<ExprPtr> kept;
+  kept.reserve(flat.size());
+  for (ExprPtr& c : flat) {
+    if (c->op == ExprOp::kConst) {
+      if (op == ExprOp::kXor) {
+        xor_parity ^= c->const_value;
+      } else if (has_annihilator && c->const_value == annihilator) {
+        return ExprConst(annihilator);
+      }
+      // identity constants drop out
+      if (op != ExprOp::kXor && c->const_value != identity) {
+        // Non-identity, non-annihilator constant cannot happen for AND/OR.
+        BIX_CHECK(false);
+      }
+    } else {
+      kept.push_back(std::move(c));
+    }
+  }
+  // 3. Remove structural duplicates: idempotent for AND/OR, cancelling
+  // pairs for XOR. Quadratic, but expressions are tiny.
+  std::vector<ExprPtr> dedup;
+  for (ExprPtr& c : kept) {
+    auto it = std::find_if(dedup.begin(), dedup.end(), [&](const ExprPtr& d) {
+      return ExprEqual(c, d);
+    });
+    if (it == dedup.end()) {
+      dedup.push_back(std::move(c));
+    } else if (op == ExprOp::kXor) {
+      dedup.erase(it);  // x ^ x == 0
+    }
+  }
+  ExprPtr result;
+  if (dedup.empty()) {
+    result = ExprConst(op == ExprOp::kXor ? false : identity);
+  } else if (dedup.size() == 1) {
+    result = dedup[0];
+  } else {
+    ExprNode n;
+    n.op = op;
+    n.children = std::move(dedup);
+    result = MakeNode(std::move(n));
+  }
+  if (op == ExprOp::kXor && xor_parity) result = ExprNot(std::move(result));
+  return result;
+}
+
+}  // namespace
+
+ExprPtr ExprLeaf(uint32_t component, uint32_t slot) {
+  ExprNode n;
+  n.op = ExprOp::kLeaf;
+  n.leaf = BitmapKey{component, slot};
+  return MakeNode(std::move(n));
+}
+
+ExprPtr ExprConst(bool value) {
+  ExprNode n;
+  n.op = ExprOp::kConst;
+  n.const_value = value;
+  return MakeNode(std::move(n));
+}
+
+ExprPtr ExprNot(ExprPtr x) {
+  BIX_CHECK(x != nullptr);
+  if (x->op == ExprOp::kConst) return ExprConst(!x->const_value);
+  if (x->op == ExprOp::kNot) return x->children[0];
+  ExprNode n;
+  n.op = ExprOp::kNot;
+  n.children.push_back(std::move(x));
+  return MakeNode(std::move(n));
+}
+
+ExprPtr ExprAnd(std::vector<ExprPtr> children) {
+  return MakeNary(ExprOp::kAnd, std::move(children), /*identity=*/true,
+                  /*has_annihilator=*/true, /*annihilator=*/false);
+}
+
+ExprPtr ExprOr(std::vector<ExprPtr> children) {
+  return MakeNary(ExprOp::kOr, std::move(children), /*identity=*/false,
+                  /*has_annihilator=*/true, /*annihilator=*/true);
+}
+
+ExprPtr ExprXor(std::vector<ExprPtr> children) {
+  return MakeNary(ExprOp::kXor, std::move(children), /*identity=*/false,
+                  /*has_annihilator=*/false, /*annihilator=*/false);
+}
+
+bool ExprEqual(const ExprPtr& a, const ExprPtr& b) {
+  if (a.get() == b.get()) return true;
+  if (a->op != b->op) return false;
+  switch (a->op) {
+    case ExprOp::kLeaf:
+      return a->leaf == b->leaf;
+    case ExprOp::kConst:
+      return a->const_value == b->const_value;
+    default:
+      if (a->children.size() != b->children.size()) return false;
+      for (size_t i = 0; i < a->children.size(); ++i) {
+        if (!ExprEqual(a->children[i], b->children[i])) return false;
+      }
+      return true;
+  }
+}
+
+void CollectLeaves(const ExprPtr& e, std::vector<BitmapKey>* out) {
+  if (e->op == ExprOp::kLeaf) {
+    out->push_back(e->leaf);
+    return;
+  }
+  for (const ExprPtr& c : e->children) CollectLeaves(c, out);
+}
+
+uint64_t CountDistinctLeaves(const ExprPtr& e) {
+  std::vector<BitmapKey> leaves;
+  CollectLeaves(e, &leaves);
+  std::unordered_set<uint64_t> distinct;
+  for (const BitmapKey& k : leaves) distinct.insert(k.Packed());
+  return distinct.size();
+}
+
+namespace {
+
+void ToStringRec(const ExprPtr& e, std::string* out) {
+  switch (e->op) {
+    case ExprOp::kLeaf:
+      *out += "B" + std::to_string(e->leaf.component) + "^" +
+              std::to_string(e->leaf.slot);
+      return;
+    case ExprOp::kConst:
+      *out += e->const_value ? "1" : "0";
+      return;
+    case ExprOp::kNot:
+      *out += "~";
+      ToStringRec(e->children[0], out);
+      return;
+    default: {
+      const char* sep = e->op == ExprOp::kAnd   ? " & "
+                        : e->op == ExprOp::kOr  ? " | "
+                                                : " ^ ";
+      *out += "(";
+      for (size_t i = 0; i < e->children.size(); ++i) {
+        if (i > 0) *out += sep;
+        ToStringRec(e->children[i], out);
+      }
+      *out += ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ExprToString(const ExprPtr& e) {
+  std::string s;
+  ToStringRec(e, &s);
+  return s;
+}
+
+}  // namespace bix

@@ -1,0 +1,71 @@
+#ifndef BIX_EXPR_BITMAP_EXPR_H_
+#define BIX_EXPR_BITMAP_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/bitmap_store.h"
+
+namespace bix {
+
+// The bitmap-level evaluation expression produced by the query rewrite
+// phase (paper Section 6.1, step 3): an operator DAG whose leaves name
+// stored bitmaps and whose internal nodes are the logical operators the
+// paper uses (AND, OR, XOR, NOT). Nodes are immutable and shared via
+// shared_ptr, so common subexpressions (e.g. the interval bitmap I^0 or
+// OREO's parity bitmap) appear once and are fetched once.
+//
+// The builder functions below apply local simplifications (constant folding,
+// double negation, flattening, idempotent-duplicate removal) so that scan
+// counts derived from expressions match the paper's hand-derived formulas.
+
+enum class ExprOp : uint8_t { kLeaf, kConst, kNot, kAnd, kOr, kXor };
+
+struct ExprNode;
+using ExprPtr = std::shared_ptr<const ExprNode>;
+
+struct ExprNode {
+  ExprOp op = ExprOp::kConst;
+  BitmapKey leaf;                 // kLeaf
+  bool const_value = false;       // kConst
+  std::vector<ExprPtr> children;  // kNot: 1 child; kAnd/kOr/kXor: >= 2
+};
+
+// Leaf referencing stored bitmap `slot` of component `component`.
+ExprPtr ExprLeaf(uint32_t component, uint32_t slot);
+// Constant all-zeros (false) or all-ones (true) bitmap.
+ExprPtr ExprConst(bool value);
+ExprPtr ExprNot(ExprPtr x);
+// N-ary builders; two-argument conveniences below. Children lists are
+// flattened, constants folded, and structural duplicates removed (duplicate
+// pairs cancel for XOR).
+ExprPtr ExprAnd(std::vector<ExprPtr> children);
+ExprPtr ExprOr(std::vector<ExprPtr> children);
+ExprPtr ExprXor(std::vector<ExprPtr> children);
+
+inline ExprPtr ExprAnd(ExprPtr a, ExprPtr b) {
+  return ExprAnd(std::vector<ExprPtr>{std::move(a), std::move(b)});
+}
+inline ExprPtr ExprOr(ExprPtr a, ExprPtr b) {
+  return ExprOr(std::vector<ExprPtr>{std::move(a), std::move(b)});
+}
+inline ExprPtr ExprXor(ExprPtr a, ExprPtr b) {
+  return ExprXor(std::vector<ExprPtr>{std::move(a), std::move(b)});
+}
+
+// Structural equality (used by the builders to deduplicate children).
+bool ExprEqual(const ExprPtr& a, const ExprPtr& b);
+
+// Distinct stored bitmaps referenced by the expression — the paper's
+// "number of bitmap scans" for a single query evaluated cold.
+void CollectLeaves(const ExprPtr& e, std::vector<BitmapKey>* out);
+uint64_t CountDistinctLeaves(const ExprPtr& e);
+
+// Rendering for docs/examples, e.g. "(B2^8 | B2^9) | (B2^8 & ~B1^6)".
+std::string ExprToString(const ExprPtr& e);
+
+}  // namespace bix
+
+#endif  // BIX_EXPR_BITMAP_EXPR_H_

@@ -1,0 +1,70 @@
+#include "expr/evaluate.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace bix {
+namespace {
+
+class Evaluator {
+ public:
+  Evaluator(uint64_t row_count, const LeafFetcher& fetch)
+      : row_count_(row_count), fetch_(fetch) {}
+
+  Bitvector Eval(const ExprPtr& e) {
+    switch (e->op) {
+      case ExprOp::kConst:
+        return e->const_value ? Bitvector::AllOnes(row_count_)
+                              : Bitvector(row_count_);
+      case ExprOp::kLeaf:
+        return FetchMemoized(e->leaf);
+      case ExprOp::kNot: {
+        Bitvector r = Eval(e->children[0]);
+        r.NotSelf();
+        return r;
+      }
+      case ExprOp::kAnd:
+      case ExprOp::kOr:
+      case ExprOp::kXor: {
+        Bitvector acc = Eval(e->children[0]);
+        for (size_t i = 1; i < e->children.size(); ++i) {
+          Bitvector rhs = Eval(e->children[i]);
+          if (e->op == ExprOp::kAnd) {
+            acc.AndWith(rhs);
+          } else if (e->op == ExprOp::kOr) {
+            acc.OrWith(rhs);
+          } else {
+            acc.XorWith(rhs);
+          }
+        }
+        return acc;
+      }
+    }
+    BIX_CHECK(false);
+    return Bitvector(row_count_);
+  }
+
+ private:
+  Bitvector FetchMemoized(BitmapKey key) {
+    auto it = cache_.find(key.Packed());
+    if (it != cache_.end()) return it->second;
+    Bitvector bv = fetch_(key);
+    BIX_CHECK_MSG(bv.size() == row_count_, "leaf bitmap size mismatch");
+    cache_.emplace(key.Packed(), bv);
+    return bv;
+  }
+
+  uint64_t row_count_;
+  const LeafFetcher& fetch_;
+  std::unordered_map<uint64_t, Bitvector> cache_;
+};
+
+}  // namespace
+
+Bitvector EvaluateExpr(const ExprPtr& expr, uint64_t row_count,
+                       const LeafFetcher& fetch) {
+  return Evaluator(row_count, fetch).Eval(expr);
+}
+
+}  // namespace bix

@@ -1,0 +1,24 @@
+#ifndef BIX_EXPR_EVALUATE_H_
+#define BIX_EXPR_EVALUATE_H_
+
+#include <functional>
+
+#include "bitvector/bitvector.h"
+#include "expr/bitmap_expr.h"
+
+namespace bix {
+
+// Supplies the decoded bitmap for a leaf. Implemented by BitmapCache in
+// production and by plain maps in tests.
+using LeafFetcher = std::function<Bitvector(BitmapKey)>;
+
+// Evaluates an expression over bitmaps of `row_count` bits. Each *distinct*
+// leaf is fetched exactly once per call (the fetcher is memoized), matching
+// the paper's assumption that a query evaluation scans each needed bitmap
+// once given sufficient buffer space.
+Bitvector EvaluateExpr(const ExprPtr& expr, uint64_t row_count,
+                       const LeafFetcher& fetch);
+
+}  // namespace bix
+
+#endif  // BIX_EXPR_EVALUATE_H_

@@ -1,0 +1,76 @@
+#ifndef BIX_INDEX_BITMAP_INDEX_H_
+#define BIX_INDEX_BITMAP_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "index/column.h"
+#include "index/decomposition.h"
+#include "storage/bitmap_store.h"
+
+namespace bix {
+
+// A multi-component bitmap index: for each component i of the decomposition,
+// the chosen encoding scheme's bitmaps over that component's digits, stored
+// (optionally BBC-compressed) in a BitmapStore. This is one point of the
+// paper's two-dimensional design space (encoding x decomposition,
+// Section 2).
+class BitmapIndex {
+ public:
+  // Builds the index in one pass over the column. Aborts on out-of-domain
+  // values (callers validate columns).
+  static BitmapIndex Build(const Column& column, const Decomposition& d,
+                           EncodingKind encoding, bool compressed);
+
+  // Reassembles an index from deserialized parts (core/index_io). The
+  // store must hold exactly the bitmaps the configuration implies.
+  static BitmapIndex FromParts(Decomposition d, EncodingKind encoding,
+                               bool compressed, uint64_t row_count,
+                               BitmapStore store);
+
+  BitmapIndex(BitmapIndex&&) = default;
+  BitmapIndex& operator=(BitmapIndex&&) = default;
+  BitmapIndex(const BitmapIndex&) = delete;
+  BitmapIndex& operator=(const BitmapIndex&) = delete;
+
+  const Decomposition& decomposition() const { return decomposition_; }
+  EncodingKind encoding_kind() const { return encoding_; }
+  const EncodingScheme& encoding() const { return GetEncoding(encoding_); }
+  bool compressed() const { return compressed_; }
+  uint64_t row_count() const { return row_count_; }
+
+  const BitmapStore& store() const { return store_; }
+  // The paper's space metric: total stored bytes of all bitmaps.
+  uint64_t TotalStoredBytes() const { return store_.TotalStoredBytes(); }
+  uint64_t BitmapCount() const { return store_.BitmapCount(); }
+
+  // Number of stored bitmaps that have a bit set for a record with the
+  // given value — the per-record update cost of Section 4.2. Pure.
+  uint32_t UpdateTouchCount(uint32_t value) const;
+
+  // Appends records to the indexed relation (batched index maintenance,
+  // the regime Section 4.2 says DSS systems use). Every stored bitmap
+  // grows by values.size() bits; bitmaps representing any of the new
+  // values additionally get bits set. Returns the number of bitmaps that
+  // received at least one new set bit ("touched" in the paper's
+  // update-cost metric). Aborts on out-of-domain values.
+  uint64_t Append(const std::vector<uint32_t>& values);
+
+ private:
+  BitmapIndex(Decomposition d, EncodingKind encoding, bool compressed,
+              uint64_t row_count)
+      : decomposition_(std::move(d)),
+        encoding_(encoding),
+        compressed_(compressed),
+        row_count_(row_count) {}
+
+  Decomposition decomposition_;
+  EncodingKind encoding_;
+  bool compressed_;
+  uint64_t row_count_;
+  BitmapStore store_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_INDEX_BITMAP_INDEX_H_

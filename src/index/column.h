@@ -1,0 +1,22 @@
+#ifndef BIX_INDEX_COLUMN_H_
+#define BIX_INDEX_COLUMN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bix {
+
+// The projection of the indexed attribute (paper Figure 1a): row i holds
+// the attribute value of record i. The attribute domain is [0, cardinality)
+// (paper Section 1's "consecutive integers from 0 to C-1" convention —
+// dictionary-encode other domains first).
+struct Column {
+  uint32_t cardinality = 0;
+  std::vector<uint32_t> values;
+
+  uint64_t row_count() const { return values.size(); }
+};
+
+}  // namespace bix
+
+#endif  // BIX_INDEX_COLUMN_H_

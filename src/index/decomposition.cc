@@ -1,0 +1,211 @@
+#include "index/decomposition.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/math.h"
+
+namespace bix {
+
+Result<Decomposition> Decomposition::Make(
+    uint32_t cardinality, std::vector<uint32_t> bases_msb_first) {
+  if (cardinality < 1) {
+    return Status::InvalidArgument("cardinality must be >= 1");
+  }
+  if (bases_msb_first.empty()) {
+    return Status::InvalidArgument("need at least one base");
+  }
+  uint64_t product = 1;
+  for (uint32_t b : bases_msb_first) {
+    if (b < 2) return Status::InvalidArgument("every base must be >= 2");
+    if (product > UINT64_MAX / b) {
+      return Status::InvalidArgument("base product overflows");
+    }
+    product *= b;
+  }
+  if (product < cardinality) {
+    return Status::InvalidArgument(
+        "base product does not cover the cardinality");
+  }
+  std::reverse(bases_msb_first.begin(), bases_msb_first.end());
+  return Decomposition(cardinality, std::move(bases_msb_first));
+}
+
+Decomposition Decomposition::SingleComponent(uint32_t cardinality) {
+  BIX_CHECK(cardinality >= 2);
+  return Decomposition(cardinality, {cardinality});
+}
+
+std::vector<uint32_t> Decomposition::BasesMsbFirst() const {
+  std::vector<uint32_t> out(bases_.rbegin(), bases_.rend());
+  return out;
+}
+
+uint32_t Decomposition::Digit(uint32_t value, uint32_t component) const {
+  BIX_DCHECK(value < cardinality_);
+  BIX_DCHECK(component >= 1 && component <= num_components());
+  uint64_t v = value;
+  for (uint32_t i = 0; i + 1 < component; ++i) v /= bases_[i];
+  return static_cast<uint32_t>(v % bases_[component - 1]);
+}
+
+std::vector<uint32_t> Decomposition::Digits(uint32_t value) const {
+  BIX_DCHECK(value < cardinality_);
+  std::vector<uint32_t> digits(bases_.size());
+  uint64_t v = value;
+  for (size_t i = 0; i < bases_.size(); ++i) {
+    digits[i] = static_cast<uint32_t>(v % bases_[i]);
+    v /= bases_[i];
+  }
+  return digits;
+}
+
+uint32_t Decomposition::Compose(
+    const std::vector<uint32_t>& digits_lsb_first) const {
+  BIX_CHECK(digits_lsb_first.size() == bases_.size());
+  uint64_t v = 0;
+  for (size_t i = bases_.size(); i-- > 0;) {
+    BIX_CHECK(digits_lsb_first[i] < bases_[i]);
+    v = v * bases_[i] + digits_lsb_first[i];
+  }
+  return static_cast<uint32_t>(v);
+}
+
+std::string Decomposition::ToString() const {
+  std::string s = "<";
+  for (size_t i = bases_.size(); i-- > 0;) {
+    s += std::to_string(bases_[i]);
+    if (i != 0) s += ",";
+  }
+  s += ">";
+  return s;
+}
+
+uint64_t TotalBitmaps(const Decomposition& d, EncodingKind encoding) {
+  const EncodingScheme& scheme = GetEncoding(encoding);
+  uint64_t total = 0;
+  for (uint32_t i = 1; i <= d.num_components(); ++i) {
+    total += scheme.NumBitmaps(d.base(i));
+  }
+  return total;
+}
+
+namespace {
+
+// Recursively enumerates nondecreasing base multisets (b_1 <= ... <= b_n is
+// not required by the index, but cost depends only on the multiset) whose
+// product covers `remaining`, invoking fn on each complete sequence.
+void EnumerateMultisets(uint32_t cardinality, uint32_t n, uint32_t min_base,
+                        uint64_t product_so_far,
+                        std::vector<uint32_t>* current,
+                        const std::function<void(const std::vector<uint32_t>&)>& fn) {
+  if (n == 0) {
+    if (product_so_far >= cardinality) fn(*current);
+    return;
+  }
+  // The last component alone can close the gap; bound this base by the
+  // value that covers the cardinality even if all later bases are 2.
+  const uint64_t needed = CeilDiv(cardinality, product_so_far);
+  const uint64_t min_later = SaturatingPow(2, n - 1);
+  uint64_t max_base = CeilDiv(needed, min_later);
+  if (max_base < 2) max_base = 2;
+  for (uint64_t b = min_base; b <= max_base; ++b) {
+    current->push_back(static_cast<uint32_t>(b));
+    EnumerateMultisets(cardinality, n - 1, static_cast<uint32_t>(b),
+                       product_so_far * b, current, fn);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+Result<Decomposition> ChooseSpaceOptimalBases(uint32_t cardinality,
+                                              uint32_t num_components,
+                                              EncodingKind encoding) {
+  if (cardinality < 2) {
+    return Status::InvalidArgument("cardinality must be >= 2");
+  }
+  if (num_components < 1) {
+    return Status::InvalidArgument("need at least one component");
+  }
+  if (num_components > CeilLog2(cardinality)) {
+    return Status::InvalidArgument(
+        "more components than ceil(log2(C)) cannot all have base >= 2");
+  }
+  const EncodingScheme& scheme = GetEncoding(encoding);
+  uint64_t best_cost = UINT64_MAX;
+  std::vector<uint32_t> best;
+  std::vector<uint32_t> current;
+  EnumerateMultisets(
+      cardinality, num_components, 2, 1, &current,
+      [&](const std::vector<uint32_t>& bases) {
+        uint64_t cost = 0;
+        for (uint32_t b : bases) cost += scheme.NumBitmaps(b);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = bases;
+        }
+      });
+  if (best.empty()) {
+    return Status::InvalidArgument("no covering base sequence found");
+  }
+  // bases are nondecreasing; paper convention puts the smallest base at the
+  // most significant component (b_n = ceil(C / prod of the rest)).
+  return Decomposition::Make(cardinality, best);
+}
+
+std::vector<std::vector<uint32_t>> EnumerateCandidateBases(
+    uint32_t cardinality, uint32_t num_components) {
+  std::vector<std::vector<uint32_t>> out;
+  std::vector<uint32_t> current;
+  EnumerateMultisets(cardinality, num_components, 2, 1, &current,
+                     [&](const std::vector<uint32_t>& bases) {
+                       // All distinct orderings: digit position affects the
+                       // expected scan count even though space is
+                       // order-invariant.
+                       std::vector<uint32_t> perm = bases;  // nondecreasing
+                       do {
+                         out.push_back(perm);
+                       } while (std::next_permutation(perm.begin(), perm.end()));
+                     });
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> EnumerateBaseSequences(
+    uint32_t cardinality, uint32_t num_components) {
+  std::vector<std::vector<uint32_t>> out;
+  if (num_components == 1) {
+    out.push_back({cardinality});
+    return out;
+  }
+  // Enumerate the n-1 least significant bases freely; b_n is then forced to
+  // ceil(C / product) as in the paper (Eq. 3), and must be >= 2.
+  std::vector<uint32_t> lower(num_components - 1, 2);
+  while (true) {
+    uint64_t product = 1;
+    for (uint32_t b : lower) product *= b;
+    if (product < cardinality) {
+      const uint32_t b_n = static_cast<uint32_t>(CeilDiv(cardinality, product));
+      if (b_n >= 2) {
+        std::vector<uint32_t> seq;
+        seq.push_back(b_n);
+        // lower holds <b_{n-1}, ..., b_1> most-significant first.
+        for (uint32_t b : lower) seq.push_back(b);
+        out.push_back(std::move(seq));
+      }
+    }
+    // Odometer increment with per-digit cap at `cardinality`.
+    size_t i = 0;
+    for (; i < lower.size(); ++i) {
+      if (lower[i] < cardinality) {
+        ++lower[i];
+        for (size_t j = 0; j < i; ++j) lower[j] = 2;
+        break;
+      }
+    }
+    if (i == lower.size()) break;
+  }
+  return out;
+}
+
+}  // namespace bix

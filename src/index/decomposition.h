@@ -1,0 +1,82 @@
+#ifndef BIX_INDEX_DECOMPOSITION_H_
+#define BIX_INDEX_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "encoding/encoding_scheme.h"
+#include "util/status.h"
+
+namespace bix {
+
+// Attribute value decomposition (paper Eq. 3): a base sequence
+// <b_n, ..., b_1> turning each value into n digits, digit i in [0, b_i).
+// Component 1 is the least significant. A one-component decomposition with
+// b_1 = C is the classic single-component index.
+class Decomposition {
+ public:
+  // `bases_msb_first` is <b_n, ..., b_1> as written in the paper. Every
+  // base must be >= 2 and their product must cover `cardinality`.
+  static Result<Decomposition> Make(uint32_t cardinality,
+                                    std::vector<uint32_t> bases_msb_first);
+  // Single component, base = cardinality.
+  static Decomposition SingleComponent(uint32_t cardinality);
+
+  uint32_t cardinality() const { return cardinality_; }
+  uint32_t num_components() const {
+    return static_cast<uint32_t>(bases_.size());
+  }
+  // Base of component i, 1 <= i <= n (paper numbering, 1 = least
+  // significant).
+  uint32_t base(uint32_t component) const {
+    BIX_CHECK(component >= 1 && component <= num_components());
+    return bases_[component - 1];
+  }
+  // Bases in paper order <b_n, ..., b_1>.
+  std::vector<uint32_t> BasesMsbFirst() const;
+
+  // Digit of `value` at component i (1 = least significant).
+  uint32_t Digit(uint32_t value, uint32_t component) const;
+  // All digits, index [i-1] = component i's digit.
+  std::vector<uint32_t> Digits(uint32_t value) const;
+  // Inverse of Digits.
+  uint32_t Compose(const std::vector<uint32_t>& digits_lsb_first) const;
+
+  // e.g. "<3,4>" in paper notation.
+  std::string ToString() const;
+
+ private:
+  Decomposition(uint32_t cardinality, std::vector<uint32_t> bases_lsb_first)
+      : cardinality_(cardinality), bases_(std::move(bases_lsb_first)) {}
+
+  uint32_t cardinality_ = 0;
+  // Least-significant first: bases_[0] = b_1.
+  std::vector<uint32_t> bases_;
+};
+
+// Chooses, for the given encoding and component count, the base sequence
+// minimizing the number of stored bitmaps (the paper's "best space" index
+// per (encoding, n) point in Figure 6). Ties favor more uniform bases.
+// Returns an error if n is infeasible (2^n > 2^ceil(log2 C) style limits).
+Result<Decomposition> ChooseSpaceOptimalBases(uint32_t cardinality,
+                                              uint32_t num_components,
+                                              EncodingKind encoding);
+
+// Enumerates all base sequences (each base >= 2, minimal covering product)
+// for small cardinalities; used by exhaustive tests.
+std::vector<std::vector<uint32_t>> EnumerateBaseSequences(
+    uint32_t cardinality, uint32_t num_components);
+
+// Enumerates candidate base sequences (all orderings of the covering
+// multisets) for optimization; bounded like ChooseSpaceOptimalBases.
+std::vector<std::vector<uint32_t>> EnumerateCandidateBases(
+    uint32_t cardinality, uint32_t num_components);
+
+// Total stored bitmaps of an index = sum over components of the encoding's
+// per-component bitmap count.
+uint64_t TotalBitmaps(const Decomposition& d, EncodingKind encoding);
+
+}  // namespace bix
+
+#endif  // BIX_INDEX_DECOMPOSITION_H_

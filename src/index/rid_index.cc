@@ -1,0 +1,57 @@
+#include "index/rid_index.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bix {
+
+RidListIndex RidListIndex::Build(const Column& column) {
+  RidListIndex index;
+  index.row_count_ = column.row_count();
+  index.lists_.resize(column.cardinality);
+  for (uint64_t r = 0; r < column.row_count(); ++r) {
+    const uint32_t v = column.values[r];
+    BIX_CHECK(v < column.cardinality);
+    index.lists_[v].push_back(static_cast<uint32_t>(r));
+  }
+  return index;
+}
+
+uint64_t RidListIndex::TotalStoredBytes() const {
+  uint64_t bytes = lists_.size() * 8;  // directory
+  for (const auto& list : lists_) bytes += list.size() * 4;
+  return bytes;
+}
+
+Bitvector RidListIndex::EvaluateMembership(const std::vector<uint32_t>& values,
+                                           const DiskModel& disk,
+                                           IoStats* stats) const {
+  std::vector<uint32_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  Bitvector result(row_count_);
+  for (uint32_t v : sorted) {
+    BIX_CHECK(v < lists_.size());
+    const std::vector<uint32_t>& list = lists_[v];
+    if (stats != nullptr) {
+      ++stats->scans;
+      ++stats->disk_reads;
+      stats->bytes_read += list.size() * 4;
+      stats->io_seconds += disk.ReadSeconds(list.size() * 4);
+    }
+    for (uint32_t r : list) result.Set(r);
+  }
+  return result;
+}
+
+Bitvector RidListIndex::EvaluateInterval(IntervalQuery q,
+                                         const DiskModel& disk,
+                                         IoStats* stats) const {
+  BIX_CHECK(q.lo <= q.hi && q.hi < lists_.size());
+  std::vector<uint32_t> values;
+  for (uint32_t v = q.lo; v <= q.hi; ++v) values.push_back(v);
+  return EvaluateMembership(values, disk, stats);
+}
+
+}  // namespace bix

@@ -1,0 +1,198 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "query/interval_rewrite.h"
+#include "query/membership_rewrite.h"
+
+namespace bix {
+
+QueryExecutor::QueryExecutor(const BitmapIndex* index, ExecutorOptions options)
+    : index_(index),
+      options_(options),
+      cache_(&index->store(), options.buffer_pool_bytes, options.disk) {
+  BIX_CHECK(index != nullptr);
+}
+
+ExprPtr QueryExecutor::Rewrite(IntervalQuery q) const {
+  return RewriteInterval(index_->decomposition(), index_->encoding(), q);
+}
+
+std::vector<ExprPtr> QueryExecutor::RewriteMembership(
+    const std::vector<uint32_t>& values) const {
+  std::vector<ExprPtr> exprs;
+  for (const IntervalQuery& q : MembershipToIntervals(values)) {
+    exprs.push_back(Rewrite(q));
+  }
+  return exprs;
+}
+
+Bitvector QueryExecutor::EvaluateInterval(IntervalQuery q) {
+  return EvaluateConstituents({Rewrite(q)});
+}
+
+Bitvector QueryExecutor::EvaluateMembership(
+    const std::vector<uint32_t>& values) {
+  BIX_CHECK_MSG(!values.empty(), "empty membership query");
+  for (uint32_t v : values) BIX_CHECK(v < index_->decomposition().cardinality());
+  return EvaluateConstituents(RewriteMembership(values));
+}
+
+std::string QueryExecutor::QueryPlan::ToString() const {
+  std::string s = "plan: " + std::to_string(constituents.size()) +
+                  " constituent(s), " + std::to_string(distinct_bitmaps) +
+                  " distinct bitmap(s), " + std::to_string(cold_bytes) +
+                  " stored bytes\n";
+  char cost[96];
+  std::snprintf(cost, sizeof(cost),
+                "est cold cost: %.3f ms I/O + %.3f ms decode\n",
+                est_io_seconds * 1e3, est_decode_seconds * 1e3);
+  s += cost;
+  for (const std::string& c : constituents) s += "  " + c + "\n";
+  return s;
+}
+
+QueryExecutor::QueryPlan QueryExecutor::ExplainMembership(
+    const std::vector<uint32_t>& values) const {
+  QueryPlan plan;
+  std::vector<BitmapKey> leaves;
+  for (const ExprPtr& e : RewriteMembership(values)) {
+    plan.constituents.push_back(ExprToString(e));
+    CollectLeaves(e, &leaves);
+  }
+  std::sort(leaves.begin(), leaves.end(),
+            [](const BitmapKey& a, const BitmapKey& b) {
+              return a.Packed() < b.Packed();
+            });
+  leaves.erase(std::unique(leaves.begin(), leaves.end(),
+                           [](const BitmapKey& a, const BitmapKey& b) {
+                             return a == b;
+                           }),
+               leaves.end());
+  plan.distinct_bitmaps = leaves.size();
+  for (const BitmapKey& key : leaves) {
+    const BitmapStore::Blob& blob = index_->store().GetBlob(key);
+    plan.cold_bytes += blob.bytes.size();
+    plan.est_io_seconds += options_.disk.ReadSeconds(blob.bytes.size());
+    if (blob.compressed) {
+      plan.est_decode_seconds += options_.disk.DecodeSeconds(blob.bytes.size());
+    }
+  }
+  return plan;
+}
+
+QueryExecutor::QueryPlan QueryExecutor::ExplainInterval(
+    IntervalQuery q) const {
+  std::vector<uint32_t> values;
+  for (uint32_t v = q.lo; v <= q.hi; ++v) values.push_back(v);
+  BIX_CHECK_MSG(!q.negated, "ExplainInterval handles positive intervals");
+  return ExplainMembership(values);
+}
+
+void QueryExecutor::OrderForSharing(std::vector<const ExprPtr*>* order) {
+  // Greedy nearest-neighbor over the constituent "shared leaves" graph:
+  // start from the constituent with the most leaves and repeatedly pick the
+  // unvisited constituent sharing the most bitmaps with the previous one.
+  const size_t n = order->size();
+  if (n <= 2) return;
+  std::vector<std::unordered_set<uint64_t>> leaf_sets(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<BitmapKey> leaves;
+    CollectLeaves(*(*order)[i], &leaves);
+    for (const BitmapKey& k : leaves) leaf_sets[i].insert(k.Packed());
+  }
+  auto shared = [&](size_t a, size_t b) {
+    size_t count = 0;
+    for (uint64_t k : leaf_sets[a]) count += leaf_sets[b].count(k);
+    return count;
+  };
+  std::vector<const ExprPtr*> result;
+  std::vector<bool> used(n, false);
+  size_t current = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (leaf_sets[i].size() > leaf_sets[current].size()) current = i;
+  }
+  used[current] = true;
+  result.push_back((*order)[current]);
+  for (size_t step = 1; step < n; ++step) {
+    size_t best = n;
+    size_t best_shared = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const size_t s = shared(current, i);
+      if (best == n || s > best_shared) {
+        best = i;
+        best_shared = s;
+      }
+    }
+    used[best] = true;
+    result.push_back((*order)[best]);
+    current = best;
+  }
+  *order = std::move(result);
+}
+
+Bitvector QueryExecutor::EvaluateConstituents(
+    const std::vector<ExprPtr>& exprs) {
+  if (options_.cold_pool_per_query) cache_.DropPool();
+  const uint64_t rows = index_->row_count();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  Bitvector result(rows);
+  if (options_.strategy == EvalStrategy::kQueryWise ||
+      options_.strategy == EvalStrategy::kBufferAware) {
+    // One constituent at a time; leaf memoization is per constituent, so
+    // shared bitmaps hit the pool (or disk) again on later constituents.
+    std::vector<const ExprPtr*> order;
+    for (const ExprPtr& e : exprs) order.push_back(&e);
+    if (options_.strategy == EvalStrategy::kBufferAware) {
+      OrderForSharing(&order);
+    }
+    for (const ExprPtr* e : order) {
+      Bitvector part = EvaluateExpr(
+          *e, rows, [this](BitmapKey key) { return cache_.Fetch(key); });
+      result.OrWith(part);
+    }
+  } else {
+    // Component-wise (paper Section 6.3): fetch every distinct bitmap the
+    // whole query needs exactly once, in component order (all of component
+    // n's bitmaps on behalf of all constituents, then component n-1, ...),
+    // then combine per constituent.
+    std::vector<BitmapKey> leaves;
+    for (const ExprPtr& e : exprs) CollectLeaves(e, &leaves);
+    std::sort(leaves.begin(), leaves.end(),
+              [](const BitmapKey& a, const BitmapKey& b) {
+                if (a.component != b.component) return a.component > b.component;
+                return a.slot < b.slot;
+              });
+    leaves.erase(std::unique(leaves.begin(), leaves.end(),
+                             [](const BitmapKey& a, const BitmapKey& b) {
+                               return a == b;
+                             }),
+                 leaves.end());
+    std::unordered_map<uint64_t, Bitvector> fetched;
+    fetched.reserve(leaves.size());
+    for (const BitmapKey& key : leaves) {
+      fetched.emplace(key.Packed(), cache_.Fetch(key));
+    }
+    for (const ExprPtr& e : exprs) {
+      Bitvector part =
+          EvaluateExpr(e, rows, [&fetched](BitmapKey key) {
+            auto it = fetched.find(key.Packed());
+            BIX_CHECK(it != fetched.end());
+            return it->second;
+          });
+      result.OrWith(part);
+    }
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  cache_.AddCpuSeconds(std::chrono::duration<double>(t1 - t0).count());
+  return result;
+}
+
+}  // namespace bix

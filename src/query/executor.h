@@ -1,0 +1,95 @@
+#ifndef BIX_QUERY_EXECUTOR_H_
+#define BIX_QUERY_EXECUTOR_H_
+
+#include <vector>
+
+#include "expr/evaluate.h"
+#include "index/bitmap_index.h"
+#include "query/query.h"
+#include "storage/bitmap_cache.h"
+#include "storage/disk_model.h"
+
+namespace bix {
+
+// The two evaluation strategies of paper Section 6.3.
+enum class EvalStrategy : uint8_t {
+  // Evaluates one constituent interval query at a time, keeping a single
+  // intermediate result. Minimal buffer requirement; a bitmap shared by
+  // several constituents is fetched once per constituent (served by the
+  // buffer pool when it fits, re-read from disk otherwise).
+  kQueryWise,
+  // Evaluates all constituents together, scanning each distinct bitmap
+  // exactly once on behalf of every subquery (the strategy the paper uses
+  // for its performance study). Needs buffer space for all referenced
+  // bitmaps of the query.
+  kComponentWise,
+  // The scheduling heuristic the paper leaves as future work (Section 6.3):
+  // evaluates one constituent at a time like kQueryWise (single
+  // intermediate result, minimal buffer need), but greedily orders the
+  // constituents so consecutive ones share as many bitmaps as possible,
+  // letting the LRU pool serve the shared fetches even when it is far
+  // smaller than the query's whole working set.
+  kBufferAware,
+};
+
+struct ExecutorOptions {
+  uint64_t buffer_pool_bytes = 11ull << 20;  // the paper's 11 MB pool
+  DiskModel disk;
+  EvalStrategy strategy = EvalStrategy::kComponentWise;
+  // When true, the pool is dropped before every query, mimicking the
+  // paper's flushed file-system buffer (each query starts cold).
+  bool cold_pool_per_query = true;
+};
+
+// Evaluates interval and membership queries against a BitmapIndex through
+// the three-phase pipeline: membership rewrite -> interval rewrite ->
+// bitmap expression evaluation, with buffer-pool-aware scheduling.
+class QueryExecutor {
+ public:
+  QueryExecutor(const BitmapIndex* index, ExecutorOptions options);
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  // "lo <= A <= hi". Aborts on out-of-domain bounds.
+  Bitvector EvaluateInterval(IntervalQuery q);
+  // "A in {values}". Values must be < cardinality.
+  Bitvector EvaluateMembership(const std::vector<uint32_t>& values);
+
+  // Rewrites without executing (for inspection, tests, cost analysis).
+  ExprPtr Rewrite(IntervalQuery q) const;
+  std::vector<ExprPtr> RewriteMembership(
+      const std::vector<uint32_t>& values) const;
+
+  // Query plan summary: the rewritten constituents and the modeled cost of
+  // a cold evaluation (all distinct bitmaps read once).
+  struct QueryPlan {
+    std::vector<std::string> constituents;  // rendered bitmap expressions
+    uint64_t distinct_bitmaps = 0;
+    uint64_t cold_bytes = 0;       // stored bytes of the working set
+    double est_io_seconds = 0.0;   // modeled cold I/O
+    double est_decode_seconds = 0.0;
+
+    std::string ToString() const;
+  };
+  QueryPlan ExplainMembership(const std::vector<uint32_t>& values) const;
+  QueryPlan ExplainInterval(IntervalQuery q) const;
+
+  // Cumulative I/O + CPU counters since construction / ResetStats.
+  const IoStats& stats() const { return cache_.stats(); }
+  void ResetStats() { cache_.ResetStats(); }
+  void DropPool() { cache_.DropPool(); }
+
+ private:
+  Bitvector EvaluateConstituents(const std::vector<ExprPtr>& exprs);
+  // Reorders constituents for kBufferAware (greedy shared-leaf chaining).
+  void OrderForSharing(std::vector<const ExprPtr*>* order);
+
+  const BitmapIndex* index_;
+  ExecutorOptions options_;
+  BitmapCache cache_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_QUERY_EXECUTOR_H_

@@ -1,0 +1,173 @@
+#include "query/interval_rewrite.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace bix {
+namespace {
+
+// Helper carrying the per-rewrite context.
+class Rewriter {
+ public:
+  Rewriter(const Decomposition& d, const EncodingScheme& scheme)
+      : d_(d), scheme_(scheme) {
+    // prod_[k] = b_1 * ... * b_k (prod_[0] = 1).
+    prod_.resize(d.num_components() + 1);
+    prod_[0] = 1;
+    for (uint32_t i = 1; i <= d.num_components(); ++i) {
+      prod_[i] = prod_[i - 1] * d.base(i);
+    }
+  }
+
+  // "A_k..A_1 <= v" with v < prod_[k].
+  ExprPtr Le(uint32_t k, uint64_t v) const {
+    BIX_CHECK(k >= 1 && v < prod_[k]);
+    if (v == prod_[k] - 1) return ExprConst(true);
+    // Trailing-maximal-digit drop: skip components whose digit is b_i - 1.
+    uint32_t stop = 1;
+    uint64_t rest = v;
+    while (stop < k && rest % d_.base(stop) == d_.base(stop) - 1) {
+      rest /= d_.base(stop);
+      ++stop;
+    }
+    return LeRec(k, stop, v);
+  }
+
+  // "A_k..A_1 >= v".
+  ExprPtr Ge(uint32_t k, uint64_t v) const {
+    if (v == 0) return ExprConst(true);
+    return ExprNot(Le(k, v - 1));
+  }
+
+  // "lo <= A_k..A_1 <= hi".
+  ExprPtr Range(uint32_t k, uint64_t lo, uint64_t hi) const {
+    BIX_CHECK(k >= 1 && lo <= hi && hi < prod_[k]);
+    if (lo == 0 && hi == prod_[k] - 1) return ExprConst(true);
+    if (lo == hi) return EqAll(k, lo);
+    if (lo == 0) return Le(k, hi);
+    if (hi == prod_[k] - 1) return Ge(k, lo);
+    if (k == 1) {
+      return scheme_.IntervalExpr(1, d_.base(1), static_cast<uint32_t>(lo),
+                                  static_cast<uint32_t>(hi));
+    }
+    const uint64_t low_prod = prod_[k - 1];
+    const uint32_t bk = d_.base(k);
+    const uint32_t lo_k = static_cast<uint32_t>(lo / low_prod);
+    const uint32_t hi_k = static_cast<uint32_t>(hi / low_prod);
+    const uint64_t lo_rest = lo % low_prod;
+    const uint64_t hi_rest = hi % low_prod;
+    if (lo_k == hi_k) {
+      // Common most-significant digit: equality conjunct + recurse.
+      return ExprAnd(scheme_.EqExpr(k, bk, lo_k),
+                     Range(k - 1, lo_rest, hi_rest));
+    }
+    // Middle split. Boundary digits whose suffix constraint is vacuous fold
+    // into the middle range.
+    uint32_t mid_lo = lo_k + 1;
+    uint32_t mid_hi = hi_k - 1;
+    std::vector<ExprPtr> terms;
+    if (lo_rest == 0) {
+      mid_lo = lo_k;
+    } else {
+      terms.push_back(
+          ExprAnd(scheme_.EqExpr(k, bk, lo_k), Ge(k - 1, lo_rest)));
+    }
+    if (hi_rest == low_prod - 1) {
+      mid_hi = hi_k;
+    } else {
+      terms.push_back(
+          ExprAnd(scheme_.EqExpr(k, bk, hi_k), Le(k - 1, hi_rest)));
+    }
+    if (mid_lo <= mid_hi) {
+      terms.push_back(scheme_.IntervalExpr(k, bk, mid_lo, mid_hi));
+    }
+    return ExprOr(std::move(terms));
+  }
+
+  // Eq. (7): "A_k..A_1 = v" as a conjunction of per-component equality
+  // predicates.
+  ExprPtr EqAll(uint32_t k, uint64_t v) const {
+    // Most significant component first, matching the paper's rendering
+    // "(A_3 = 3) ^ (A_2 = 5) ^ (A_1 = 7)".
+    std::vector<ExprPtr> conjuncts;
+    for (uint32_t i = k; i >= 1; --i) {
+      const uint32_t bi = d_.base(i);
+      conjuncts.push_back(scheme_.EqExpr(
+          i, bi, static_cast<uint32_t>((v / prod_[i - 1]) % bi)));
+    }
+    return ExprAnd(std::move(conjuncts));
+  }
+
+ private:
+  // Eq. (8) recursion over components [stop, k]; digits below `stop` are
+  // maximal and dropped.
+  ExprPtr LeRec(uint32_t k, uint32_t stop, uint64_t v) const {
+    const uint32_t bk = d_.base(k);
+    const uint32_t vk = static_cast<uint32_t>((v / prod_[k - 1]) % bk);
+    if (k == stop) return scheme_.LeExpr(k, bk, vk);
+    if (vk == 0) {
+      return ExprAnd(Alpha(k, bk, 0), LeRec(k - 1, stop, v));
+    }
+    if (vk == bk - 1) {
+      // alpha_k can be dropped: rows with A_k < v_k are absorbed by the
+      // first disjunct and no row has A_k > v_k.
+      return ExprOr(scheme_.LeExpr(k, bk, vk - 1), LeRec(k - 1, stop, v));
+    }
+    return ExprOr(scheme_.LeExpr(k, bk, vk - 1),
+                  ExprAnd(Alpha(k, bk, vk), LeRec(k - 1, stop, v)));
+  }
+
+  // The alpha_k predicate of Eq. (8): "(A_k = v_k)" or "(A_k <= v_k)".
+  ExprPtr Alpha(uint32_t k, uint32_t bk, uint32_t vk) const {
+    return scheme_.PrefersEqualityAlpha() ? scheme_.EqExpr(k, bk, vk)
+                                          : scheme_.LeExpr(k, bk, vk);
+  }
+
+  const Decomposition& d_;
+  const EncodingScheme& scheme_;
+  std::vector<uint64_t> prod_;
+};
+
+}  // namespace
+
+ExprPtr RewriteInterval(const Decomposition& d, const EncodingScheme& scheme,
+                        IntervalQuery q) {
+  BIX_CHECK(q.lo <= q.hi && q.hi < d.cardinality());
+  if (q.negated) {
+    // "NOT (lo <= A <= hi)": rewrite the positive form and complement the
+    // whole expression — no extra bitmap scans (paper Section 1's negated
+    // interval queries).
+    IntervalQuery positive = q;
+    positive.negated = false;
+    return ExprNot(RewriteInterval(d, scheme, positive));
+  }
+  Rewriter rw(d, scheme);
+  // The domain may be smaller than the base product; values in
+  // [cardinality, prod) never occur, so clamping hi to the full suffix when
+  // hi == C-1 keeps the one-sided fast paths available.
+  uint64_t hi = q.hi;
+  const uint64_t full = [&] {
+    uint64_t p = 1;
+    for (uint32_t i = 1; i <= d.num_components(); ++i) p *= d.base(i);
+    return p;
+  }();
+  if (q.hi + 1 == d.cardinality()) hi = full - 1;
+  ExprPtr expr = rw.Range(d.num_components(), q.lo, hi);
+  if (q.lo == q.hi && q.lo != hi) {
+    // Equality query at the top of a domain with decomposition slack
+    // (values in [C, prod) never occur): the one-sided form above and the
+    // Eq. (7) conjunction are both correct; keep the cheaper one.
+    ExprPtr eq = rw.EqAll(d.num_components(), q.lo);
+    if (CountDistinctLeaves(eq) < CountDistinctLeaves(expr)) expr = eq;
+  }
+  return expr;
+}
+
+ExprPtr RewriteLeSuffix(const Decomposition& d, const EncodingScheme& scheme,
+                        uint32_t k, uint64_t v) {
+  Rewriter rw(d, scheme);
+  return rw.Le(k, v);
+}
+
+}  // namespace bix

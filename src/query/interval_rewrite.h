@@ -1,0 +1,43 @@
+#ifndef BIX_QUERY_INTERVAL_REWRITE_H_
+#define BIX_QUERY_INTERVAL_REWRITE_H_
+
+#include "expr/bitmap_expr.h"
+#include "index/decomposition.h"
+#include "query/query.h"
+
+namespace bix {
+
+// Steps 2 and 3 of the query rewrite phase (paper Sections 6.1-6.2):
+// decomposes the interval query's endpoints into digits of the index's
+// base sequence and produces the bitmap-level evaluation expression.
+//
+// The rewrite implements:
+//  * Eq. (7): equality queries as a conjunction of per-component equality
+//    predicates;
+//  * Eq. (8): one-sided queries via the LE recursion, with the alpha_k
+//    predicate chosen by the encoding (equality form for equality-leaning
+//    schemes, range form otherwise) and the trailing-maximal-digit drop
+//    ("A <= 499" over base-<10,10,10> becomes "A_3 <= 4");
+//  * two-sided queries via the generalized middle-split
+//      [lo,hi] = (lo_k+1 <= A_k <= hi_k-1)
+//                v (A_k = lo_k ^ suffix >= lo_rest)
+//                v (A_k = hi_k ^ suffix <= hi_rest)
+//    which subsumes the paper's common-most-significant-prefix optimization
+//    (when lo_k == hi_k the first and third terms vanish into a single
+//    equality conjunct) and folds boundary terms into the middle range when
+//    a boundary suffix is all-zeros / all-max.
+//
+// Each predicate is rendered through the encoding scheme's per-component
+// expressions (rewrite step 3).
+ExprPtr RewriteInterval(const Decomposition& d, const EncodingScheme& scheme,
+                        IntervalQuery q);
+
+// One-sided building blocks, exposed for tests and the theory module.
+// Numeric suffix forms: the predicate is over components [1, k] and `v` is
+// the numeric value of the suffix digits.
+ExprPtr RewriteLeSuffix(const Decomposition& d, const EncodingScheme& scheme,
+                        uint32_t k, uint64_t v);
+
+}  // namespace bix
+
+#endif  // BIX_QUERY_INTERVAL_REWRITE_H_

@@ -1,0 +1,23 @@
+#include "query/membership_rewrite.h"
+
+#include <algorithm>
+
+namespace bix {
+
+std::vector<IntervalQuery> MembershipToIntervals(
+    const std::vector<uint32_t>& values) {
+  std::vector<uint32_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::vector<IntervalQuery> intervals;
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[j] + 1) ++j;
+    intervals.push_back(IntervalQuery{sorted[i], sorted[j]});
+    i = j + 1;
+  }
+  return intervals;
+}
+
+}  // namespace bix

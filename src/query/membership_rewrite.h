@@ -1,0 +1,21 @@
+#ifndef BIX_QUERY_MEMBERSHIP_REWRITE_H_
+#define BIX_QUERY_MEMBERSHIP_REWRITE_H_
+
+#include <vector>
+
+#include "query/query.h"
+
+namespace bix {
+
+// Step 1 of the query rewrite phase (paper Section 6.1): rewrites a
+// membership query into a disjunction of the minimal number of interval
+// queries by merging consecutive values, e.g.
+//   A in {6, 19, 20, 21, 22, 35}  ->  [6,6] v [19,22] v [35,35].
+// Input values are deduplicated and sorted; values >= cardinality are
+// rejected by the executor before this point.
+std::vector<IntervalQuery> MembershipToIntervals(
+    const std::vector<uint32_t>& values);
+
+}  // namespace bix
+
+#endif  // BIX_QUERY_MEMBERSHIP_REWRITE_H_

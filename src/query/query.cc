@@ -1,0 +1,54 @@
+#include "query/query.h"
+
+#include "util/check.h"
+
+namespace bix {
+
+const char* QueryClassName(QueryClass q) {
+  switch (q) {
+    case QueryClass::kEq:
+      return "EQ";
+    case QueryClass::k1Rq:
+      return "1RQ";
+    case QueryClass::k2Rq:
+      return "2RQ";
+    case QueryClass::kRq:
+      return "RQ";
+  }
+  return "?";
+}
+
+std::vector<IntervalQuery> EnumerateQueries(QueryClass q,
+                                            uint32_t cardinality) {
+  BIX_CHECK(cardinality >= 2);
+  const uint32_t c = cardinality;
+  std::vector<IntervalQuery> out;
+  switch (q) {
+    case QueryClass::kEq:
+      for (uint32_t v = 0; v < c; ++v) out.push_back({v, v});
+      break;
+    case QueryClass::k1Rq:
+      // Proper one-sided ranges: [0, v] and [v, C-1], excluding equalities
+      // and the whole domain so the classes partition the interval queries.
+      for (uint32_t v = 1; v + 1 < c; ++v) out.push_back({0, v});
+      for (uint32_t v = 1; v + 1 < c; ++v) out.push_back({v, c - 1});
+      break;
+    case QueryClass::k2Rq:
+      for (uint32_t lo = 1; lo + 1 < c; ++lo) {
+        for (uint32_t hi = lo + 1; hi + 1 < c; ++hi) out.push_back({lo, hi});
+      }
+      break;
+    case QueryClass::kRq: {
+      for (const IntervalQuery& iq : EnumerateQueries(QueryClass::k1Rq, c)) {
+        out.push_back(iq);
+      }
+      for (const IntervalQuery& iq : EnumerateQueries(QueryClass::k2Rq, c)) {
+        out.push_back(iq);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace bix

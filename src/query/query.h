@@ -1,0 +1,47 @@
+#ifndef BIX_QUERY_QUERY_H_
+#define BIX_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bix {
+
+// An interval query "lo <= A <= hi", or its negation
+// "NOT (lo <= A <= hi)" when `negated` — both forms are part of the
+// paper's interval-query definition (Section 1). lo == hi is an equality
+// query; lo == 0 or hi == C-1 makes it one-sided.
+struct IntervalQuery {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  bool negated = false;
+
+  bool IsEquality() const { return lo == hi && !negated; }
+  bool operator==(const IntervalQuery& o) const {
+    return lo == o.lo && hi == o.hi && negated == o.negated;
+  }
+};
+
+// A membership query "A in {v_1, ..., v_k}" (paper Section 5). Values need
+// not be sorted or unique; the rewrite normalizes them.
+struct MembershipQuery {
+  std::vector<uint32_t> values;
+};
+
+// The paper's query classes (Section 1), used by the theory module.
+enum class QueryClass : uint8_t {
+  kEq,    // EQ:  v1 == v2
+  k1Rq,   // 1RQ: v1 == 0 xor v2 == C-1 (proper one-sided)
+  k2Rq,   // 2RQ: 0 < v1 < v2 < C-1
+  kRq,    // RQ:  1RQ union 2RQ
+};
+
+const char* QueryClassName(QueryClass q);
+
+// Enumerates every query of the class for cardinality C. EQ: C queries;
+// 1RQ: "A<=v" for 0<=v<C-1 and "A>=v" for 0<v<=C-1 (2(C-1) queries, the
+// trivial whole-domain query excluded); 2RQ: all 0<v1<v2<C-1; RQ = 1RQ+2RQ.
+std::vector<IntervalQuery> EnumerateQueries(QueryClass q, uint32_t cardinality);
+
+}  // namespace bix
+
+#endif  // BIX_QUERY_QUERY_H_

@@ -1,0 +1,55 @@
+#include "storage/bitmap_cache.h"
+
+namespace bix {
+
+Bitvector BitmapCache::Fetch(BitmapKey key) {
+  ++stats_.scans;
+  const BitmapStore::Blob& blob = store_->GetBlob(key);
+  const uint64_t bytes = blob.bytes.size();
+  // Decompression is paid on every fetch (the pool caches the stored form).
+  if (blob.compressed) stats_.decode_seconds += disk_.DecodeSeconds(bytes);
+  auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    ++stats_.pool_hits;
+    Touch(key);
+  } else {
+    ++stats_.disk_reads;
+    stats_.bytes_read += bytes;
+    stats_.io_seconds += disk_.ReadSeconds(bytes);
+    if (!read_before_.insert(key.Packed()).second) ++stats_.rescans;
+    Insert(key, bytes);
+  }
+  // Decode CPU (BBC decompression for compressed indexes) is measured by
+  // the executor's end-to-end timer, not here, to avoid double counting.
+  return store_->Materialize(key);
+}
+
+void BitmapCache::DropPool() {
+  lru_.clear();
+  resident_.clear();
+  used_bytes_ = 0;
+  read_before_.clear();
+}
+
+void BitmapCache::Touch(BitmapKey key) {
+  Entry& e = resident_.at(key);
+  lru_.erase(e.lru_it);
+  lru_.push_front(key);
+  e.lru_it = lru_.begin();
+}
+
+void BitmapCache::Insert(BitmapKey key, uint64_t bytes) {
+  if (bytes > pool_bytes_) return;  // too big to cache; read-through
+  while (used_bytes_ + bytes > pool_bytes_ && !lru_.empty()) {
+    BitmapKey victim = lru_.back();
+    lru_.pop_back();
+    auto vit = resident_.find(victim);
+    used_bytes_ -= vit->second.bytes;
+    resident_.erase(vit);
+  }
+  lru_.push_front(key);
+  resident_.emplace(key, Entry{lru_.begin(), bytes});
+  used_bytes_ += bytes;
+}
+
+}  // namespace bix

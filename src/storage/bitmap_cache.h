@@ -1,0 +1,73 @@
+#ifndef BIX_STORAGE_BITMAP_CACHE_H_
+#define BIX_STORAGE_BITMAP_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/bitmap_store.h"
+#include "storage/disk_model.h"
+#include "storage/io_stats.h"
+
+namespace bix {
+
+// The buffer pool of Section 6.3/7: a byte-budgeted LRU cache of stored
+// bitmap payloads sitting between the query evaluator and the simulated
+// disk. The pool caches bitmaps in their *stored* form (compressed indexes
+// cache compressed bytes, mirroring a file-system buffer over index files),
+// so decompression CPU is paid on every fetch while disk I/O is paid only
+// on pool misses — exactly the cost structure the paper measures.
+//
+// A bitmap larger than the whole pool is read from disk and not cached.
+class BitmapCache {
+ public:
+  BitmapCache(const BitmapStore* store, uint64_t pool_bytes,
+              DiskModel disk = DiskModel{})
+      : store_(store), pool_bytes_(pool_bytes), disk_(disk) {
+    BIX_CHECK(store != nullptr);
+  }
+
+  BitmapCache(const BitmapCache&) = delete;
+  BitmapCache& operator=(const BitmapCache&) = delete;
+
+  // One bitmap scan: accounts I/O, updates the pool, and returns the
+  // decoded bitmap. CPU time (including decode) is measured by the caller.
+  Bitvector Fetch(BitmapKey key);
+
+  // Lets the executor charge measured CPU time into the same stats block.
+  void AddCpuSeconds(double s) { stats_.cpu_seconds += s; }
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+  // Drops all cached pages and the has-been-read history. Benches call this
+  // between queries to mimic the paper's flushed file-system buffer.
+  void DropPool();
+
+  uint64_t pool_bytes() const { return pool_bytes_; }
+  uint64_t pool_bytes_used() const { return used_bytes_; }
+
+ private:
+  void Touch(BitmapKey key);
+  void Insert(BitmapKey key, uint64_t bytes);
+
+  const BitmapStore* store_;
+  uint64_t pool_bytes_;
+  DiskModel disk_;
+  IoStats stats_;
+
+  // LRU bookkeeping: most-recently-used at the front.
+  std::list<BitmapKey> lru_;
+  struct Entry {
+    std::list<BitmapKey>::iterator lru_it;
+    uint64_t bytes = 0;
+  };
+  std::unordered_map<BitmapKey, Entry, BitmapKeyHash> resident_;
+  uint64_t used_bytes_ = 0;
+  // Keys ever read from disk, to count rescans.
+  std::unordered_set<uint64_t> read_before_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_STORAGE_BITMAP_CACHE_H_

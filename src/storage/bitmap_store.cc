@@ -1,0 +1,68 @@
+#include "storage/bitmap_store.h"
+
+#include "compress/bytes.h"
+
+namespace bix {
+
+void BitmapStore::PutUncompressed(BitmapKey key, const Bitvector& bv) {
+  BIX_CHECK_MSG(!Contains(key), "duplicate bitmap key");
+  Blob blob;
+  blob.compressed = false;
+  blob.bit_count = bv.size();
+  blob.bytes = BitvectorToBytes(bv);
+  total_bytes_ += blob.bytes.size();
+  blobs_.emplace(key, std::move(blob));
+}
+
+void BitmapStore::PutCompressed(BitmapKey key, const Bitvector& bv) {
+  BIX_CHECK_MSG(!Contains(key), "duplicate bitmap key");
+  BbcEncoded enc = BbcEncode(bv);
+  Blob blob;
+  blob.compressed = true;
+  blob.bit_count = enc.bit_count;
+  blob.bytes = std::move(enc.data);
+  total_bytes_ += blob.bytes.size();
+  blobs_.emplace(key, std::move(blob));
+}
+
+void BitmapStore::Replace(BitmapKey key, const Bitvector& bv) {
+  auto it = blobs_.find(key);
+  BIX_CHECK_MSG(it != blobs_.end(), "Replace of unknown bitmap key");
+  Blob& blob = it->second;
+  total_bytes_ -= blob.bytes.size();
+  if (blob.compressed) {
+    BbcEncoded enc = BbcEncode(bv);
+    blob.bit_count = enc.bit_count;
+    blob.bytes = std::move(enc.data);
+  } else {
+    blob.bit_count = bv.size();
+    blob.bytes = BitvectorToBytes(bv);
+  }
+  total_bytes_ += blob.bytes.size();
+}
+
+uint64_t BitmapStore::StoredBytes(BitmapKey key) const {
+  return GetBlob(key).bytes.size();
+}
+
+void BitmapStore::PutBlob(BitmapKey key, Blob blob) {
+  BIX_CHECK_MSG(!Contains(key), "duplicate bitmap key");
+  total_bytes_ += blob.bytes.size();
+  blobs_.emplace(key, std::move(blob));
+}
+
+const BitmapStore::Blob& BitmapStore::GetBlob(BitmapKey key) const {
+  auto it = blobs_.find(key);
+  BIX_CHECK_MSG(it != blobs_.end(), "unknown bitmap key");
+  return it->second;
+}
+
+Bitvector BitmapStore::Materialize(BitmapKey key) const {
+  const Blob& blob = GetBlob(key);
+  if (!blob.compressed) {
+    return BitvectorFromBytes(blob.bytes, blob.bit_count);
+  }
+  return BbcDecodeUnchecked(blob.bytes, blob.bit_count);
+}
+
+}  // namespace bix

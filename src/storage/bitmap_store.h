@@ -1,0 +1,91 @@
+#ifndef BIX_STORAGE_BITMAP_STORE_H_
+#define BIX_STORAGE_BITMAP_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bitvector/bitvector.h"
+#include "compress/bbc.h"
+
+namespace bix {
+
+// Identifies one stored bitmap of a (possibly multi-component) index:
+// bitmap `slot` of component `component`. Components are numbered 1..n as
+// in the paper (component n is the most significant digit).
+struct BitmapKey {
+  uint32_t component = 0;
+  uint32_t slot = 0;
+
+  bool operator==(const BitmapKey& o) const {
+    return component == o.component && slot == o.slot;
+  }
+  uint64_t Packed() const {
+    return (static_cast<uint64_t>(component) << 32) | slot;
+  }
+};
+
+struct BitmapKeyHash {
+  size_t operator()(const BitmapKey& k) const {
+    // Packed keys are small and distinct; splitmix finish for spread.
+    uint64_t x = k.Packed() + 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+// The "disk": an immutable-after-build container of stored bitmaps, each
+// either verbatim bytes or a BBC-compressed stream. It performs no cost
+// accounting itself — reads go through BitmapCache, which models the buffer
+// pool and the disk.
+class BitmapStore {
+ public:
+  BitmapStore() = default;
+
+  BitmapStore(const BitmapStore&) = delete;
+  BitmapStore& operator=(const BitmapStore&) = delete;
+  BitmapStore(BitmapStore&&) = default;
+  BitmapStore& operator=(BitmapStore&&) = default;
+
+  // Stores `bv` verbatim (CeilDiv(bits,8) bytes).
+  void PutUncompressed(BitmapKey key, const Bitvector& bv);
+  // Stores `bv` BBC-compressed.
+  void PutCompressed(BitmapKey key, const Bitvector& bv);
+  // Replaces an existing bitmap, keeping its storage form (used by index
+  // maintenance when records are appended).
+  void Replace(BitmapKey key, const Bitvector& bv);
+
+  bool Contains(BitmapKey key) const { return blobs_.count(key) > 0; }
+  uint64_t StoredBytes(BitmapKey key) const;
+  // Total stored size of the index — the paper's space metric.
+  uint64_t TotalStoredBytes() const { return total_bytes_; }
+  uint64_t BitmapCount() const { return blobs_.size(); }
+
+  // Materializes the bitmap (decoding if compressed). This is the CPU work
+  // charged to a scan; I/O accounting is BitmapCache's job.
+  Bitvector Materialize(BitmapKey key) const;
+
+  // Raw stored payload, for the cache's byte accounting and serialization.
+  struct Blob {
+    bool compressed = false;
+    uint64_t bit_count = 0;
+    std::vector<uint8_t> bytes;
+  };
+  const Blob& GetBlob(BitmapKey key) const;
+  // Inserts an already-encoded payload verbatim (index deserialization).
+  void PutBlob(BitmapKey key, Blob blob);
+  // Iteration for serialization.
+  template <typename Fn>
+  void ForEachBlob(Fn&& fn) const {
+    for (const auto& [key, blob] : blobs_) fn(key, blob);
+  }
+
+ private:
+  std::unordered_map<BitmapKey, Blob, BitmapKeyHash> blobs_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace bix
+
+#endif  // BIX_STORAGE_BITMAP_STORE_H_

@@ -1,0 +1,40 @@
+#ifndef BIX_STORAGE_IO_STATS_H_
+#define BIX_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace bix {
+
+// Counters accumulated by the storage layer during query evaluation. The
+// paper's time-efficiency metric is the expected number of bitmap *scans*;
+// we additionally track where each scan was served from and its modeled
+// cost, so benches can report both counters and simulated seconds.
+struct IoStats {
+  uint64_t scans = 0;            // bitmap fetches requested by the evaluator
+  uint64_t pool_hits = 0;        // served from the buffer pool
+  uint64_t disk_reads = 0;       // served from (simulated) disk
+  uint64_t rescans = 0;          // disk reads of a bitmap read before
+  uint64_t bytes_read = 0;       // stored bytes transferred from disk
+  double io_seconds = 0.0;       // modeled disk time (DiskModel)
+  double decode_seconds = 0.0;   // modeled decompression time (DiskModel)
+  double cpu_seconds = 0.0;      // measured CPU time of bitmap operations
+
+  double total_seconds() const {
+    return io_seconds + decode_seconds + cpu_seconds;
+  }
+
+  void Add(const IoStats& o) {
+    scans += o.scans;
+    pool_hits += o.pool_hits;
+    disk_reads += o.disk_reads;
+    rescans += o.rescans;
+    bytes_read += o.bytes_read;
+    io_seconds += o.io_seconds;
+    decode_seconds += o.decode_seconds;
+    cpu_seconds += o.cpu_seconds;
+  }
+};
+
+}  // namespace bix
+
+#endif  // BIX_STORAGE_IO_STATS_H_

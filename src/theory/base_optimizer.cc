@@ -1,0 +1,67 @@
+#include "theory/base_optimizer.h"
+
+#include <optional>
+
+#include "util/math.h"
+
+namespace bix {
+
+double MixedExpectedScans(const Decomposition& d, EncodingKind encoding,
+                          const QueryClassMix& mix) {
+  const double total =
+      mix.eq_weight + mix.one_sided_weight + mix.two_sided_weight;
+  if (total <= 0.0) return 0.0;
+  double scans = 0.0;
+  const uint32_t c = d.cardinality();
+  if (mix.eq_weight > 0.0) {
+    scans +=
+        mix.eq_weight * ComputeCost(d, encoding, QueryClass::kEq).expected_scans;
+  }
+  if (mix.one_sided_weight > 0.0 &&
+      !EnumerateQueries(QueryClass::k1Rq, c).empty()) {
+    scans += mix.one_sided_weight *
+             ComputeCost(d, encoding, QueryClass::k1Rq).expected_scans;
+  }
+  if (mix.two_sided_weight > 0.0 &&
+      !EnumerateQueries(QueryClass::k2Rq, c).empty()) {
+    scans += mix.two_sided_weight *
+             ComputeCost(d, encoding, QueryClass::k2Rq).expected_scans;
+  }
+  return scans / total;
+}
+
+Result<Decomposition> ChooseTimeOptimalBases(uint32_t cardinality,
+                                             uint32_t num_components,
+                                             EncodingKind encoding,
+                                             const QueryClassMix& mix,
+                                             uint64_t max_bitmaps) {
+  if (cardinality < 2) {
+    return Status::InvalidArgument("cardinality must be >= 2");
+  }
+  if (num_components < 1 || num_components > CeilLog2(cardinality)) {
+    return Status::InvalidArgument("infeasible component count");
+  }
+  double best_scans = -1.0;
+  uint64_t best_bitmaps = 0;
+  std::optional<Decomposition> best;
+  for (const std::vector<uint32_t>& bases :
+       EnumerateCandidateBases(cardinality, num_components)) {
+    Result<Decomposition> d = Decomposition::Make(cardinality, bases);
+    if (!d.ok()) continue;
+    const uint64_t bitmaps = TotalBitmaps(d.value(), encoding);
+    if (max_bitmaps != 0 && bitmaps > max_bitmaps) continue;
+    const double scans = MixedExpectedScans(d.value(), encoding, mix);
+    if (best_scans < 0.0 || scans < best_scans - 1e-12 ||
+        (scans < best_scans + 1e-12 && bitmaps < best_bitmaps)) {
+      best_scans = scans;
+      best_bitmaps = bitmaps;
+      best = std::move(d.value());
+    }
+  }
+  if (!best.has_value()) {
+    return Status::InvalidArgument("no covering base sequence fits the cap");
+  }
+  return *std::move(best);
+}
+
+}  // namespace bix

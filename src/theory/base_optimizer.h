@@ -1,0 +1,37 @@
+#ifndef BIX_THEORY_BASE_OPTIMIZER_H_
+#define BIX_THEORY_BASE_OPTIMIZER_H_
+
+#include "index/decomposition.h"
+#include "query/query.h"
+#include "theory/cost_model.h"
+
+namespace bix {
+
+// Workload mix for base optimization: relative weights of the paper's
+// query classes (matching core/index_advisor's WorkloadProfile but usable
+// without the core layer).
+struct QueryClassMix {
+  double eq_weight = 1.0;
+  double one_sided_weight = 1.0;
+  double two_sided_weight = 1.0;
+};
+
+// Weighted expected scans of a decomposition under the mix (exact, by
+// query enumeration).
+double MixedExpectedScans(const Decomposition& d, EncodingKind encoding,
+                          const QueryClassMix& mix);
+
+// The other end of the paper's design-space tradeoff from
+// ChooseSpaceOptimalBases: among all covering base sequences (all digit
+// orders) with `num_components` components, pick the one minimizing the
+// workload-weighted expected bitmap scans; `max_bitmaps` (0 = unlimited)
+// caps the stored-bitmap count. Ties favor fewer bitmaps.
+Result<Decomposition> ChooseTimeOptimalBases(uint32_t cardinality,
+                                             uint32_t num_components,
+                                             EncodingKind encoding,
+                                             const QueryClassMix& mix,
+                                             uint64_t max_bitmaps = 0);
+
+}  // namespace bix
+
+#endif  // BIX_THEORY_BASE_OPTIMIZER_H_

@@ -1,0 +1,36 @@
+#include "theory/cost_model.h"
+
+#include "query/interval_rewrite.h"
+
+namespace bix {
+
+SpaceTimeCost ComputeCost(EncodingKind encoding, uint32_t c, QueryClass q) {
+  return ComputeCost(Decomposition::SingleComponent(c), encoding, q);
+}
+
+SpaceTimeCost ComputeCost(const Decomposition& d, EncodingKind encoding,
+                          QueryClass q) {
+  const EncodingScheme& scheme = GetEncoding(encoding);
+  SpaceTimeCost cost;
+  cost.space_bitmaps = TotalBitmaps(d, encoding);
+  const std::vector<IntervalQuery> queries =
+      EnumerateQueries(q, d.cardinality());
+  uint64_t total_scans = 0;
+  for (const IntervalQuery& iq : queries) {
+    total_scans += CountDistinctLeaves(RewriteInterval(d, scheme, iq));
+  }
+  cost.expected_scans =
+      queries.empty() ? 0.0
+                      : static_cast<double>(total_scans) / queries.size();
+  return cost;
+}
+
+bool Dominates(const SpaceTimeCost& a, const SpaceTimeCost& b) {
+  const bool no_worse = a.space_bitmaps <= b.space_bitmaps &&
+                        a.expected_scans <= b.expected_scans + 1e-12;
+  const bool strictly_better = a.space_bitmaps < b.space_bitmaps ||
+                               a.expected_scans < b.expected_scans - 1e-12;
+  return no_worse && strictly_better;
+}
+
+}  // namespace bix

@@ -1,0 +1,33 @@
+#ifndef BIX_THEORY_COST_MODEL_H_
+#define BIX_THEORY_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "index/decomposition.h"
+#include "query/query.h"
+
+namespace bix {
+
+// Space-time cost of an encoding scheme in the paper's units (Section 3):
+// space = number of stored bitmaps, time = expected number of bitmap scans
+// over a query class, computed *exactly* by enumerating every query of the
+// class and counting the distinct bitmaps its rewritten expression touches.
+struct SpaceTimeCost {
+  uint64_t space_bitmaps = 0;
+  double expected_scans = 0.0;
+};
+
+// One-component index of cardinality `c`.
+SpaceTimeCost ComputeCost(EncodingKind encoding, uint32_t c, QueryClass q);
+
+// General multi-component variant.
+SpaceTimeCost ComputeCost(const Decomposition& d, EncodingKind encoding,
+                          QueryClass q);
+
+// True if `a` dominates `b`: a is no worse on both axes and strictly better
+// on at least one (the paper's optimality order, Section 3).
+bool Dominates(const SpaceTimeCost& a, const SpaceTimeCost& b);
+
+}  // namespace bix
+
+#endif  // BIX_THEORY_COST_MODEL_H_

@@ -1,0 +1,139 @@
+#include "theory/encoded_bitmap.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace bix {
+namespace {
+
+// Projection of `code` onto the bit positions selected by `mask`.
+uint32_t Project(uint32_t code, uint32_t mask) { return code & mask; }
+
+bool Separates(const EncodedBitmapModel& model, uint32_t bit_mask,
+               const std::vector<bool>& in_query) {
+  // No value inside the query may share a projection with one outside.
+  for (uint32_t u = 0; u < model.cardinality; ++u) {
+    if (!in_query[u]) continue;
+    for (uint32_t v = 0; v < model.cardinality; ++v) {
+      if (in_query[v]) continue;
+      if (Project(model.code_of_value[u], bit_mask) ==
+          Project(model.code_of_value[v], bit_mask)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+EncodedBitmapModel IdentityEncodedModel(uint32_t cardinality) {
+  BIX_CHECK(cardinality >= 2);
+  EncodedBitmapModel model;
+  model.cardinality = cardinality;
+  model.bits = CeilLog2(cardinality);
+  model.code_of_value.resize(cardinality);
+  for (uint32_t v = 0; v < cardinality; ++v) model.code_of_value[v] = v;
+  return model;
+}
+
+uint32_t EncodedScans(const EncodedBitmapModel& model,
+                      const std::vector<uint32_t>& query_values) {
+  std::vector<bool> in_query(model.cardinality, false);
+  bool any_in = false, any_out = false;
+  for (uint32_t v : query_values) {
+    BIX_CHECK(v < model.cardinality);
+    in_query[v] = true;
+  }
+  for (uint32_t v = 0; v < model.cardinality; ++v) {
+    (in_query[v] ? any_in : any_out) = true;
+  }
+  if (!any_in || !any_out) return 0;  // constant query
+  // Subsets of bit positions by increasing popcount.
+  for (uint32_t size = 1; size <= model.bits; ++size) {
+    for (uint32_t mask = 0; mask < (1u << model.bits); ++mask) {
+      if (static_cast<uint32_t>(__builtin_popcount(mask)) != size) continue;
+      if (Separates(model, mask, in_query)) return size;
+    }
+  }
+  return model.bits;  // full scan always separates (codes are distinct)
+}
+
+uint64_t EncodedTotalScans(const EncodedBitmapModel& model,
+                           const std::vector<MembershipQuery>& queries) {
+  uint64_t total = 0;
+  for (const MembershipQuery& q : queries) {
+    total += EncodedScans(model, q.values);
+  }
+  return total;
+}
+
+EncodedBitmapModel OptimizeEncodedExhaustive(
+    uint32_t cardinality, const std::vector<MembershipQuery>& queries) {
+  BIX_CHECK_MSG(cardinality <= 6, "exhaustive search only for C <= 6");
+  EncodedBitmapModel best = IdentityEncodedModel(cardinality);
+  uint64_t best_scans = EncodedTotalScans(best, queries);
+  const uint32_t n_codes = 1u << best.bits;
+  // Choose an ordered assignment of `cardinality` distinct codes.
+  std::vector<uint32_t> codes(n_codes);
+  for (uint32_t i = 0; i < n_codes; ++i) codes[i] = i;
+  // Iterate over permutations of the code set taken cardinality at a time:
+  // permute the full set, use the first `cardinality`, and skip duplicates
+  // by requiring the unused tail to be sorted.
+  std::sort(codes.begin(), codes.end());
+  do {
+    if (!std::is_sorted(codes.begin() + cardinality, codes.end())) continue;
+    EncodedBitmapModel cand = best;
+    for (uint32_t v = 0; v < cardinality; ++v) cand.code_of_value[v] = codes[v];
+    const uint64_t scans = EncodedTotalScans(cand, queries);
+    if (scans < best_scans) {
+      best_scans = scans;
+      best = cand;
+    }
+  } while (std::next_permutation(codes.begin(), codes.end()));
+  return best;
+}
+
+EncodedBitmapModel OptimizeEncodedLocalSearch(
+    uint32_t cardinality, const std::vector<MembershipQuery>& queries,
+    uint32_t iterations, Rng* rng) {
+  EncodedBitmapModel best = IdentityEncodedModel(cardinality);
+  uint64_t best_scans = EncodedTotalScans(best, queries);
+  const uint32_t n_codes = 1u << best.bits;
+  // Track which codes are unused (when 2^bits > C).
+  std::vector<bool> used(n_codes, false);
+  for (uint32_t c : best.code_of_value) used[c] = true;
+
+  for (uint32_t it = 0; it < iterations; ++it) {
+    EncodedBitmapModel cand = best;
+    const uint32_t a =
+        static_cast<uint32_t>(rng->UniformInt(0, cardinality - 1));
+    if (rng->Bernoulli(0.5)) {
+      // Swap two values' codes.
+      const uint32_t b =
+          static_cast<uint32_t>(rng->UniformInt(0, cardinality - 1));
+      std::swap(cand.code_of_value[a], cand.code_of_value[b]);
+    } else {
+      // Move a value to an unused code, if any.
+      std::vector<uint32_t> free_codes;
+      for (uint32_t c = 0; c < n_codes; ++c) {
+        if (!used[c]) free_codes.push_back(c);
+      }
+      if (free_codes.empty()) continue;
+      cand.code_of_value[a] = free_codes[rng->UniformInt(
+          0, free_codes.size() - 1)];
+    }
+    const uint64_t scans = EncodedTotalScans(cand, queries);
+    if (scans < best_scans) {
+      best_scans = scans;
+      std::fill(used.begin(), used.end(), false);
+      for (uint32_t c : cand.code_of_value) used[c] = true;
+      best = std::move(cand);
+    }
+  }
+  return best;
+}
+
+}  // namespace bix

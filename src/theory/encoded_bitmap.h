@@ -1,0 +1,54 @@
+#ifndef BIX_THEORY_ENCODED_BITMAP_H_
+#define BIX_THEORY_ENCODED_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "util/rng.h"
+
+namespace bix {
+
+// Model of Wu & Buchmann's encoded bitmap indexing (ICDE 1998), the related
+// work the paper discusses in Section 2: every attribute value gets a
+// ceil(log2 C)-bit code, bitmap j stores bit j of each record's code, and a
+// query is evaluated as a boolean function of the code bitmaps. The number
+// of bitmap scans for a query is the minimum number of code-bit positions
+// that determine membership. Their optimization problem — pick the
+// value->code assignment minimizing total scans over a known query set —
+// has no general solution and exponential cost (as the paper notes); we
+// provide the exact evaluator, an exhaustive optimizer for tiny C, and a
+// swap-based local search, so the bench can contrast this design point with
+// the paper's encoding schemes.
+struct EncodedBitmapModel {
+  uint32_t cardinality = 0;
+  uint32_t bits = 0;                   // ceil(log2 C)
+  std::vector<uint32_t> code_of_value;  // value -> distinct code < 2^bits
+};
+
+// Codes = value identity (the natural binary encoding).
+EncodedBitmapModel IdentityEncodedModel(uint32_t cardinality);
+
+// Minimum code-bit positions whose projection separates `query_values`
+// from the rest of the domain; this is the query's scan count.
+uint32_t EncodedScans(const EncodedBitmapModel& model,
+                      const std::vector<uint32_t>& query_values);
+
+// Sum of EncodedScans over the query set.
+uint64_t EncodedTotalScans(const EncodedBitmapModel& model,
+                           const std::vector<MembershipQuery>& queries);
+
+// Exhaustive optimum over all code assignments; feasible for
+// cardinality <= 6 (8 codes over 6 values is ~20k assignments). Aborts on
+// larger domains.
+EncodedBitmapModel OptimizeEncodedExhaustive(
+    uint32_t cardinality, const std::vector<MembershipQuery>& queries);
+
+// Local search: random code swaps / relocations, keeping improvements.
+EncodedBitmapModel OptimizeEncodedLocalSearch(
+    uint32_t cardinality, const std::vector<MembershipQuery>& queries,
+    uint32_t iterations, Rng* rng);
+
+}  // namespace bix
+
+#endif  // BIX_THEORY_ENCODED_BITMAP_H_

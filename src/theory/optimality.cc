@@ -1,0 +1,210 @@
+#include "theory/optimality.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bix {
+namespace {
+
+uint64_t QueryMask(IntervalQuery q) {
+  // Mask of values in [lo, hi]; cardinality <= 30 keeps this in range.
+  const uint64_t hi_bits = (q.hi >= 63) ? ~uint64_t{0} : ((uint64_t{1} << (q.hi + 1)) - 1);
+  const uint64_t lo_bits = (uint64_t{1} << q.lo) - 1;
+  return hi_bits & ~lo_bits;
+}
+
+// True if query_mask is a union of atoms of the bitmaps selected by
+// `subset` (bit i selects scheme.bitmaps[i]): no value inside the query may
+// share a membership signature with a value outside it.
+bool Answerable(const AbstractScheme& scheme, uint64_t subset,
+                uint64_t query_mask) {
+  const uint32_t c = scheme.cardinality;
+  // Signature of each value under the selected bitmaps.
+  // Collision check: inside-signatures vs outside-signatures.
+  uint64_t inside_sigs[30];
+  uint64_t outside_sigs[30];
+  uint32_t n_in = 0, n_out = 0;
+  for (uint32_t v = 0; v < c; ++v) {
+    uint64_t sig = 0;
+    uint64_t rest = subset;
+    uint32_t bit = 0;
+    while (rest != 0) {
+      const uint32_t i = static_cast<uint32_t>(__builtin_ctzll(rest));
+      rest &= rest - 1;
+      if ((scheme.bitmaps[i] >> v) & 1) sig |= (uint64_t{1} << bit);
+      ++bit;
+    }
+    if ((query_mask >> v) & 1) {
+      inside_sigs[n_in++] = sig;
+    } else {
+      outside_sigs[n_out++] = sig;
+    }
+  }
+  for (uint32_t a = 0; a < n_in; ++a) {
+    for (uint32_t b = 0; b < n_out; ++b) {
+      if (inside_sigs[a] == outside_sigs[b]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+AbstractScheme AbstractFromEncoding(EncodingKind kind, uint32_t c) {
+  BIX_CHECK(c >= 2 && c <= 30);
+  const EncodingScheme& scheme = GetEncoding(kind);
+  AbstractScheme abs;
+  abs.cardinality = c;
+  abs.bitmaps.assign(scheme.NumBitmaps(c), 0);
+  std::vector<uint32_t> slots;
+  for (uint32_t v = 0; v < c; ++v) {
+    slots.clear();
+    scheme.SlotsForValue(c, v, &slots);
+    for (uint32_t s : slots) abs.bitmaps[s] |= (uint64_t{1} << v);
+  }
+  return abs;
+}
+
+bool IsComplete(const AbstractScheme& scheme) {
+  const uint32_t c = scheme.cardinality;
+  std::vector<uint64_t> sigs(c, 0);
+  for (size_t i = 0; i < scheme.bitmaps.size(); ++i) {
+    for (uint32_t v = 0; v < c; ++v) {
+      if ((scheme.bitmaps[i] >> v) & 1) sigs[v] |= (uint64_t{1} << i);
+    }
+  }
+  std::sort(sigs.begin(), sigs.end());
+  return std::adjacent_find(sigs.begin(), sigs.end()) == sigs.end();
+}
+
+uint32_t MinScans(const AbstractScheme& scheme, uint64_t query_mask) {
+  const uint32_t n = static_cast<uint32_t>(scheme.bitmaps.size());
+  const uint64_t domain =
+      scheme.cardinality >= 64 ? ~uint64_t{0}
+                               : ((uint64_t{1} << scheme.cardinality) - 1);
+  if (query_mask == 0 || query_mask == domain) return 0;
+  // Gosper's hack: subsets of each size in increasing order.
+  for (uint32_t size = 1; size <= n; ++size) {
+    uint64_t subset = (uint64_t{1} << size) - 1;
+    const uint64_t limit = uint64_t{1} << n;
+    while (subset < limit) {
+      if (Answerable(scheme, subset, query_mask)) return size;
+      const uint64_t cc = subset & -subset;
+      const uint64_t rr = subset + cc;
+      subset = (((rr ^ subset) >> 2) / cc) | rr;
+    }
+  }
+  return n + 1;  // unanswerable
+}
+
+double ExpectedScans(const AbstractScheme& scheme, QueryClass q) {
+  const std::vector<IntervalQuery> queries =
+      EnumerateQueries(q, scheme.cardinality);
+  BIX_CHECK(!queries.empty());
+  uint64_t total = 0;
+  for (const IntervalQuery& iq : queries) {
+    total += MinScans(scheme, QueryMask(iq));
+  }
+  return static_cast<double>(total) / queries.size();
+}
+
+namespace {
+
+// Recursive combination search over the canonical universe.
+struct SearchContext {
+  uint32_t cardinality;
+  std::vector<uint64_t> universe;     // candidate bitmap masks
+  std::vector<uint64_t> query_masks;  // the class's queries
+  uint64_t target_space;
+  double target_time;
+  uint64_t evaluated = 0;
+
+  std::optional<AbstractScheme> found;
+
+  void Try(const std::vector<uint64_t>& bitmaps) {
+    ++evaluated;
+    AbstractScheme cand;
+    cand.cardinality = cardinality;
+    cand.bitmaps = bitmaps;
+    if (!IsComplete(cand)) return;
+    // Early-abort expected-scan computation: every remaining query costs at
+    // least one scan.
+    const bool need_strict_time = bitmaps.size() == target_space;
+    const double budget_total =
+        target_time * static_cast<double>(query_masks.size()) -
+        (need_strict_time ? 1e-9 : -1e-9);
+    uint64_t total = 0;
+    for (size_t i = 0; i < query_masks.size(); ++i) {
+      total += MinScans(cand, query_masks[i]);
+      const uint64_t remaining = query_masks.size() - i - 1;
+      if (static_cast<double>(total + remaining) > budget_total) return;
+    }
+    found = std::move(cand);
+  }
+
+  void Search(size_t start, size_t remaining, std::vector<uint64_t>* current) {
+    if (found.has_value()) return;
+    if (remaining == 0) {
+      Try(*current);
+      return;
+    }
+    for (size_t i = start; i + remaining <= universe.size(); ++i) {
+      current->push_back(universe[i]);
+      Search(i + 1, remaining - 1, current);
+      current->pop_back();
+      if (found.has_value()) return;
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<AbstractScheme> FindDominatingScheme(const AbstractScheme& target,
+                                                   QueryClass q,
+                                                   uint64_t* evaluated) {
+  const uint32_t c = target.cardinality;
+  BIX_CHECK(c >= 2 && c <= 20);
+  SearchContext ctx;
+  ctx.cardinality = c;
+  ctx.target_space = target.space();
+  ctx.target_time = ExpectedScans(target, q);
+  for (const IntervalQuery& iq : EnumerateQueries(q, c)) {
+    ctx.query_masks.push_back(QueryMask(iq));
+  }
+  // Canonical universe: every bitmap contains value 0 (complement
+  // invariance), is not the full domain, and is nonempty by construction.
+  const uint64_t domain = (uint64_t{1} << c) - 1;
+  for (uint64_t m = 1; m <= domain; m += 2) {  // odd masks contain value 0
+    if (m != domain) ctx.universe.push_back(m);
+  }
+  // Completeness needs at least ceil(log2 c) bitmaps.
+  uint32_t min_space = 0;
+  while ((uint64_t{1} << min_space) < c) ++min_space;
+  std::vector<uint64_t> current;
+  for (uint64_t s = min_space; s <= ctx.target_space && !ctx.found; ++s) {
+    ctx.Search(0, s, &current);
+  }
+  if (evaluated != nullptr) *evaluated = ctx.evaluated;
+  return ctx.found;
+}
+
+AbstractScheme PairIntersectionScheme(uint32_t cardinality) {
+  BIX_CHECK(cardinality >= 2 && cardinality <= 30);
+  uint32_t k = 2;
+  while (k * (k - 1) / 2 < cardinality) ++k;
+  AbstractScheme scheme;
+  scheme.cardinality = cardinality;
+  scheme.bitmaps.assign(k, 0);
+  uint32_t v = 0;
+  for (uint32_t i = 0; i < k && v < cardinality; ++i) {
+    for (uint32_t j = i + 1; j < k && v < cardinality; ++j) {
+      scheme.bitmaps[i] |= (uint64_t{1} << v);
+      scheme.bitmaps[j] |= (uint64_t{1} << v);
+      ++v;
+    }
+  }
+  return scheme;
+}
+
+}  // namespace bix

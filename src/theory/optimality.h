@@ -1,0 +1,72 @@
+#ifndef BIX_THEORY_OPTIMALITY_H_
+#define BIX_THEORY_OPTIMALITY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "encoding/encoding_scheme.h"
+#include "query/query.h"
+#include "theory/cost_model.h"
+
+namespace bix {
+
+// Machinery for mechanically re-deriving the paper's optimality results
+// (Theorems 3.1 and 4.1, Table 1) for small cardinalities.
+//
+// An abstract encoding scheme over a domain of C <= 30 values is just a set
+// of bitmaps, each a bitmask of the values it represents. The evaluation
+// model follows the paper exactly:
+//  * a scheme is COMPLETE if every pair of values is separated by some
+//    bitmap (equivalently, every equality query is answerable);
+//  * a query is answerable from a scanned subset S of bitmaps iff its value
+//    set is a union of atoms of the partition S induces on the domain
+//    (any boolean function of the scanned bitmaps is allowed);
+//  * Time(scheme, class) = expected over the class of the minimum number of
+//    bitmaps that must be scanned; Space = number of bitmaps.
+struct AbstractScheme {
+  uint32_t cardinality = 0;
+  std::vector<uint64_t> bitmaps;  // value-set masks
+
+  uint64_t space() const { return bitmaps.size(); }
+};
+
+// Materializes a concrete encoding scheme (one component) as an abstract
+// scheme.
+AbstractScheme AbstractFromEncoding(EncodingKind kind, uint32_t c);
+
+bool IsComplete(const AbstractScheme& scheme);
+
+// Minimum number of bitmaps that must be scanned to answer "lo<=A<=hi";
+// returns space()+1 if unanswerable (incomplete scheme).
+uint32_t MinScans(const AbstractScheme& scheme, uint64_t query_mask);
+
+// Expected MinScans over the class (exact enumeration).
+double ExpectedScans(const AbstractScheme& scheme, QueryClass q);
+
+// Exhaustive search for a complete scheme that dominates `target` on class
+// `q` (space <= target and the theoretical optimal time <= target's time,
+// at least one strict). To keep the search canonical and halved, every
+// candidate bitmap is normalized to contain value 0 (complementing a bitmap
+// changes neither separations nor answerability). `max_space` bounds the
+// candidate scheme size (defaults to target.space()). Returns the first
+// dominating scheme found, or nullopt if none exists in the searched space.
+//
+// Feasible for cardinality <= ~6 at space <= 5 (tests) and a little beyond
+// in the bench. `evaluated` (optional) reports how many candidate schemes
+// were examined.
+std::optional<AbstractScheme> FindDominatingScheme(
+    const AbstractScheme& target, QueryClass q,
+    uint64_t* evaluated = nullptr);
+
+// The "pair-intersection" scheme: k bitmaps with every value assigned a
+// distinct pair (i, j), so that bitmap_i & bitmap_j == {value}. Complete,
+// answers every equality query in exactly 2 scans, and uses the minimal k
+// with k(k-1)/2 >= C. For C >= 14 (paper Theorem 4.1(1)) this k is smaller
+// than interval encoding's ceil(C/2), so the scheme dominates interval
+// encoding for the EQ class.
+AbstractScheme PairIntersectionScheme(uint32_t cardinality);
+
+}  // namespace bix
+
+#endif  // BIX_THEORY_OPTIMALITY_H_

@@ -1,0 +1,28 @@
+#include "theory/update_cost.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bix {
+
+UpdateCost ComputeUpdateCost(EncodingKind kind, uint32_t c) {
+  BIX_CHECK(c >= 2);
+  const EncodingScheme& scheme = GetEncoding(kind);
+  UpdateCost cost;
+  cost.best = UINT32_MAX;
+  uint64_t total = 0;
+  std::vector<uint32_t> slots;
+  for (uint32_t v = 0; v < c; ++v) {
+    slots.clear();
+    scheme.SlotsForValue(c, v, &slots);
+    const uint32_t touched = static_cast<uint32_t>(slots.size());
+    cost.best = std::min(cost.best, touched);
+    cost.worst = std::max(cost.worst, touched);
+    total += touched;
+  }
+  cost.expected = static_cast<double>(total) / c;
+  return cost;
+}
+
+}  // namespace bix

@@ -1,0 +1,25 @@
+#ifndef BIX_THEORY_UPDATE_COST_H_
+#define BIX_THEORY_UPDATE_COST_H_
+
+#include <cstdint>
+
+#include "encoding/encoding_scheme.h"
+
+namespace bix {
+
+// Update cost of an encoding scheme (paper Section 4.2): the number of
+// bitmaps whose bits must be set when a new record arrives, as a function
+// of the record's attribute value. best/worst over all values; expected
+// under a uniform value distribution. The paper's figures: E = 1/1/1,
+// R = 1/(C-1)/2/C-1, I = 1/~C/4/floor(C/2).
+struct UpdateCost {
+  uint32_t best = 0;
+  double expected = 0.0;
+  uint32_t worst = 0;
+};
+
+UpdateCost ComputeUpdateCost(EncodingKind kind, uint32_t c);
+
+}  // namespace bix
+
+#endif  // BIX_THEORY_UPDATE_COST_H_

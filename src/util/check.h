@@ -1,0 +1,39 @@
+#ifndef BIX_UTIL_CHECK_H_
+#define BIX_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant-checking macros. BIX_CHECK is always on; a failed check indicates
+// a programming error inside the library (not bad user input, which is
+// reported through Status) and aborts with the failing condition and
+// location. BIX_DCHECK compiles away in NDEBUG builds and is for checks on
+// hot paths.
+
+#define BIX_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "BIX_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define BIX_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "BIX_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   msg, __FILE__, __LINE__);                                \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define BIX_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define BIX_DCHECK(cond) BIX_CHECK(cond)
+#endif
+
+#endif  // BIX_UTIL_CHECK_H_

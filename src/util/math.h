@@ -1,0 +1,41 @@
+#ifndef BIX_UTIL_MATH_H_
+#define BIX_UTIL_MATH_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace bix {
+
+// Integer helpers shared across modules. All operate on unsigned 64-bit
+// quantities; callers are responsible for staying in range.
+
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) {
+  return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+// Smallest k with 2^k >= n (n >= 1). CeilLog2(1) == 0.
+constexpr uint32_t CeilLog2(uint64_t n) {
+  uint32_t k = 0;
+  uint64_t p = 1;
+  while (p < n) {
+    p <<= 1;
+    ++k;
+  }
+  return k;
+}
+
+// Saturating integer power; returns UINT64_MAX on overflow. Used when
+// checking whether a base decomposition covers a cardinality.
+constexpr uint64_t SaturatingPow(uint64_t base, uint32_t exp) {
+  uint64_t r = 1;
+  for (uint32_t i = 0; i < exp; ++i) {
+    if (r > UINT64_MAX / base) return UINT64_MAX;
+    r *= base;
+  }
+  return r;
+}
+
+}  // namespace bix
+
+#endif  // BIX_UTIL_MATH_H_

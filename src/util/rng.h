@@ -1,0 +1,41 @@
+#ifndef BIX_UTIL_RNG_H_
+#define BIX_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+#include "util/check.h"
+
+namespace bix {
+
+// Deterministic random source used by all generators. Wraps a fixed engine
+// so that workloads, query sets, and property tests are reproducible from a
+// single seed across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi], inclusive.
+  uint64_t UniformInt(uint64_t lo, uint64_t hi) {
+    BIX_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<uint64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_UTIL_RNG_H_

@@ -1,0 +1,21 @@
+#include "util/status.h"
+
+namespace bix {
+
+std::string Status::ToString() const {
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      return "InvalidArgument: " + message_;
+    case Code::kOutOfRange:
+      return "OutOfRange: " + message_;
+    case Code::kCorruption:
+      return "Corruption: " + message_;
+    case Code::kNotSupported:
+      return "NotSupported: " + message_;
+  }
+  return "Unknown";
+}
+
+}  // namespace bix

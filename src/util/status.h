@@ -1,0 +1,91 @@
+#ifndef BIX_UTIL_STATUS_H_
+#define BIX_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace bix {
+
+// Lightweight error type in the RocksDB/Arrow Status tradition. Used for
+// fallible operations driven by user input (index configuration, codec
+// input); internal invariant violations use BIX_CHECK instead.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kOutOfRange,
+    kCorruption,
+    kNotSupported,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable rendering, e.g. "InvalidArgument: cardinality must be
+  // >= 2".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+// Minimal value-or-error holder (no exceptions). `value()` aborts when the
+// result holds an error; callers are expected to test `ok()` first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    BIX_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    BIX_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    BIX_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  // Moving out of a temporary Result is allowed for move-only payloads
+  // (e.g. BitmapIndex): `BitmapIndex idx = BuildIndex(...).value();`.
+  T&& value() && {
+    BIX_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *std::move(value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_UTIL_STATUS_H_

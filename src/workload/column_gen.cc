@@ -1,0 +1,27 @@
+#include "workload/column_gen.h"
+
+#include "util/rng.h"
+#include "workload/zipf.h"
+
+namespace bix {
+
+Column GenerateZipfColumn(const ColumnSpec& spec) {
+  Rng rng(spec.seed);
+  ZipfDistribution dist(spec.cardinality, spec.zipf_z, &rng);
+  Column col;
+  col.cardinality = spec.cardinality;
+  col.values.reserve(spec.rows);
+  for (uint64_t i = 0; i < spec.rows; ++i) {
+    col.values.push_back(dist.Sample(&rng));
+  }
+  return col;
+}
+
+Column PaperExampleColumn() {
+  Column col;
+  col.cardinality = 10;
+  col.values = {3, 2, 1, 2, 8, 2, 9, 0, 7, 5, 6, 4};
+  return col;
+}
+
+}  // namespace bix

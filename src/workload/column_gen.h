@@ -1,0 +1,26 @@
+#ifndef BIX_WORKLOAD_COLUMN_GEN_H_
+#define BIX_WORKLOAD_COLUMN_GEN_H_
+
+#include <cstdint>
+
+#include "index/column.h"
+
+namespace bix {
+
+// Parameters of the paper's synthetic data sets (Section 7): N rows over a
+// domain of C values, Zipf-distributed with skew z in {0, 1, 2, 3}.
+struct ColumnSpec {
+  uint64_t rows = 1'000'000;
+  uint32_t cardinality = 50;
+  double zipf_z = 1.0;
+  uint64_t seed = 42;
+};
+
+Column GenerateZipfColumn(const ColumnSpec& spec);
+
+// The paper's Figure 1(a) worked example: 12 records over C = 10.
+Column PaperExampleColumn();
+
+}  // namespace bix
+
+#endif  // BIX_WORKLOAD_COLUMN_GEN_H_

@@ -1,0 +1,97 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace bix {
+
+std::string QuerySetSpec::Label() const {
+  return "Nint=" + std::to_string(n_int) + ",Nequ=" + std::to_string(n_equ);
+}
+
+MembershipQuery GenerateMembershipQuery(const QuerySetSpec& spec,
+                                        uint32_t cardinality, Rng* rng) {
+  const uint32_t n = spec.n_int;
+  BIX_CHECK(n >= 1 && spec.n_equ <= n);
+  // Range constituents span at least 2 values; keep them modest so several
+  // fit with gaps.
+  const uint32_t n_range = n - spec.n_equ;
+  const uint32_t max_len =
+      std::max<uint32_t>(2, cardinality / (2 * std::max<uint32_t>(n, 1)));
+  BIX_CHECK_MSG(cardinality >= 3 * n, "cardinality too small for query spec");
+
+  // Which constituents (in left-to-right order) are equalities.
+  std::vector<bool> is_equality(n, false);
+  {
+    std::vector<uint32_t> idx(n);
+    for (uint32_t i = 0; i < n; ++i) idx[i] = i;
+    std::shuffle(idx.begin(), idx.end(), rng->engine());
+    for (uint32_t i = 0; i < spec.n_equ; ++i) is_equality[idx[i]] = true;
+  }
+
+  std::vector<uint32_t> lengths(n);
+  uint32_t total_len = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    lengths[i] = is_equality[i]
+                     ? 1
+                     : static_cast<uint32_t>(rng->UniformInt(2, max_len));
+    total_len += lengths[i];
+  }
+  (void)n_range;
+  // Minimal layout: intervals separated by one excluded value.
+  const uint32_t min_span = total_len + (n - 1);
+  BIX_CHECK(min_span <= cardinality);
+  uint32_t slack = cardinality - min_span;
+
+  // Distribute the slack over the n+1 gaps (left edge, between, right edge).
+  std::vector<uint32_t> extra(n + 1, 0);
+  for (uint32_t g = 0; g < n + 1 && slack > 0; ++g) {
+    const uint32_t take = static_cast<uint32_t>(rng->UniformInt(0, slack));
+    extra[g] = take;
+    slack -= take;
+  }
+  // Randomize which gaps got the larger shares.
+  std::shuffle(extra.begin(), extra.end(), rng->engine());
+
+  MembershipQuery q;
+  uint32_t cursor = extra[0];
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t lo = cursor;
+    const uint32_t hi = lo + lengths[i] - 1;
+    BIX_CHECK(hi < cardinality);
+    for (uint32_t v = lo; v <= hi; ++v) q.values.push_back(v);
+    cursor = hi + 2 + extra[i + 1];  // +1 gap value, +1 next start
+  }
+  return q;
+}
+
+std::vector<QuerySet> GeneratePaperQuerySets(uint32_t cardinality,
+                                             uint64_t seed,
+                                             uint32_t queries_per_set) {
+  Rng rng(seed);
+  std::vector<QuerySetSpec> specs;
+  for (uint32_t n_int : {1u, 2u, 5u}) {
+    std::vector<uint32_t> n_equs = {0u,
+                                    static_cast<uint32_t>(CeilDiv(n_int, 2)),
+                                    n_int};
+    n_equs.erase(std::unique(n_equs.begin(), n_equs.end()), n_equs.end());
+    for (uint32_t n_equ : n_equs) specs.push_back({n_int, n_equ});
+  }
+  BIX_CHECK(specs.size() == 8);  // the paper's 8 query sets
+
+  std::vector<QuerySet> sets;
+  for (const QuerySetSpec& spec : specs) {
+    QuerySet set;
+    set.spec = spec;
+    for (uint32_t i = 0; i < queries_per_set; ++i) {
+      set.queries.push_back(GenerateMembershipQuery(spec, cardinality, &rng));
+    }
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+}  // namespace bix

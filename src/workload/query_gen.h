@@ -1,0 +1,42 @@
+#ifndef BIX_WORKLOAD_QUERY_GEN_H_
+#define BIX_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace bix {
+
+// One of the paper's query-set configurations (Section 7, "Queries"):
+// membership queries that rewrite into exactly `n_int` constituent interval
+// queries, `n_equ` of which are equality constituents.
+struct QuerySetSpec {
+  uint32_t n_int = 1;
+  uint32_t n_equ = 0;
+
+  std::string Label() const;  // e.g. "Nint=2,Nequ=1"
+};
+
+struct QuerySet {
+  QuerySetSpec spec;
+  std::vector<MembershipQuery> queries;
+};
+
+// The paper's 8 query sets: N_int in {1,2,5} x N_equ in
+// {0, ceil(N_int/2), N_int} (deduplicated), `queries_per_set` random queries
+// each (the paper uses 10).
+std::vector<QuerySet> GeneratePaperQuerySets(uint32_t cardinality,
+                                             uint64_t seed,
+                                             uint32_t queries_per_set = 10);
+
+// Generates one membership query matching `spec` over [0, cardinality).
+// The constituent intervals are pairwise non-adjacent so the membership
+// rewrite reproduces exactly n_int constituents.
+MembershipQuery GenerateMembershipQuery(const QuerySetSpec& spec,
+                                        uint32_t cardinality, class Rng* rng);
+
+}  // namespace bix
+
+#endif  // BIX_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,32 @@
+#include "workload/scan_baseline.h"
+
+#include "util/check.h"
+
+namespace bix {
+
+Bitvector NaiveEvaluateInterval(const Column& column, IntervalQuery q) {
+  BIX_CHECK(q.lo <= q.hi && q.hi < column.cardinality);
+  Bitvector result(column.row_count());
+  for (uint64_t i = 0; i < column.row_count(); ++i) {
+    const uint32_t v = column.values[i];
+    const bool inside = v >= q.lo && v <= q.hi;
+    if (inside != q.negated) result.Set(i);
+  }
+  return result;
+}
+
+Bitvector NaiveEvaluateMembership(const Column& column,
+                                  const std::vector<uint32_t>& values) {
+  std::vector<bool> member(column.cardinality, false);
+  for (uint32_t v : values) {
+    BIX_CHECK(v < column.cardinality);
+    member[v] = true;
+  }
+  Bitvector result(column.row_count());
+  for (uint64_t i = 0; i < column.row_count(); ++i) {
+    if (member[column.values[i]]) result.Set(i);
+  }
+  return result;
+}
+
+}  // namespace bix

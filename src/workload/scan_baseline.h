@@ -1,0 +1,18 @@
+#ifndef BIX_WORKLOAD_SCAN_BASELINE_H_
+#define BIX_WORKLOAD_SCAN_BASELINE_H_
+
+#include "bitvector/bitvector.h"
+#include "index/column.h"
+#include "query/query.h"
+
+namespace bix {
+
+// Naive full-column scan — the ground truth every index result is checked
+// against, and the "no index" comparator in examples.
+Bitvector NaiveEvaluateInterval(const Column& column, IntervalQuery q);
+Bitvector NaiveEvaluateMembership(const Column& column,
+                                  const std::vector<uint32_t>& values);
+
+}  // namespace bix
+
+#endif  // BIX_WORKLOAD_SCAN_BASELINE_H_

@@ -1,0 +1,47 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace bix {
+
+ZipfDistribution::ZipfDistribution(uint32_t cardinality, double z, Rng* rng)
+    : cardinality_(cardinality) {
+  BIX_CHECK(cardinality >= 1);
+  BIX_CHECK(z >= 0.0);
+  // Frequency of rank r (1-based) ~ 1/r^z.
+  std::vector<double> rank_weight(cardinality);
+  double total = 0.0;
+  for (uint32_t r = 0; r < cardinality; ++r) {
+    rank_weight[r] = 1.0 / std::pow(static_cast<double>(r + 1), z);
+    total += rank_weight[r];
+  }
+  // Random rank -> value assignment (uncorrelated, per the paper).
+  std::vector<uint32_t> value_of_rank(cardinality);
+  std::iota(value_of_rank.begin(), value_of_rank.end(), 0);
+  std::shuffle(value_of_rank.begin(), value_of_rank.end(), rng->engine());
+
+  pmf_.assign(cardinality, 0.0);
+  for (uint32_t r = 0; r < cardinality; ++r) {
+    pmf_[value_of_rank[r]] = rank_weight[r] / total;
+  }
+  cdf_.resize(cardinality);
+  double acc = 0.0;
+  for (uint32_t v = 0; v < cardinality; ++v) {
+    acc += pmf_[v];
+    cdf_[v] = acc;
+  }
+  cdf_.back() = 1.0;  // guard against float drift
+}
+
+uint32_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+}  // namespace bix

@@ -1,0 +1,36 @@
+#ifndef BIX_WORKLOAD_ZIPF_H_
+#define BIX_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bix {
+
+// Zipf distribution over C attribute values (paper Section 7, "Data Sets"):
+// the r-th most frequent value has probability proportional to 1/r^z, with
+// z = 0 the uniform distribution. Following the paper, the mapping from
+// frequency rank to attribute value is a random permutation so that values
+// and frequencies are uncorrelated.
+class ZipfDistribution {
+ public:
+  // `z` >= 0. The permutation is drawn from `rng`.
+  ZipfDistribution(uint32_t cardinality, double z, Rng* rng);
+
+  uint32_t cardinality() const { return cardinality_; }
+  // Probability of attribute value v.
+  double Probability(uint32_t v) const { return pmf_[v]; }
+
+  // Draws one attribute value.
+  uint32_t Sample(Rng* rng) const;
+
+ private:
+  uint32_t cardinality_;
+  std::vector<double> pmf_;  // by attribute value
+  std::vector<double> cdf_;  // by attribute value (prefix sums of pmf_)
+};
+
+}  // namespace bix
+
+#endif  // BIX_WORKLOAD_ZIPF_H_

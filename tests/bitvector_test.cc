@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bitvector/bitvector.h"
+#include "util/rng.h"
+
+namespace bix {
+namespace {
+
+TEST(BitvectorTest, EmptyAndSized) {
+  Bitvector empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.Count(), 0u);
+
+  Bitvector bv(100);
+  EXPECT_EQ(bv.size(), 100u);
+  EXPECT_EQ(bv.Count(), 0u);
+  EXPECT_EQ(bv.byte_size(), 16u);  // 2 words
+}
+
+TEST(BitvectorTest, SetGetClear) {
+  Bitvector bv(130);
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(129);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(63));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(129));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_EQ(bv.Count(), 4u);
+  bv.Clear(63);
+  EXPECT_FALSE(bv.Get(63));
+  EXPECT_EQ(bv.Count(), 3u);
+}
+
+TEST(BitvectorTest, FromPositions) {
+  Bitvector bv = Bitvector::FromPositions(10, {1, 3, 7});
+  EXPECT_EQ(bv.Count(), 3u);
+  EXPECT_TRUE(bv.Get(1));
+  EXPECT_TRUE(bv.Get(3));
+  EXPECT_TRUE(bv.Get(7));
+}
+
+TEST(BitvectorTest, AllOnesKeepsTrailingBitsZero) {
+  for (uint64_t n : {1u, 63u, 64u, 65u, 127u, 128u, 1000u}) {
+    Bitvector bv = Bitvector::AllOnes(n);
+    EXPECT_EQ(bv.Count(), n) << n;
+    // Not should produce all zeros.
+    bv.NotSelf();
+    EXPECT_EQ(bv.Count(), 0u) << n;
+  }
+}
+
+TEST(BitvectorTest, NotRespectsSize) {
+  Bitvector bv(70);
+  bv.Set(5);
+  bv.NotSelf();
+  EXPECT_EQ(bv.Count(), 69u);
+  EXPECT_FALSE(bv.Get(5));
+  EXPECT_TRUE(bv.Get(69));
+}
+
+TEST(BitvectorTest, LogicalOps) {
+  Bitvector a = Bitvector::FromPositions(100, {1, 2, 3, 70});
+  Bitvector b = Bitvector::FromPositions(100, {2, 3, 4, 71});
+
+  Bitvector and_r = Bitvector::And(a, b);
+  EXPECT_EQ(and_r, Bitvector::FromPositions(100, {2, 3}));
+
+  Bitvector or_r = Bitvector::Or(a, b);
+  EXPECT_EQ(or_r, Bitvector::FromPositions(100, {1, 2, 3, 4, 70, 71}));
+
+  Bitvector xor_r = Bitvector::Xor(a, b);
+  EXPECT_EQ(xor_r, Bitvector::FromPositions(100, {1, 4, 70, 71}));
+
+  Bitvector not_r = Bitvector::Not(a);
+  EXPECT_EQ(not_r.Count(), 96u);
+  EXPECT_FALSE(not_r.Get(1));
+  EXPECT_TRUE(not_r.Get(0));
+}
+
+TEST(BitvectorTest, InPlaceOpsMatchStatic) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint64_t n = rng.UniformInt(1, 500);
+    Bitvector a(n), b(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.3)) a.Set(i);
+      if (rng.Bernoulli(0.3)) b.Set(i);
+    }
+    Bitvector c = a;
+    c.AndWith(b);
+    EXPECT_EQ(c, Bitvector::And(a, b));
+    c = a;
+    c.OrWith(b);
+    EXPECT_EQ(c, Bitvector::Or(a, b));
+    c = a;
+    c.XorWith(b);
+    EXPECT_EQ(c, Bitvector::Xor(a, b));
+  }
+}
+
+TEST(BitvectorTest, DeMorgan) {
+  Rng rng(7);
+  const uint64_t n = 321;
+  Bitvector a(n), b(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.5)) a.Set(i);
+    if (rng.Bernoulli(0.5)) b.Set(i);
+  }
+  // ~(a & b) == ~a | ~b
+  Bitvector lhs = Bitvector::Not(Bitvector::And(a, b));
+  Bitvector rhs = Bitvector::Or(Bitvector::Not(a), Bitvector::Not(b));
+  EXPECT_EQ(lhs, rhs);
+  // a ^ b == (a | b) & ~(a & b)
+  Bitvector x1 = Bitvector::Xor(a, b);
+  Bitvector x2 = Bitvector::And(Bitvector::Or(a, b),
+                                Bitvector::Not(Bitvector::And(a, b)));
+  EXPECT_EQ(x1, x2);
+}
+
+TEST(BitvectorTest, ForEachSetBit) {
+  Bitvector bv = Bitvector::FromPositions(200, {0, 63, 64, 65, 199});
+  std::vector<uint64_t> seen;
+  bv.ForEachSetBit([&](uint64_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{0, 63, 64, 65, 199}));
+}
+
+TEST(BitvectorTest, EqualityIncludesSize) {
+  Bitvector a(64), b(65);
+  EXPECT_NE(a, b);
+  Bitvector c(64);
+  EXPECT_EQ(a, c);
+  c.Set(0);
+  EXPECT_NE(a, c);
+}
+
+TEST(BitvectorTest, CountLargeRandom) {
+  Rng rng(5);
+  Bitvector bv(10000);
+  uint64_t expected = 0;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.37)) {
+      bv.Set(i);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(bv.Count(), expected);
+}
+
+}  // namespace
+}  // namespace bix

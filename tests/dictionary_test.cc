@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/bitmap_index_facade.h"
+#include "core/dictionary.h"
+#include "query/executor.h"
+#include "workload/scan_baseline.h"
+
+namespace bix {
+namespace {
+
+TEST(DictionaryTest, BuildsOrderPreservingCodes) {
+  const std::vector<std::string> raw = {"pear", "apple", "fig",
+                                        "apple", "pear"};
+  Column col;
+  Dictionary<std::string> dict = Dictionary<std::string>::Build(raw, &col);
+  EXPECT_EQ(dict.cardinality(), 3u);
+  EXPECT_EQ(col.cardinality, 3u);
+  EXPECT_EQ(dict.Value(0), "apple");
+  EXPECT_EQ(dict.Value(1), "fig");
+  EXPECT_EQ(dict.Value(2), "pear");
+  EXPECT_EQ(col.values, (std::vector<uint32_t>{2, 0, 1, 0, 2}));
+}
+
+TEST(DictionaryTest, CodeLookup) {
+  Column col;
+  Dictionary<int64_t> dict =
+      Dictionary<int64_t>::Build({100, -5, 42, 42}, &col);
+  EXPECT_EQ(dict.Code(-5), std::optional<uint32_t>(0));
+  EXPECT_EQ(dict.Code(42), std::optional<uint32_t>(1));
+  EXPECT_EQ(dict.Code(100), std::optional<uint32_t>(2));
+  EXPECT_EQ(dict.Code(7), std::nullopt);
+}
+
+TEST(DictionaryTest, RangeTranslationClampsToDomain) {
+  Column col;
+  Dictionary<int64_t> dict =
+      Dictionary<int64_t>::Build({10, 20, 30, 40, 50}, &col);
+  // Bounds not in the dictionary still translate correctly.
+  std::optional<IntervalQuery> q = dict.Range(15, 45);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->lo, 1u);  // 20
+  EXPECT_EQ(q->hi, 3u);  // 40
+  // Exact bounds.
+  q = dict.Range(20, 40);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->lo, 1u);
+  EXPECT_EQ(q->hi, 3u);
+  // Empty ranges.
+  EXPECT_FALSE(dict.Range(21, 29).has_value());
+  EXPECT_FALSE(dict.Range(60, 70).has_value());
+  EXPECT_FALSE(dict.Range(0, 5).has_value());
+}
+
+TEST(DictionaryTest, MembershipDropsUnknownValues) {
+  Column col;
+  Dictionary<int64_t> dict = Dictionary<int64_t>::Build({1, 3, 5}, &col);
+  EXPECT_EQ(dict.Membership({3, 4, 5, 99}),
+            (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(DictionaryTest, EndToEndStringColumn) {
+  // Realistic flow: string column -> dictionary -> interval index ->
+  // range predicate on strings.
+  std::vector<std::string> raw;
+  const std::vector<std::string> cities = {"austin", "boston", "chicago",
+                                           "denver", "el paso", "fresno"};
+  for (int i = 0; i < 600; ++i) raw.push_back(cities[i % cities.size()]);
+
+  Column col;
+  Dictionary<std::string> dict = Dictionary<std::string>::Build(raw, &col);
+  IndexConfig cfg;
+  cfg.encoding = EncodingKind::kInterval;
+  BitmapIndex index = BuildIndex(col, cfg).value();
+  QueryExecutor exec(&index, {});
+
+  // "boston" <= city <= "denver".
+  std::optional<IntervalQuery> q = dict.Range("boston", "denver");
+  ASSERT_TRUE(q.has_value());
+  Bitvector result = exec.EvaluateInterval(*q);
+  uint64_t expected = 0;
+  for (const std::string& c : raw) {
+    if (c >= "boston" && c <= "denver") ++expected;
+  }
+  EXPECT_EQ(result.Count(), expected);
+}
+
+}  // namespace
+}  // namespace bix

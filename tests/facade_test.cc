@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "core/bitmap_index_facade.h"
+#include "core/index_advisor.h"
+#include "workload/column_gen.h"
+#include "workload/scan_baseline.h"
+
+namespace bix {
+namespace {
+
+Column SmallColumn() {
+  return GenerateZipfColumn(
+      {.rows = 2000, .cardinality = 50, .zipf_z = 1.0, .seed = 13});
+}
+
+TEST(FacadeTest, BuildDefaultsToSingleComponent) {
+  Column col = SmallColumn();
+  IndexConfig cfg;
+  cfg.encoding = EncodingKind::kInterval;
+  Result<BitmapIndex> r = BuildIndex(col, cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().decomposition().num_components(), 1u);
+  EXPECT_EQ(r.value().BitmapCount(), 25u);
+}
+
+TEST(FacadeTest, RejectsBadConfig) {
+  Column col = SmallColumn();
+  IndexConfig cfg;
+  cfg.bases_msb_first = {3, 3};  // 9 < 50
+  EXPECT_FALSE(BuildIndex(col, cfg).ok());
+
+  Column bad = col;
+  bad.values[5] = 99;  // out of domain
+  EXPECT_FALSE(BuildIndex(bad, IndexConfig{}).ok());
+
+  Column tiny;
+  tiny.cardinality = 1;
+  EXPECT_FALSE(BuildIndex(tiny, IndexConfig{}).ok());
+}
+
+TEST(FacadeTest, EndToEndQueryMatchesNaive) {
+  Column col = SmallColumn();
+  IndexConfig cfg;
+  cfg.encoding = EncodingKind::kEiStar;
+  cfg.bases_msb_first = SpaceOptimalBases(50, 2, EncodingKind::kEiStar).value();
+  cfg.compressed = true;
+  BitmapIndex index = BuildIndex(col, cfg).value();
+  QueryExecutor exec(&index, {});
+  EXPECT_EQ(exec.EvaluateInterval({7, 31}),
+            NaiveEvaluateInterval(col, {7, 31}));
+  EXPECT_EQ(exec.EvaluateMembership({0, 5, 6, 7, 49}),
+            NaiveEvaluateMembership(col, {0, 5, 6, 7, 49}));
+}
+
+TEST(AdvisorTest, RespectsSpaceBudget) {
+  AdvisorOptions opts;
+  opts.max_bitmaps = 10;
+  for (const AdvisorChoice& c : AdviseIndex(50, WorkloadProfile{}, opts)) {
+    EXPECT_LE(c.bitmaps, 10u);
+  }
+}
+
+TEST(AdvisorTest, ChoicesAreSortedByExpectedScans) {
+  std::vector<AdvisorChoice> choices = AdviseIndex(50, WorkloadProfile{});
+  ASSERT_FALSE(choices.empty());
+  for (size_t i = 1; i < choices.size(); ++i) {
+    EXPECT_LE(choices[i - 1].expected_scans, choices[i].expected_scans);
+  }
+}
+
+TEST(AdvisorTest, EqualityOnlyWorkloadPrefersOneScanSchemes) {
+  WorkloadProfile profile{.equality_weight = 1.0, .one_sided_weight = 0.0,
+                          .two_sided_weight = 0.0};
+  std::vector<AdvisorChoice> choices = AdviseIndex(50, profile);
+  ASSERT_FALSE(choices.empty());
+  // The best configuration must answer equality queries in one scan:
+  // single-component E, ER or EI.
+  EXPECT_NEAR(choices[0].expected_scans, 1.0, 1e-9);
+}
+
+TEST(AdvisorTest, RangeHeavyWorkloadPutsIntervalOnTop) {
+  WorkloadProfile profile{.equality_weight = 0.0, .one_sided_weight = 1.0,
+                          .two_sided_weight = 3.0};
+  AdvisorOptions opts;
+  opts.max_bitmaps = 30;  // excludes the fat hybrids and plain R at C=50
+  opts.component_counts = {1};
+  std::vector<AdvisorChoice> choices = AdviseIndex(50, profile, opts);
+  ASSERT_FALSE(choices.empty());
+  EXPECT_EQ(choices[0].config.encoding, EncodingKind::kInterval);
+}
+
+TEST(AdvisorTest, RecommendationIsBuildable) {
+  Column col = SmallColumn();
+  std::vector<AdvisorChoice> choices = AdviseIndex(50, WorkloadProfile{});
+  ASSERT_FALSE(choices.empty());
+  Result<BitmapIndex> r = BuildIndex(col, choices[0].config);
+  ASSERT_TRUE(r.ok());
+  QueryExecutor exec(&r.value(), {});
+  EXPECT_EQ(exec.EvaluateInterval({3, 17}),
+            NaiveEvaluateInterval(col, {3, 17}));
+}
+
+}  // namespace
+}  // namespace bix

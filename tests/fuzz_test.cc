@@ -1,0 +1,154 @@
+// Failure-injection / fuzz tests: random and mutated byte streams fed to
+// the validating decoders must never crash and must either fail cleanly or
+// produce a stream-consistent bitmap; large-cardinality integration checks
+// round out the sweep.
+
+#include <gtest/gtest.h>
+
+#include "compress/bbc.h"
+#include "compress/wah.h"
+#include "query/executor.h"
+#include "util/rng.h"
+#include "workload/column_gen.h"
+#include "workload/query_gen.h"
+#include "workload/scan_baseline.h"
+
+namespace bix {
+namespace {
+
+TEST(BbcFuzzTest, RandomStreamsNeverCrashValidatingDecode) {
+  Rng rng(101);
+  int ok_count = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    BbcEncoded enc;
+    enc.bit_count = rng.UniformInt(0, 4096);
+    const uint64_t len = rng.UniformInt(0, 64);
+    for (uint64_t i = 0; i < len; ++i) {
+      enc.data.push_back(static_cast<uint8_t>(rng.UniformInt(0, 255)));
+    }
+    Result<Bitvector> r = BbcDecode(enc);
+    if (r.ok()) {
+      ++ok_count;
+      // A stream the validator accepts must re-encode losslessly.
+      EXPECT_EQ(BbcDecodeUnchecked(BbcEncode(r.value())), r.value());
+    }
+  }
+  // Random streams virtually never cover exactly ceil(bit_count/8) bytes,
+  // so (nearly) all must be rejected -- the property under test is that
+  // rejection is always clean.
+  EXPECT_LT(ok_count, 3000);
+  // The empty stream for an empty bitmap is the trivially valid case.
+  BbcEncoded empty;
+  EXPECT_TRUE(BbcDecode(empty).ok());
+}
+
+TEST(BbcFuzzTest, MutatedValidStreamsNeverCrash) {
+  Rng rng(102);
+  Bitvector bv(5000);
+  for (int i = 0; i < 200; ++i) bv.Set(rng.UniformInt(0, 4999));
+  const BbcEncoded original = BbcEncode(bv);
+  for (int trial = 0; trial < 2000; ++trial) {
+    BbcEncoded mutated = original;
+    const int mutations = 1 + static_cast<int>(rng.UniformInt(0, 3));
+    for (int m = 0; m < mutations; ++m) {
+      if (mutated.data.empty()) break;
+      const size_t pos = rng.UniformInt(0, mutated.data.size() - 1);
+      mutated.data[pos] = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    Result<Bitvector> r = BbcDecode(mutated);  // must not crash
+    if (r.ok()) {
+      EXPECT_EQ(r.value().size(), mutated.bit_count);
+    }
+  }
+}
+
+TEST(BbcFuzzTest, TruncationsAlwaysRejectedOrConsistent) {
+  Bitvector bv = Bitvector::AllOnes(10'000);
+  bv.Clear(5);
+  bv.Clear(9000);
+  const BbcEncoded original = BbcEncode(bv);
+  for (size_t keep = 0; keep < original.data.size(); ++keep) {
+    BbcEncoded truncated;
+    truncated.bit_count = original.bit_count;
+    truncated.data.assign(original.data.begin(),
+                          original.data.begin() + keep);
+    EXPECT_FALSE(BbcDecode(truncated).ok()) << keep;
+  }
+}
+
+TEST(WahFuzzTest, RandomWordStreamsNeverCrash) {
+  Rng rng(103);
+  int ok_count = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    WahEncoded enc;
+    enc.bit_count = rng.UniformInt(0, 4096);
+    const uint64_t len = rng.UniformInt(0, 32);
+    for (uint64_t i = 0; i < len; ++i) {
+      enc.words.push_back(static_cast<uint32_t>(rng.UniformInt(0, UINT32_MAX)));
+    }
+    Result<Bitvector> r = WahDecode(enc);
+    if (r.ok()) {
+      ++ok_count;
+      EXPECT_EQ(r.value().size(), enc.bit_count);
+      EXPECT_EQ(WahDecodeUnchecked(WahEncode(r.value())), r.value());
+    }
+  }
+  EXPECT_LT(ok_count, 3000);
+}
+
+TEST(IntegrationTest, Cardinality200MatchesNaive) {
+  // The paper's second data-set configuration (C = 200): full pipeline
+  // spot-check across encodings and components.
+  Column col = GenerateZipfColumn(
+      {.rows = 20'000, .cardinality = 200, .zipf_z = 1.0, .seed = 200});
+  std::vector<QuerySet> sets = GeneratePaperQuerySets(200, 7, 3);
+  for (EncodingKind enc : BasicEncodingKinds()) {
+    for (uint32_t n : {1u, 2u}) {
+      Decomposition d = ChooseSpaceOptimalBases(200, n, enc).value();
+      BitmapIndex index = BitmapIndex::Build(col, d, enc, n == 2);
+      QueryExecutor exec(&index, {});
+      for (const QuerySet& set : sets) {
+        for (const MembershipQuery& q : set.queries) {
+          ASSERT_EQ(exec.EvaluateMembership(q.values),
+                    NaiveEvaluateMembership(col, q.values))
+              << EncodingKindName(enc) << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, SingleRowAndTwoValueDomains) {
+  // Degenerate shapes: 1 row, C = 2, every encoding.
+  Column col;
+  col.cardinality = 2;
+  col.values = {1};
+  for (EncodingKind enc : AllEncodingKinds()) {
+    BitmapIndex index = BitmapIndex::Build(
+        col, Decomposition::SingleComponent(2), enc, false);
+    QueryExecutor exec(&index, {});
+    EXPECT_EQ(exec.EvaluateInterval({0, 0}).Count(), 0u)
+        << EncodingKindName(enc);
+    EXPECT_EQ(exec.EvaluateInterval({1, 1}).Count(), 1u)
+        << EncodingKindName(enc);
+    EXPECT_EQ(exec.EvaluateInterval({0, 1}).Count(), 1u)
+        << EncodingKindName(enc);
+  }
+}
+
+TEST(IntegrationTest, AllValuesEqualColumn) {
+  Column col;
+  col.cardinality = 10;
+  col.values.assign(500, 7);
+  for (EncodingKind enc : AllEncodingKinds()) {
+    BitmapIndex index = BitmapIndex::Build(
+        col, Decomposition::SingleComponent(10), enc, true);
+    QueryExecutor exec(&index, {});
+    EXPECT_EQ(exec.EvaluateInterval({7, 7}).Count(), 500u);
+    EXPECT_EQ(exec.EvaluateInterval({0, 6}).Count(), 0u);
+    EXPECT_EQ(exec.EvaluateInterval({8, 9}).Count(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace bix

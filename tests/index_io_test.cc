@@ -1,0 +1,133 @@
+// Round-trip and corruption tests for index persistence (core/index_io).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/index_io.h"
+#include "query/executor.h"
+#include "workload/column_gen.h"
+#include "workload/scan_baseline.h"
+
+namespace bix {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+struct IoParam {
+  EncodingKind encoding;
+  std::vector<uint32_t> bases;
+  bool compressed;
+};
+
+class IndexIoSweep : public ::testing::TestWithParam<IoParam> {};
+
+TEST_P(IndexIoSweep, SaveLoadRoundtrip) {
+  const IoParam& p = GetParam();
+  Column col = GenerateZipfColumn(
+      {.rows = 2000, .cardinality = 24, .zipf_z = 1.0, .seed = 81});
+  Decomposition d = Decomposition::Make(24, p.bases).value();
+  BitmapIndex original = BitmapIndex::Build(col, d, p.encoding, p.compressed);
+
+  const std::string path = TempPath("roundtrip.bix");
+  ASSERT_TRUE(SaveIndex(original, path).ok());
+  Result<BitmapIndex> loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded.value().row_count(), original.row_count());
+  EXPECT_EQ(loaded.value().encoding_kind(), original.encoding_kind());
+  EXPECT_EQ(loaded.value().compressed(), original.compressed());
+  EXPECT_EQ(loaded.value().TotalStoredBytes(), original.TotalStoredBytes());
+  EXPECT_EQ(loaded.value().decomposition().BasesMsbFirst(),
+            original.decomposition().BasesMsbFirst());
+
+  // Queries over the loaded index match naive evaluation.
+  QueryExecutor exec(&loaded.value(), {});
+  for (uint32_t lo = 0; lo < 24; lo += 3) {
+    for (uint32_t hi = lo; hi < 24; hi += 5) {
+      EXPECT_EQ(exec.EvaluateInterval({lo, hi}),
+                NaiveEvaluateInterval(col, {lo, hi}));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, IndexIoSweep,
+    ::testing::Values(IoParam{EncodingKind::kEquality, {24}, false},
+                      IoParam{EncodingKind::kInterval, {24}, true},
+                      IoParam{EncodingKind::kRange, {4, 6}, false},
+                      IoParam{EncodingKind::kEiStar, {4, 6}, true},
+                      IoParam{EncodingKind::kOreo, {24}, false}),
+    [](const ::testing::TestParamInfo<IoParam>& info) {
+      std::string name = EncodingKindName(info.param.encoding);
+      if (name == "EI*") name = "EIstar";
+      name += "_" + std::to_string(info.param.bases.size()) + "comp";
+      name += info.param.compressed ? "_bbc" : "_raw";
+      return name;
+    });
+
+class IndexIoCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Column col = GenerateZipfColumn(
+        {.rows = 500, .cardinality = 10, .zipf_z = 0.0, .seed = 82});
+    BitmapIndex index =
+        BitmapIndex::Build(col, Decomposition::SingleComponent(10),
+                           EncodingKind::kInterval, false);
+    path_ = TempPath("corrupt.bix");
+    ASSERT_TRUE(SaveIndex(index, path_).ok());
+    std::ifstream in(path_, std::ios::binary);
+    bytes_.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteBack(const std::vector<char>& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+  std::vector<char> bytes_;
+};
+
+TEST_F(IndexIoCorruption, RejectsBadMagic) {
+  std::vector<char> bad = bytes_;
+  bad[0] = 'X';
+  WriteBack(bad);
+  EXPECT_FALSE(LoadIndex(path_).ok());
+}
+
+TEST_F(IndexIoCorruption, RejectsBadVersion) {
+  std::vector<char> bad = bytes_;
+  bad[4] = 99;
+  WriteBack(bad);
+  Result<BitmapIndex> r = LoadIndex(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotSupported);
+}
+
+TEST_F(IndexIoCorruption, RejectsTruncatedFile) {
+  for (size_t keep : {size_t{10}, bytes_.size() / 2, bytes_.size() - 1}) {
+    std::vector<char> bad(bytes_.begin(), bytes_.begin() + keep);
+    WriteBack(bad);
+    EXPECT_FALSE(LoadIndex(path_).ok()) << keep;
+  }
+}
+
+TEST_F(IndexIoCorruption, RejectsBadEncodingKind) {
+  std::vector<char> bad = bytes_;
+  bad[8] = 42;  // encoding byte
+  WriteBack(bad);
+  EXPECT_FALSE(LoadIndex(path_).ok());
+}
+
+TEST_F(IndexIoCorruption, RejectsMissingFile) {
+  EXPECT_FALSE(LoadIndex(TempPath("does_not_exist.bix")).ok());
+}
+
+}  // namespace
+}  // namespace bix

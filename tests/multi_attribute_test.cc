@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/multi_attribute.h"
+#include "workload/column_gen.h"
+#include "workload/scan_baseline.h"
+
+namespace bix {
+namespace {
+
+class MultiAttributeTest : public ::testing::Test {
+ protected:
+  MultiAttributeTest() {
+    region_ = GenerateZipfColumn(
+        {.rows = 3000, .cardinality = 10, .zipf_z = 0.5, .seed = 61});
+    month_ = GenerateZipfColumn(
+        {.rows = 3000, .cardinality = 12, .zipf_z = 0.0, .seed = 62});
+    category_ = GenerateZipfColumn(
+        {.rows = 3000, .cardinality = 50, .zipf_z = 2.0, .seed = 63});
+    region_index_.emplace(BitmapIndex::Build(
+        region_, Decomposition::SingleComponent(10),
+        EncodingKind::kEquality, false));
+    month_index_.emplace(BitmapIndex::Build(
+        month_, Decomposition::SingleComponent(12),
+        EncodingKind::kInterval, false));
+    category_index_.emplace(BitmapIndex::Build(
+        category_, Decomposition::SingleComponent(50),
+        EncodingKind::kEiStar, true));
+  }
+
+  Column region_, month_, category_;
+  std::optional<BitmapIndex> region_index_, month_index_, category_index_;
+};
+
+TEST_F(MultiAttributeTest, ConjunctionMatchesNaive) {
+  MultiAttributeSelector sel;
+  sel.AddAttribute("region", &*region_index_);
+  sel.AddAttribute("month", &*month_index_);
+  sel.AddAttribute("category", &*category_index_);
+
+  const std::vector<MultiAttributeSelector::Predicate> preds = {
+      {"region", {1, 2}},
+      {"month", {3, 4, 5}},  // Q2
+      {"category", {7, 8, 9, 30}},
+  };
+  Bitvector result = sel.EvaluateConjunction(preds);
+
+  Bitvector expected = NaiveEvaluateMembership(region_, {1, 2});
+  expected.AndWith(NaiveEvaluateMembership(month_, {3, 4, 5}));
+  expected.AndWith(NaiveEvaluateMembership(category_, {7, 8, 9, 30}));
+  EXPECT_EQ(result, expected);
+}
+
+TEST_F(MultiAttributeTest, DisjunctionMatchesNaive) {
+  MultiAttributeSelector sel;
+  sel.AddAttribute("region", &*region_index_);
+  sel.AddAttribute("month", &*month_index_);
+
+  Bitvector result = sel.EvaluateDisjunction({
+      {"region", {0}},
+      {"month", {11}},
+  });
+  Bitvector expected = NaiveEvaluateMembership(region_, {0});
+  expected.OrWith(NaiveEvaluateMembership(month_, {11}));
+  EXPECT_EQ(result, expected);
+}
+
+TEST_F(MultiAttributeTest, EmptyConjunctionSelectsAllRows) {
+  MultiAttributeSelector sel;
+  sel.AddAttribute("region", &*region_index_);
+  EXPECT_EQ(sel.EvaluateConjunction({}).Count(), region_.row_count());
+  EXPECT_EQ(sel.EvaluateDisjunction({}).Count(), 0u);
+}
+
+TEST_F(MultiAttributeTest, StatsAggregateAcrossAttributes) {
+  MultiAttributeSelector sel;
+  sel.AddAttribute("region", &*region_index_);
+  sel.AddAttribute("month", &*month_index_);
+  sel.EvaluateConjunction({{"region", {1}}, {"month", {2, 3}}});
+  EXPECT_GT(sel.stats().scans, 0u);
+  EXPECT_GT(sel.stats().io_seconds, 0.0);
+}
+
+TEST_F(MultiAttributeTest, RepeatedPredicateOnSameAttributeIntersects) {
+  MultiAttributeSelector sel;
+  sel.AddAttribute("month", &*month_index_);
+  Bitvector r = sel.EvaluateConjunction({
+      {"month", {0, 1, 2, 3}},
+      {"month", {3, 4}},
+  });
+  EXPECT_EQ(r, NaiveEvaluateMembership(month_, {3}));
+}
+
+}  // namespace
+}  // namespace bix

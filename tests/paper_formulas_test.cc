@@ -1,0 +1,147 @@
+// Verifies that the implementation's exact expected-scan counts match the
+// closed forms implied by the paper's evaluation equations, for a sweep of
+// cardinalities — pinning the cost model to the paper's analysis rather
+// than to our own code.
+
+#include <gtest/gtest.h>
+
+#include "index/bitmap_index.h"
+#include "theory/cost_model.h"
+#include "theory/optimality.h"
+#include "workload/column_gen.h"
+
+namespace bix {
+namespace {
+
+class FormulaSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FormulaSweep, EqualityEncodingFormulas) {
+  const uint32_t c = GetParam();
+  // Eq. (1): equality in 1 scan.
+  EXPECT_DOUBLE_EQ(
+      ComputeCost(EncodingKind::kEquality, c, QueryClass::kEq).expected_scans,
+      1.0);
+  // One-sided [0,v] costs min(v+1, c-1-v) scans; both directions average
+  // the same by symmetry.
+  double total = 0;
+  for (uint32_t v = 1; v + 1 < c; ++v) {
+    total += std::min(v + 1, c - 1 - v);   // [0, v]
+    total += std::min(c - v, v);           // [v, c-1]: c-v values vs v below
+  }
+  EXPECT_NEAR(
+      ComputeCost(EncodingKind::kEquality, c, QueryClass::k1Rq).expected_scans,
+      total / (2.0 * (c - 2)), 1e-9);
+}
+
+TEST_P(FormulaSweep, RangeEncodingFormulas) {
+  const uint32_t c = GetParam();
+  // Eq. (2): endpoints of the domain cost one scan, interior equalities
+  // two: expected EQ scans = 2 - 2/C.
+  EXPECT_NEAR(
+      ComputeCost(EncodingKind::kRange, c, QueryClass::kEq).expected_scans,
+      2.0 - 2.0 / c, 1e-9);
+  // Every proper one-sided range is a single stored bitmap (or its
+  // complement).
+  EXPECT_DOUBLE_EQ(
+      ComputeCost(EncodingKind::kRange, c, QueryClass::k1Rq).expected_scans,
+      1.0);
+  // Every interior two-sided range XORs exactly two bitmaps.
+  EXPECT_DOUBLE_EQ(
+      ComputeCost(EncodingKind::kRange, c, QueryClass::k2Rq).expected_scans,
+      2.0);
+}
+
+TEST_P(FormulaSweep, IntervalEncodingFormulas) {
+  const uint32_t c = GetParam();
+  const uint32_t m = c / 2 - 1;
+  // EQ: every equality costs exactly 2 scans for c >= 4 (Eq. 4).
+  EXPECT_DOUBLE_EQ(
+      ComputeCost(EncodingKind::kInterval, c, QueryClass::kEq).expected_scans,
+      2.0);
+  // 1RQ: exactly one query per direction is a single bitmap ("A <= m" is
+  // I^0; its mirror is the complement of I^0): expected = 2 - 1/(C-2).
+  EXPECT_NEAR(
+      ComputeCost(EncodingKind::kInterval, c, QueryClass::k1Rq).expected_scans,
+      2.0 - 1.0 / (c - 2), 1e-9);
+  // 2RQ: the width-(m+1) queries [lo, lo+m] are single bitmaps; there are
+  // C-2-m of them among (C-2)(C-3)/2 interior ranges.
+  const double total_queries = (c - 2) * (c - 3) / 2.0;
+  const double one_scan = c - 2 - m;
+  EXPECT_NEAR(
+      ComputeCost(EncodingKind::kInterval, c, QueryClass::k2Rq).expected_scans,
+      2.0 - one_scan / total_queries, 1e-9);
+}
+
+TEST_P(FormulaSweep, HybridEqualityFormulas) {
+  const uint32_t c = GetParam();
+  // ER and EI inherit equality encoding's one-scan equality queries.
+  for (EncodingKind enc :
+       {EncodingKind::kEqualityRange, EncodingKind::kEqualityInterval}) {
+    EXPECT_DOUBLE_EQ(ComputeCost(enc, c, QueryClass::kEq).expected_scans, 1.0)
+        << EncodingKindName(enc);
+  }
+  // ER inherits range encoding's one-scan one-sided ranges; EI and EI*
+  // inherit interval encoding's 1RQ cost.
+  EXPECT_DOUBLE_EQ(
+      ComputeCost(EncodingKind::kEqualityRange, c, QueryClass::k1Rq)
+          .expected_scans,
+      1.0);
+  for (EncodingKind enc :
+       {EncodingKind::kEqualityInterval, EncodingKind::kEiStar}) {
+    EXPECT_NEAR(ComputeCost(enc, c, QueryClass::k1Rq).expected_scans,
+                2.0 - 1.0 / (c - 2), 1e-9)
+        << EncodingKindName(enc);
+  }
+}
+
+TEST_P(FormulaSweep, AbstractOptimumNeverExceedsImplementation) {
+  // The rewrite must never use fewer scans than the information-theoretic
+  // minimum for the scheme's bitmaps (soundness of the cost model), for
+  // all seven encodings.
+  const uint32_t c = GetParam();
+  if (c > 12) return;  // abstract MinScans explodes for wide E queries
+  for (EncodingKind enc : AllEncodingKinds()) {
+    AbstractScheme abs = AbstractFromEncoding(enc, c);
+    for (QueryClass q :
+         {QueryClass::kEq, QueryClass::k1Rq, QueryClass::k2Rq}) {
+      if (EnumerateQueries(q, c).empty()) continue;
+      EXPECT_LE(ExpectedScans(abs, q),
+                ComputeCost(enc, c, q).expected_scans + 1e-9)
+          << EncodingKindName(enc) << " " << QueryClassName(q);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, FormulaSweep,
+                         ::testing::Values(6u, 8u, 10u, 12u, 20u, 50u, 51u,
+                                           100u, 200u),
+                         [](const ::testing::TestParamInfo<uint32_t>& i) {
+                           return "C" + std::to_string(i.param);
+                         });
+
+// Paper Figure 2(c): the base-<3,4> range-encoded index of the worked
+// example.
+TEST(PaperFigure2, RangeEncodedMultiComponent) {
+  Column col = PaperExampleColumn();
+  Decomposition d = Decomposition::Make(10, {3, 4}).value();
+  BitmapIndex index = BitmapIndex::Build(col, d, EncodingKind::kRange,
+                                         /*compressed=*/false);
+  EXPECT_EQ(index.BitmapCount(), 5u);  // (3-1) + (4-1)
+  // Record 1 has value 3 = digits (0, 3): in R_2^0, R_2^1 and in no R_1^w
+  // (figure row 1: R_2 = 1 1, R_1 = 0 0 0).
+  EXPECT_TRUE(index.store().Materialize({2, 0}).Get(0));
+  EXPECT_TRUE(index.store().Materialize({2, 1}).Get(0));
+  for (uint32_t s = 0; s < 3; ++s) {
+    EXPECT_FALSE(index.store().Materialize({1, s}).Get(0)) << s;
+  }
+  // Record 5 has value 8 = digits (2, 0): figure row 5: R_2 = 0 0,
+  // R_1 = 1 1 1.
+  EXPECT_FALSE(index.store().Materialize({2, 0}).Get(4));
+  EXPECT_FALSE(index.store().Materialize({2, 1}).Get(4));
+  for (uint32_t s = 0; s < 3; ++s) {
+    EXPECT_TRUE(index.store().Materialize({1, s}).Get(4)) << s;
+  }
+}
+
+}  // namespace
+}  // namespace bix

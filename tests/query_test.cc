@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include "query/executor.h"
+#include "query/interval_rewrite.h"
+#include "query/membership_rewrite.h"
+#include "util/rng.h"
+#include "workload/column_gen.h"
+#include "workload/scan_baseline.h"
+
+namespace bix {
+namespace {
+
+TEST(MembershipRewriteTest, PaperExample) {
+  // "A in {6,19,20,21,22,35}" -> (A=6) v (19<=A<=22) v (A=35).
+  auto intervals = MembershipToIntervals({6, 19, 20, 21, 22, 35});
+  ASSERT_EQ(intervals.size(), 3u);
+  EXPECT_EQ(intervals[0], (IntervalQuery{6, 6}));
+  EXPECT_EQ(intervals[1], (IntervalQuery{19, 22}));
+  EXPECT_EQ(intervals[2], (IntervalQuery{35, 35}));
+}
+
+TEST(MembershipRewriteTest, HandlesUnsortedDuplicates) {
+  auto intervals = MembershipToIntervals({5, 3, 4, 4, 9});
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0], (IntervalQuery{3, 5}));
+  EXPECT_EQ(intervals[1], (IntervalQuery{9, 9}));
+}
+
+TEST(MembershipRewriteTest, SingleValueAndEmpty) {
+  EXPECT_EQ(MembershipToIntervals({7}).size(), 1u);
+  EXPECT_TRUE(MembershipToIntervals({}).empty());
+}
+
+TEST(QueryClassTest, EnumerationSizes) {
+  // C = 10: EQ 10; 1RQ 2*(10-2) = 16; 2RQ = C(8,2) = 28; RQ = 44.
+  EXPECT_EQ(EnumerateQueries(QueryClass::kEq, 10).size(), 10u);
+  EXPECT_EQ(EnumerateQueries(QueryClass::k1Rq, 10).size(), 16u);
+  EXPECT_EQ(EnumerateQueries(QueryClass::k2Rq, 10).size(), 28u);
+  EXPECT_EQ(EnumerateQueries(QueryClass::kRq, 10).size(), 44u);
+}
+
+TEST(IntervalRewriteTest, PaperLeExample) {
+  // "A <= 85" over base-<10,10>, range encoding:
+  // (A_2 <= 7) v (A_2 <= 8 ^ A_1 <= 5). With range encoding the alpha is
+  // the <= form and each predicate is one R leaf.
+  Decomposition d = Decomposition::Make(100, {10, 10}).value();
+  ExprPtr e = RewriteInterval(d, GetEncoding(EncodingKind::kRange), {0, 85});
+  EXPECT_EQ(ExprToString(e), "(B2^7 | (B2^8 & B1^5))");
+}
+
+TEST(IntervalRewriteTest, PaperTrailingMaxDigitDrop) {
+  // "A <= 499" over base-<10,10,10> simplifies to "A_3 <= 4".
+  Decomposition d = Decomposition::Make(1000, {10, 10, 10}).value();
+  ExprPtr e = RewriteInterval(d, GetEncoding(EncodingKind::kRange), {0, 499});
+  EXPECT_EQ(ExprToString(e), "B3^4");
+}
+
+TEST(IntervalRewriteTest, EqualityDecomposesPerComponent) {
+  // "A = 357" over base-<10,10,10>, equality encoding: E_3^3 ^ E_2^5 ^ E_1^7.
+  Decomposition d = Decomposition::Make(1000, {10, 10, 10}).value();
+  ExprPtr e =
+      RewriteInterval(d, GetEncoding(EncodingKind::kEquality), {357, 357});
+  EXPECT_EQ(CountDistinctLeaves(e), 3u);
+  // Nested ANDs flatten into one conjunction.
+  EXPECT_EQ(ExprToString(e), "(B3^3 & B2^5 & B1^7)");
+}
+
+TEST(IntervalRewriteTest, CommonPrefixBecomesEqualityConjunct) {
+  // "4326 <= A <= 4377" over base-<10,10,10,10>: common prefix digits 4,3.
+  Decomposition d = Decomposition::Make(10000, {10, 10, 10, 10}).value();
+  ExprPtr e = RewriteInterval(d, GetEncoding(EncodingKind::kEquality),
+                              {4326, 4377});
+  // Leaves: E_4^4, E_3^3, then the suffix range 26..77 over two digits.
+  std::vector<BitmapKey> leaves;
+  CollectLeaves(e, &leaves);
+  bool has_e4 = false, has_e3 = false;
+  for (const BitmapKey& k : leaves) {
+    if (k.component == 4) {
+      EXPECT_EQ(k.slot, 4u);
+      has_e4 = true;
+    }
+    if (k.component == 3) {
+      EXPECT_EQ(k.slot, 3u);
+      has_e3 = true;
+    }
+  }
+  EXPECT_TRUE(has_e4);
+  EXPECT_TRUE(has_e3);
+}
+
+TEST(IntervalRewriteTest, WholeDomainIsConstTrue) {
+  Decomposition d = Decomposition::Make(50, {8, 7}).value();
+  ExprPtr e = RewriteInterval(d, GetEncoding(EncodingKind::kInterval), {0, 49});
+  EXPECT_EQ(e->op, ExprOp::kConst);
+  EXPECT_TRUE(e->const_value);
+}
+
+TEST(IntervalRewriteTest, DomainSlackTreatedAsOpenTop) {
+  // C = 50 over base-<8,7> covers 56 codes; "A >= 30" must not pay for the
+  // unreachable codes 50..55: rewritten as NOT (A <= 29).
+  Decomposition d = Decomposition::Make(50, {8, 7}).value();
+  ExprPtr e = RewriteInterval(d, GetEncoding(EncodingKind::kRange), {30, 49});
+  ASSERT_EQ(e->op, ExprOp::kNot);
+}
+
+// --- End-to-end: every encoding x decompositions x strategies vs naive ----
+
+struct PipelineParam {
+  EncodingKind encoding;
+  std::vector<uint32_t> bases;
+  bool compressed;
+  EvalStrategy strategy;
+};
+
+std::string PipelineParamName(
+    const ::testing::TestParamInfo<PipelineParam>& info) {
+  std::string name = EncodingKindName(info.param.encoding);
+  if (name == "EI*") name = "EIstar";
+  name += "_b";
+  for (uint32_t b : info.param.bases) name += std::to_string(b) + "_";
+  name += info.param.compressed ? "bbc" : "raw";
+  name += info.param.strategy == EvalStrategy::kQueryWise ? "_qw" : "_cw";
+  return name;
+}
+
+class QueryPipeline : public ::testing::TestWithParam<PipelineParam> {
+ protected:
+  static constexpr uint32_t kCardinality = 30;
+
+  QueryPipeline() {
+    column_ = GenerateZipfColumn(
+        {.rows = 3000, .cardinality = kCardinality, .zipf_z = 1.0, .seed = 5});
+  }
+  Column column_;
+};
+
+TEST_P(QueryPipeline, AllIntervalQueriesMatchNaive) {
+  const PipelineParam& p = GetParam();
+  Decomposition d = Decomposition::Make(kCardinality, p.bases).value();
+  BitmapIndex index =
+      BitmapIndex::Build(column_, d, p.encoding, p.compressed);
+  ExecutorOptions opts;
+  opts.strategy = p.strategy;
+  QueryExecutor exec(&index, opts);
+  for (uint32_t lo = 0; lo < kCardinality; ++lo) {
+    for (uint32_t hi = lo; hi < kCardinality; ++hi) {
+      EXPECT_EQ(exec.EvaluateInterval({lo, hi}),
+                NaiveEvaluateInterval(column_, {lo, hi}))
+          << "[" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST_P(QueryPipeline, RandomMembershipQueriesMatchNaive) {
+  const PipelineParam& p = GetParam();
+  Decomposition d = Decomposition::Make(kCardinality, p.bases).value();
+  BitmapIndex index =
+      BitmapIndex::Build(column_, d, p.encoding, p.compressed);
+  ExecutorOptions opts;
+  opts.strategy = p.strategy;
+  QueryExecutor exec(&index, opts);
+  Rng rng(77);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<uint32_t> values;
+    const uint32_t count =
+        static_cast<uint32_t>(rng.UniformInt(1, kCardinality));
+    for (uint32_t i = 0; i < count; ++i) {
+      values.push_back(
+          static_cast<uint32_t>(rng.UniformInt(0, kCardinality - 1)));
+    }
+    EXPECT_EQ(exec.EvaluateMembership(values),
+              NaiveEvaluateMembership(column_, values));
+  }
+}
+
+std::vector<PipelineParam> PipelineParams() {
+  std::vector<PipelineParam> params;
+  const std::vector<std::vector<uint32_t>> bases = {
+      {30}, {6, 5}, {2, 4, 4}, {2, 2, 2, 2, 2}};
+  for (EncodingKind enc : AllEncodingKinds()) {
+    for (const auto& b : bases) {
+      params.push_back({enc, b, false, EvalStrategy::kComponentWise});
+    }
+    // Compressed + query-wise variants on the 2-component base to bound
+    // test count; full coverage of the matrix is in the sweep test below.
+    params.push_back({enc, {6, 5}, true, EvalStrategy::kComponentWise});
+    params.push_back({enc, {6, 5}, false, EvalStrategy::kQueryWise});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, QueryPipeline,
+                         ::testing::ValuesIn(PipelineParams()),
+                         PipelineParamName);
+
+// Exhaustive base-sequence sweep at a smaller cardinality: every 2-component
+// decomposition of C = 12, every encoding, every interval query.
+TEST(QueryPipelineSweep, EveryTwoComponentDecompositionC12) {
+  Column column = GenerateZipfColumn(
+      {.rows = 500, .cardinality = 12, .zipf_z = 0.0, .seed = 9});
+  for (const auto& bases : EnumerateBaseSequences(12, 2)) {
+    Decomposition d = Decomposition::Make(12, bases).value();
+    for (EncodingKind enc : AllEncodingKinds()) {
+      BitmapIndex index = BitmapIndex::Build(column, d, enc, false);
+      QueryExecutor exec(&index, {});
+      for (uint32_t lo = 0; lo < 12; ++lo) {
+        for (uint32_t hi = lo; hi < 12; ++hi) {
+          ASSERT_EQ(exec.EvaluateInterval({lo, hi}),
+                    NaiveEvaluateInterval(column, {lo, hi}))
+              << EncodingKindName(enc) << " " << d.ToString() << " [" << lo
+              << "," << hi << "]";
+        }
+      }
+    }
+  }
+}
+
+// Three-component sweep on C = 18 with sampled queries.
+TEST(QueryPipelineSweep, ThreeComponentDecompositionsC18) {
+  Column column = GenerateZipfColumn(
+      {.rows = 400, .cardinality = 18, .zipf_z = 1.0, .seed = 10});
+  for (const auto& bases : EnumerateBaseSequences(18, 3)) {
+    Decomposition d = Decomposition::Make(18, bases).value();
+    for (EncodingKind enc : AllEncodingKinds()) {
+      BitmapIndex index = BitmapIndex::Build(column, d, enc, false);
+      QueryExecutor exec(&index, {});
+      for (uint32_t lo = 0; lo < 18; lo += 2) {
+        for (uint32_t hi = lo; hi < 18; hi += 3) {
+          ASSERT_EQ(exec.EvaluateInterval({lo, hi}),
+                    NaiveEvaluateInterval(column, {lo, hi}))
+              << EncodingKindName(enc) << " " << d.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(ExecutorStatsTest, ComponentWiseScansEachBitmapOnce) {
+  Column column = GenerateZipfColumn(
+      {.rows = 1000, .cardinality = 50, .zipf_z = 0.0, .seed = 3});
+  BitmapIndex index =
+      BitmapIndex::Build(column, Decomposition::SingleComponent(50),
+                         EncodingKind::kInterval, false);
+  ExecutorOptions opts;
+  opts.strategy = EvalStrategy::kComponentWise;
+  QueryExecutor exec(&index, opts);
+  exec.EvaluateInterval({10, 20});  // one interval query: <= 2 scans
+  EXPECT_LE(exec.stats().scans, 2u);
+  EXPECT_EQ(exec.stats().rescans, 0u);
+}
+
+TEST(ExecutorStatsTest, QueryWiseRefetchesSharedBitmaps) {
+  // A membership query whose constituents share I^0: query-wise fetches it
+  // once per constituent (pool hits), component-wise only once.
+  Column column = GenerateZipfColumn(
+      {.rows = 1000, .cardinality = 50, .zipf_z = 0.0, .seed = 3});
+  BitmapIndex index =
+      BitmapIndex::Build(column, Decomposition::SingleComponent(50),
+                         EncodingKind::kInterval, false);
+  const std::vector<uint32_t> values = {5, 6, 7, 30, 31, 32};  // two ranges
+
+  ExecutorOptions qw;
+  qw.strategy = EvalStrategy::kQueryWise;
+  QueryExecutor exec_qw(&index, qw);
+  exec_qw.EvaluateMembership(values);
+
+  ExecutorOptions cw;
+  cw.strategy = EvalStrategy::kComponentWise;
+  QueryExecutor exec_cw(&index, cw);
+  exec_cw.EvaluateMembership(values);
+
+  EXPECT_GE(exec_qw.stats().scans, exec_cw.stats().scans);
+  // Both strategies read each distinct bitmap from disk at most once (the
+  // pool is large).
+  EXPECT_EQ(exec_qw.stats().rescans, 0u);
+  EXPECT_EQ(exec_cw.stats().rescans, 0u);
+}
+
+TEST(ExecutorStatsTest, ColdPoolPerQueryRereadsAcrossQueries) {
+  Column column = GenerateZipfColumn(
+      {.rows = 1000, .cardinality = 50, .zipf_z = 0.0, .seed = 3});
+  BitmapIndex index =
+      BitmapIndex::Build(column, Decomposition::SingleComponent(50),
+                         EncodingKind::kRange, false);
+  ExecutorOptions opts;
+  opts.cold_pool_per_query = true;
+  QueryExecutor exec(&index, opts);
+  exec.EvaluateInterval({10, 20});
+  const uint64_t reads_once = exec.stats().disk_reads;
+  exec.EvaluateInterval({10, 20});
+  EXPECT_EQ(exec.stats().disk_reads, 2 * reads_once);
+
+  ExecutorOptions warm;
+  warm.cold_pool_per_query = false;
+  QueryExecutor exec2(&index, warm);
+  exec2.EvaluateInterval({10, 20});
+  exec2.EvaluateInterval({10, 20});
+  EXPECT_EQ(exec2.stats().disk_reads, reads_once);
+  EXPECT_EQ(exec2.stats().pool_hits, reads_once);
+}
+
+TEST(ExecutorTest, IntervalScanBoundsAcrossEncodings) {
+  // Single-component: I answers any interval in <= 2 scans, R in <= 2.
+  Column column = GenerateZipfColumn(
+      {.rows = 200, .cardinality = 40, .zipf_z = 0.0, .seed = 3});
+  for (EncodingKind enc :
+       {EncodingKind::kRange, EncodingKind::kInterval}) {
+    BitmapIndex index = BitmapIndex::Build(
+        column, Decomposition::SingleComponent(40), enc, false);
+    QueryExecutor exec(&index, {});
+    for (uint32_t lo = 0; lo < 40; ++lo) {
+      for (uint32_t hi = lo; hi < 40; ++hi) {
+        exec.ResetStats();
+        exec.EvaluateInterval({lo, hi});
+        EXPECT_LE(exec.stats().scans, 2u)
+            << EncodingKindName(enc) << " [" << lo << "," << hi << "]";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bix

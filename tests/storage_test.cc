@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "storage/bitmap_cache.h"
+#include "storage/bitmap_store.h"
+#include "util/rng.h"
+
+namespace bix {
+namespace {
+
+Bitvector MakeBitmap(uint64_t n, uint64_t seed, double density = 0.3) {
+  Rng rng(seed);
+  Bitvector bv(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(density)) bv.Set(i);
+  }
+  return bv;
+}
+
+TEST(BitmapStoreTest, UncompressedRoundtrip) {
+  BitmapStore store;
+  Bitvector bv = MakeBitmap(1000, 1);
+  store.PutUncompressed({1, 0}, bv);
+  EXPECT_TRUE(store.Contains({1, 0}));
+  EXPECT_FALSE(store.Contains({1, 1}));
+  EXPECT_EQ(store.Materialize({1, 0}), bv);
+  EXPECT_EQ(store.StoredBytes({1, 0}), 125u);
+  EXPECT_EQ(store.TotalStoredBytes(), 125u);
+  EXPECT_EQ(store.BitmapCount(), 1u);
+}
+
+TEST(BitmapStoreTest, CompressedRoundtrip) {
+  BitmapStore store;
+  Bitvector sparse(100'000);
+  sparse.Set(7);
+  sparse.Set(99'999);
+  store.PutCompressed({1, 0}, sparse);
+  EXPECT_EQ(store.Materialize({1, 0}), sparse);
+  EXPECT_LT(store.StoredBytes({1, 0}), 100u);
+}
+
+TEST(BitmapStoreTest, KeysAreComponentScoped) {
+  BitmapStore store;
+  Bitvector a = MakeBitmap(100, 1), b = MakeBitmap(100, 2);
+  store.PutUncompressed({1, 5}, a);
+  store.PutUncompressed({2, 5}, b);
+  EXPECT_EQ(store.Materialize({1, 5}), a);
+  EXPECT_EQ(store.Materialize({2, 5}), b);
+}
+
+TEST(DiskModelTest, ReadSecondsIsSeekPlusTransfer) {
+  DiskModel disk;
+  disk.seek_seconds = 0.01;
+  disk.bytes_per_second = 1000.0;
+  EXPECT_DOUBLE_EQ(disk.ReadSeconds(0), 0.01);
+  EXPECT_DOUBLE_EQ(disk.ReadSeconds(500), 0.01 + 0.5);
+}
+
+class BitmapCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Four 125-byte bitmaps.
+    for (uint32_t s = 0; s < 4; ++s) {
+      store_.PutUncompressed({1, s}, MakeBitmap(1000, s));
+    }
+  }
+  BitmapStore store_;
+};
+
+TEST_F(BitmapCacheTest, FetchReturnsStoredBitmap) {
+  BitmapCache cache(&store_, 1 << 20);
+  EXPECT_EQ(cache.Fetch({1, 2}), MakeBitmap(1000, 2));
+}
+
+TEST_F(BitmapCacheTest, SecondFetchHitsPool) {
+  BitmapCache cache(&store_, 1 << 20);
+  cache.Fetch({1, 0});
+  cache.Fetch({1, 0});
+  EXPECT_EQ(cache.stats().scans, 2u);
+  EXPECT_EQ(cache.stats().disk_reads, 1u);
+  EXPECT_EQ(cache.stats().pool_hits, 1u);
+  EXPECT_EQ(cache.stats().rescans, 0u);
+  EXPECT_EQ(cache.stats().bytes_read, 125u);
+}
+
+TEST_F(BitmapCacheTest, TinyPoolCausesRescans) {
+  BitmapCache cache(&store_, 130);  // fits exactly one bitmap
+  cache.Fetch({1, 0});
+  cache.Fetch({1, 1});  // evicts 0
+  cache.Fetch({1, 0});  // rescan
+  EXPECT_EQ(cache.stats().disk_reads, 3u);
+  EXPECT_EQ(cache.stats().rescans, 1u);
+  EXPECT_EQ(cache.stats().pool_hits, 0u);
+}
+
+TEST_F(BitmapCacheTest, LruEvictsLeastRecentlyUsed) {
+  BitmapCache cache(&store_, 250);  // two bitmaps fit
+  cache.Fetch({1, 0});
+  cache.Fetch({1, 1});
+  cache.Fetch({1, 0});  // touch 0: LRU order is now (0, 1)
+  cache.Fetch({1, 2});  // evicts 1
+  cache.Fetch({1, 0});  // still resident
+  EXPECT_EQ(cache.stats().pool_hits, 2u);
+  cache.Fetch({1, 1});  // was evicted -> rescan
+  EXPECT_EQ(cache.stats().rescans, 1u);
+}
+
+TEST_F(BitmapCacheTest, OversizedBitmapReadsThrough) {
+  BitmapCache cache(&store_, 64);  // smaller than any bitmap
+  cache.Fetch({1, 0});
+  cache.Fetch({1, 0});
+  EXPECT_EQ(cache.stats().disk_reads, 2u);
+  EXPECT_EQ(cache.stats().pool_hits, 0u);
+  EXPECT_EQ(cache.pool_bytes_used(), 0u);
+}
+
+TEST_F(BitmapCacheTest, DropPoolForgetsResidencyAndHistory) {
+  BitmapCache cache(&store_, 1 << 20);
+  cache.Fetch({1, 0});
+  cache.DropPool();
+  cache.Fetch({1, 0});
+  EXPECT_EQ(cache.stats().disk_reads, 2u);
+  // History was dropped too: the re-read does not count as a rescan.
+  EXPECT_EQ(cache.stats().rescans, 0u);
+}
+
+TEST_F(BitmapCacheTest, IoSecondsFollowDiskModel) {
+  DiskModel disk;
+  disk.seek_seconds = 0.01;
+  disk.bytes_per_second = 1000.0;
+  BitmapCache cache(&store_, 1 << 20, disk);
+  cache.Fetch({1, 0});
+  EXPECT_DOUBLE_EQ(cache.stats().io_seconds, 0.01 + 125.0 / 1000.0);
+  cache.Fetch({1, 0});  // pool hit: no extra I/O
+  EXPECT_DOUBLE_EQ(cache.stats().io_seconds, 0.01 + 125.0 / 1000.0);
+}
+
+TEST_F(BitmapCacheTest, StatsAccountingInvariant) {
+  BitmapCache cache(&store_, 250);
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    cache.Fetch({1, static_cast<uint32_t>(rng.UniformInt(0, 3))});
+  }
+  const IoStats& s = cache.stats();
+  EXPECT_EQ(s.scans, 200u);
+  EXPECT_EQ(s.scans, s.pool_hits + s.disk_reads);
+  EXPECT_LE(s.rescans, s.disk_reads);
+  EXPECT_EQ(s.bytes_read, s.disk_reads * 125u);
+}
+
+TEST(BitmapCacheTest2, CompressedFetchChargesDecodeEveryTime) {
+  BitmapStore store;
+  Bitvector sparse(80'000);
+  sparse.Set(3);
+  store.PutCompressed({1, 0}, sparse);
+  const uint64_t cmp_bytes = store.StoredBytes({1, 0});
+  DiskModel disk;
+  disk.decompress_bytes_per_second = 1000.0;
+  BitmapCache cache(&store, 1 << 20, disk);
+  cache.Fetch({1, 0});
+  cache.Fetch({1, 0});  // pool hit, but decode is paid again
+  EXPECT_DOUBLE_EQ(cache.stats().decode_seconds,
+                   2.0 * static_cast<double>(cmp_bytes) / 1000.0);
+  EXPECT_EQ(cache.stats().disk_reads, 1u);
+}
+
+TEST(BitmapCacheTest2, UncompressedFetchChargesNoDecode) {
+  BitmapStore store;
+  store.PutUncompressed({1, 0}, MakeBitmap(1000, 1));
+  BitmapCache cache(&store, 1 << 20);
+  cache.Fetch({1, 0});
+  EXPECT_DOUBLE_EQ(cache.stats().decode_seconds, 0.0);
+}
+
+TEST(IoStatsTest, AddAccumulates) {
+  IoStats a, b;
+  a.scans = 1;
+  a.io_seconds = 0.5;
+  b.scans = 2;
+  b.cpu_seconds = 0.25;
+  a.Add(b);
+  EXPECT_EQ(a.scans, 3u);
+  EXPECT_DOUBLE_EQ(a.io_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(a.cpu_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(a.total_seconds(), 0.75);
+}
+
+}  // namespace
+}  // namespace bix

@@ -1,0 +1,146 @@
+// Tests for the theory extensions: time-optimal base selection (the other
+// axis of the paper's [CI98b] design-space framework) and the Wu & Buchmann
+// encoded-bitmap model the paper discusses in Section 2.
+
+#include <gtest/gtest.h>
+
+#include "query/membership_rewrite.h"
+#include "theory/base_optimizer.h"
+#include "theory/encoded_bitmap.h"
+
+namespace bix {
+namespace {
+
+// --- Time-optimal bases -----------------------------------------------------
+
+TEST(BaseOptimizerTest, SingleComponentIsTrivial) {
+  Decomposition d =
+      ChooseTimeOptimalBases(50, 1, EncodingKind::kInterval, {}).value();
+  EXPECT_EQ(d.num_components(), 1u);
+  EXPECT_EQ(d.base(1), 50u);
+}
+
+TEST(BaseOptimizerTest, NeverSlowerThanSpaceOptimal) {
+  const QueryClassMix mix{1.0, 1.0, 1.0};
+  for (EncodingKind enc : BasicEncodingKinds()) {
+    for (uint32_t n : {2u, 3u}) {
+      Decomposition time_opt =
+          ChooseTimeOptimalBases(50, n, enc, mix).value();
+      Decomposition space_opt =
+          ChooseSpaceOptimalBases(50, n, enc).value();
+      EXPECT_LE(MixedExpectedScans(time_opt, enc, mix),
+                MixedExpectedScans(space_opt, enc, mix) + 1e-12)
+          << EncodingKindName(enc) << " n=" << n;
+    }
+  }
+}
+
+TEST(BaseOptimizerTest, RespectsBitmapCap) {
+  const QueryClassMix mix{1.0, 1.0, 1.0};
+  Result<Decomposition> d =
+      ChooseTimeOptimalBases(50, 2, EncodingKind::kEquality, mix,
+                             /*max_bitmaps=*/15);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LE(TotalBitmaps(d.value(), EncodingKind::kEquality), 15u);
+  // An impossible cap fails cleanly.
+  EXPECT_FALSE(ChooseTimeOptimalBases(50, 2, EncodingKind::kEquality, mix, 5)
+                   .ok());
+}
+
+TEST(BaseOptimizerTest, DigitOrderMatters) {
+  // <2,25> and <25,2> store the same bitmaps for range encoding but have
+  // different expected scans; the optimizer must consider both orders.
+  Decomposition a = Decomposition::Make(50, {2, 25}).value();
+  Decomposition b = Decomposition::Make(50, {25, 2}).value();
+  const QueryClassMix mix{0.0, 1.0, 1.0};
+  const double sa = MixedExpectedScans(a, EncodingKind::kRange, mix);
+  const double sb = MixedExpectedScans(b, EncodingKind::kRange, mix);
+  EXPECT_NE(sa, sb);
+  Decomposition best =
+      ChooseTimeOptimalBases(50, 2, EncodingKind::kRange, mix).value();
+  EXPECT_LE(MixedExpectedScans(best, EncodingKind::kRange, mix),
+            std::min(sa, sb) + 1e-12);
+}
+
+TEST(BaseOptimizerTest, EqualityHeavyMixPrefersFewComponentsForE) {
+  // Equality encoding answers an equality query with one scan per
+  // component; the time-optimal pick under a pure-EQ mix uses the fewest
+  // scans available at that n.
+  const QueryClassMix mix{1.0, 0.0, 0.0};
+  Decomposition d =
+      ChooseTimeOptimalBases(50, 2, EncodingKind::kEquality, mix).value();
+  // One scan per component, minus boundary queries the rewriter answers
+  // with fewer (e.g. the top value of a domain with decomposition slack).
+  EXPECT_LE(MixedExpectedScans(d, EncodingKind::kEquality, mix), 2.0 + 1e-9);
+  EXPECT_GT(MixedExpectedScans(d, EncodingKind::kEquality, mix), 1.5);
+}
+
+TEST(BaseOptimizerTest, InvalidInputsRejected) {
+  EXPECT_FALSE(ChooseTimeOptimalBases(1, 1, EncodingKind::kRange, {}).ok());
+  EXPECT_FALSE(ChooseTimeOptimalBases(50, 7, EncodingKind::kRange, {}).ok());
+}
+
+// --- Encoded bitmap (Wu & Buchmann) model -----------------------------------
+
+TEST(EncodedBitmapTest, IdentityModelScans) {
+  EncodedBitmapModel m = IdentityEncodedModel(8);
+  EXPECT_EQ(m.bits, 3u);
+  // "A = 3": all 3 bits needed to isolate code 011 among 8 codes.
+  EXPECT_EQ(EncodedScans(m, {3}), 3u);
+  // "A in {0..3}": determined by the top bit alone.
+  EXPECT_EQ(EncodedScans(m, {0, 1, 2, 3}), 1u);
+  // "A in {0,2,4,6}": even codes, bit 0 alone.
+  EXPECT_EQ(EncodedScans(m, {0, 2, 4, 6}), 1u);
+  // Whole domain or empty: constant.
+  EXPECT_EQ(EncodedScans(m, {0, 1, 2, 3, 4, 5, 6, 7}), 0u);
+  EXPECT_EQ(EncodedScans(m, {}), 0u);
+}
+
+TEST(EncodedBitmapTest, NonPowerOfTwoDomain) {
+  EncodedBitmapModel m = IdentityEncodedModel(6);
+  EXPECT_EQ(m.bits, 3u);
+  // "A in {4,5}": top bit = 1 identifies codes 100/101; codes 110/111 are
+  // unused, so one bit suffices.
+  EXPECT_EQ(EncodedScans(m, {4, 5}), 1u);
+}
+
+TEST(EncodedBitmapTest, ExhaustiveOptimizerBeatsIdentityOnSkewedSet) {
+  // Query set repeatedly asking for {1, 4}: the optimizer can give these
+  // values codes differing from the rest in one bit.
+  std::vector<MembershipQuery> queries(4, MembershipQuery{{1, 4}});
+  EncodedBitmapModel identity = IdentityEncodedModel(6);
+  EncodedBitmapModel best = OptimizeEncodedExhaustive(6, queries);
+  EXPECT_LE(EncodedTotalScans(best, queries),
+            EncodedTotalScans(identity, queries));
+  EXPECT_EQ(EncodedScans(best, {1, 4}), 1u);
+}
+
+TEST(EncodedBitmapTest, LocalSearchNeverWorseThanIdentity) {
+  Rng rng(9);
+  std::vector<MembershipQuery> queries = {
+      {{0, 3}}, {{5, 9, 10}}, {{2}}, {{7, 8}}, {{1, 2, 3, 4}}};
+  EncodedBitmapModel identity = IdentityEncodedModel(12);
+  EncodedBitmapModel tuned =
+      OptimizeEncodedLocalSearch(12, queries, 2000, &rng);
+  EXPECT_LE(EncodedTotalScans(tuned, queries),
+            EncodedTotalScans(identity, queries));
+  // Codes stay distinct.
+  std::vector<uint32_t> codes = tuned.code_of_value;
+  std::sort(codes.begin(), codes.end());
+  EXPECT_EQ(std::adjacent_find(codes.begin(), codes.end()), codes.end());
+}
+
+TEST(EncodedBitmapTest, ComparisonWithPaperSchemes) {
+  // The binary/encoded design stores only ceil(log2 C) bitmaps but needs
+  // up to that many scans per equality query, whereas equality encoding
+  // needs one and interval encoding two — the tradeoff the paper's
+  // Section 2 discussion hinges on.
+  const uint32_t c = 16;
+  EncodedBitmapModel m = IdentityEncodedModel(c);
+  uint64_t total = 0;
+  for (uint32_t v = 0; v < c; ++v) total += EncodedScans(m, {v});
+  EXPECT_EQ(total, static_cast<uint64_t>(c) * m.bits);  // 4 scans each
+}
+
+}  // namespace
+}  // namespace bix

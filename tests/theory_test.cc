@@ -1,0 +1,338 @@
+// Mechanical verification of the paper's analytical results: Theorem 3.1,
+// Theorem 4.1, Table 1, and the Section 4.2 update costs. Dominance claims
+// among the three basic schemes come from the exact cost model; optimality
+// claims ("no complete scheme dominates") come from exhaustive search over
+// abstract encoding schemes for small cardinalities.
+
+#include <gtest/gtest.h>
+
+#include "theory/cost_model.h"
+#include "theory/optimality.h"
+#include "theory/update_cost.h"
+
+namespace bix {
+namespace {
+
+// --- Exact cost model ------------------------------------------------------
+
+TEST(CostModelTest, SpaceOfBasicSchemes) {
+  for (uint32_t c : {10u, 50u, 200u}) {
+    EXPECT_EQ(ComputeCost(EncodingKind::kEquality, c, QueryClass::kEq)
+                  .space_bitmaps,
+              c);
+    EXPECT_EQ(
+        ComputeCost(EncodingKind::kRange, c, QueryClass::kEq).space_bitmaps,
+        c - 1);
+    EXPECT_EQ(ComputeCost(EncodingKind::kInterval, c, QueryClass::kEq)
+                  .space_bitmaps,
+              (c + 1) / 2);
+  }
+}
+
+TEST(CostModelTest, EqualityEncodingScanCounts) {
+  // E answers every equality query in exactly one scan.
+  for (uint32_t c : {4u, 10u, 50u}) {
+    EXPECT_DOUBLE_EQ(
+        ComputeCost(EncodingKind::kEquality, c, QueryClass::kEq).expected_scans,
+        1.0);
+  }
+}
+
+TEST(CostModelTest, RangeEncodingScanCounts) {
+  // R: one-sided ranges take exactly 1 scan; two-sided take 2; equality
+  // averages 2 - 2/C (endpoints take 1).
+  for (uint32_t c : {6u, 10u, 50u}) {
+    EXPECT_DOUBLE_EQ(
+        ComputeCost(EncodingKind::kRange, c, QueryClass::k1Rq).expected_scans,
+        1.0);
+    EXPECT_DOUBLE_EQ(
+        ComputeCost(EncodingKind::kRange, c, QueryClass::k2Rq).expected_scans,
+        2.0);
+    EXPECT_NEAR(
+        ComputeCost(EncodingKind::kRange, c, QueryClass::kEq).expected_scans,
+        2.0 - 2.0 / c, 1e-12);
+  }
+}
+
+TEST(CostModelTest, IntervalEncodingScanCounts) {
+  // I: every query class at most 2 scans; 1RQ averages below 2 because
+  // "A <= m" and width-(m+1) two-sided queries take one scan.
+  for (uint32_t c : {6u, 10u, 50u, 51u}) {
+    const double eq =
+        ComputeCost(EncodingKind::kInterval, c, QueryClass::kEq).expected_scans;
+    const double rq1 =
+        ComputeCost(EncodingKind::kInterval, c, QueryClass::k1Rq).expected_scans;
+    const double rq2 =
+        ComputeCost(EncodingKind::kInterval, c, QueryClass::k2Rq).expected_scans;
+    EXPECT_LE(eq, 2.0);
+    EXPECT_LE(rq1, 2.0);
+    EXPECT_LE(rq2, 2.0);
+    EXPECT_LT(rq2, 2.0);  // the width-m queries take one scan
+  }
+  // C >= 4: every equality query takes exactly 2 scans.
+  EXPECT_DOUBLE_EQ(
+      ComputeCost(EncodingKind::kInterval, 14, QueryClass::kEq).expected_scans,
+      2.0);
+}
+
+TEST(CostModelTest, EqualityRangeHybridIsFastEverywhere) {
+  // ER: 1 scan for equalities, <= 2 for ranges, at ~2x space.
+  const uint32_t c = 20;
+  EXPECT_DOUBLE_EQ(
+      ComputeCost(EncodingKind::kEqualityRange, c, QueryClass::kEq)
+          .expected_scans,
+      1.0);
+  EXPECT_LE(ComputeCost(EncodingKind::kEqualityRange, c, QueryClass::kRq)
+                .expected_scans,
+            2.0);
+  EXPECT_EQ(ComputeCost(EncodingKind::kEqualityRange, c, QueryClass::kEq)
+                .space_bitmaps,
+            c + c - 3);
+}
+
+// --- Theorem 3.1 / 4.1 dominance directions --------------------------------
+
+TEST(DominanceTest, RangeDominatesEqualityOnRangeClasses) {
+  // Theorem 3.1(6): E is not optimal for 1RQ/2RQ/RQ — R dominates it.
+  for (uint32_t c = 4; c <= 40; ++c) {
+    for (QueryClass q : {QueryClass::k1Rq, QueryClass::k2Rq, QueryClass::kRq}) {
+      EXPECT_TRUE(Dominates(ComputeCost(EncodingKind::kRange, c, q),
+                            ComputeCost(EncodingKind::kEquality, c, q)))
+          << "c=" << c << " " << QueryClassName(q);
+    }
+  }
+}
+
+TEST(DominanceTest, IntervalDominatesRangeOnTwoSided) {
+  // Theorem 3.1(3): R is not optimal for 2RQ — I dominates (half the space,
+  // no worse expected scans).
+  for (uint32_t c = 5; c <= 40; ++c) {
+    EXPECT_TRUE(
+        Dominates(ComputeCost(EncodingKind::kInterval, c, QueryClass::k2Rq),
+                  ComputeCost(EncodingKind::kRange, c, QueryClass::k2Rq)))
+        << "c=" << c;
+  }
+}
+
+TEST(DominanceTest, NeitherBasicSchemeDominatesIntervalAnywhere) {
+  for (uint32_t c = 4; c <= 40; ++c) {
+    for (QueryClass q : {QueryClass::kEq, QueryClass::k1Rq, QueryClass::k2Rq,
+                         QueryClass::kRq}) {
+      EXPECT_FALSE(Dominates(ComputeCost(EncodingKind::kEquality, c, q),
+                             ComputeCost(EncodingKind::kInterval, c, q)));
+      EXPECT_FALSE(Dominates(ComputeCost(EncodingKind::kRange, c, q),
+                             ComputeCost(EncodingKind::kInterval, c, q)));
+    }
+  }
+}
+
+// --- Abstract schemes -------------------------------------------------------
+
+TEST(AbstractSchemeTest, MaterializationMatchesDefinition) {
+  AbstractScheme r = AbstractFromEncoding(EncodingKind::kRange, 5);
+  // R^v = [0, v]: masks 0b00001, 0b00011, 0b00111, 0b01111.
+  ASSERT_EQ(r.bitmaps.size(), 4u);
+  EXPECT_EQ(r.bitmaps[0], 0b00001u);
+  EXPECT_EQ(r.bitmaps[1], 0b00011u);
+  EXPECT_EQ(r.bitmaps[2], 0b00111u);
+  EXPECT_EQ(r.bitmaps[3], 0b01111u);
+}
+
+TEST(AbstractSchemeTest, CompletenessDetection) {
+  for (EncodingKind kind : AllEncodingKinds()) {
+    for (uint32_t c = 2; c <= 12; ++c) {
+      EXPECT_TRUE(IsComplete(AbstractFromEncoding(kind, c)))
+          << EncodingKindName(kind) << " c=" << c;
+    }
+  }
+  // A scheme that cannot distinguish values 2 and 3 is incomplete.
+  AbstractScheme bad;
+  bad.cardinality = 4;
+  bad.bitmaps = {0b0001, 0b0010};
+  EXPECT_FALSE(IsComplete(bad));
+}
+
+TEST(AbstractSchemeTest, MinScansMatchesHandDerivedCases) {
+  AbstractScheme r = AbstractFromEncoding(EncodingKind::kRange, 5);
+  // "A = 0" = R^0: one scan. "A = 2" = R^2 xor R^1: two scans.
+  EXPECT_EQ(MinScans(r, 0b00001), 1u);
+  EXPECT_EQ(MinScans(r, 0b00100), 2u);
+  // "A <= 2": one scan. "1 <= A <= 3": two. Whole domain: zero.
+  EXPECT_EQ(MinScans(r, 0b00111), 1u);
+  EXPECT_EQ(MinScans(r, 0b01110), 2u);
+  EXPECT_EQ(MinScans(r, 0b11111), 0u);
+}
+
+TEST(AbstractSchemeTest, AbstractTimeNeverExceedsImplementationTime) {
+  // MinScans is the information-theoretic optimum; our rewrite must use at
+  // least that many scans and the two must agree for the basic schemes
+  // (whose expressions the paper proves minimal).
+  for (EncodingKind kind : BasicEncodingKinds()) {
+    for (uint32_t c = 3; c <= 10; ++c) {
+      AbstractScheme abs = AbstractFromEncoding(kind, c);
+      for (QueryClass q : {QueryClass::kEq, QueryClass::k1Rq,
+                           QueryClass::k2Rq}) {
+        if (EnumerateQueries(q, c).empty()) continue;  // 2RQ empty at c=3
+        const double abstract_time = ExpectedScans(abs, q);
+        const double impl_time = ComputeCost(kind, c, q).expected_scans;
+        EXPECT_LE(abstract_time, impl_time + 1e-12)
+            << EncodingKindName(kind) << " c=" << c << " " << QueryClassName(q);
+        EXPECT_NEAR(abstract_time, impl_time, 1e-9)
+            << EncodingKindName(kind) << " c=" << c << " " << QueryClassName(q);
+      }
+    }
+  }
+}
+
+// --- Exhaustive optimality search (small cardinalities) --------------------
+
+TEST(OptimalitySearchTest, IntervalOptimalFor2RqSmallC) {
+  // Theorem 4.1(3): no complete scheme dominates I for 2RQ.
+  for (uint32_t c = 4; c <= 6; ++c) {
+    AbstractScheme target = AbstractFromEncoding(EncodingKind::kInterval, c);
+    auto dom = FindDominatingScheme(target, QueryClass::k2Rq);
+    EXPECT_FALSE(dom.has_value()) << "c=" << c;
+  }
+}
+
+TEST(OptimalitySearchTest, IntervalOptimalFor1RqMostSmallC) {
+  for (uint32_t c : {4u, 6u}) {
+    AbstractScheme target = AbstractFromEncoding(EncodingKind::kInterval, c);
+    EXPECT_FALSE(FindDominatingScheme(target, QueryClass::k1Rq).has_value())
+        << "c=" << c;
+  }
+}
+
+TEST(OptimalitySearchTest, IntervalNotOptimalFor1RqAtC5UnderExactModel) {
+  // Documented deviation from Theorem 4.1(2): under our exact model
+  // (uniform expectation over the proper one-sided queries, scans =
+  // information-theoretic minimum bitmaps read), the complete scheme
+  // {{0}, {0,1,2}, {0,1,3}} answers the 6 proper 1RQ queries of C = 5
+  // ([0,1],[0,2],[0,3] and [1,4],[2,4],[3,4]) in (2+1+2+1+2+1)/6 = 1.5
+  // expected scans with the same 3 bitmaps as interval encoding
+  // (10/6 = 1.667 expected). The paper's proof lives in the
+  // unavailable tech report [CI98a] and may weight queries or cost
+  // complement-only results differently; we record the counterexample
+  // rather than hide it. See EXPERIMENTS.md ("Theory deviations").
+  AbstractScheme target = AbstractFromEncoding(EncodingKind::kInterval, 5);
+  auto dom = FindDominatingScheme(target, QueryClass::k1Rq);
+  ASSERT_TRUE(dom.has_value());
+  EXPECT_TRUE(IsComplete(*dom));
+  EXPECT_EQ(dom->space(), 3u);
+  EXPECT_NEAR(ExpectedScans(*dom, QueryClass::k1Rq), 1.5, 1e-12);
+  EXPECT_NEAR(ExpectedScans(target, QueryClass::k1Rq), 10.0 / 6.0, 1e-12);
+}
+
+TEST(OptimalitySearchTest, EqualityOptimalForEqSmallC) {
+  // Theorem 3.1(5): E optimal for EQ. Note Space(E) = c, so the search
+  // space is larger; keep c small.
+  for (uint32_t c = 3; c <= 5; ++c) {
+    AbstractScheme target = AbstractFromEncoding(EncodingKind::kEquality, c);
+    EXPECT_FALSE(FindDominatingScheme(target, QueryClass::kEq).has_value())
+        << "c=" << c;
+  }
+}
+
+TEST(OptimalitySearchTest, RangeOptimalForEqIffCAtMost5) {
+  // Theorem 3.1(1): R optimal for EQ iff C <= 5.
+  for (uint32_t c = 3; c <= 5; ++c) {
+    AbstractScheme target = AbstractFromEncoding(EncodingKind::kRange, c);
+    EXPECT_FALSE(FindDominatingScheme(target, QueryClass::kEq).has_value())
+        << "c=" << c;
+  }
+  {
+    const uint32_t c = 6;
+    AbstractScheme target = AbstractFromEncoding(EncodingKind::kRange, c);
+    auto dom = FindDominatingScheme(target, QueryClass::kEq);
+    ASSERT_TRUE(dom.has_value());
+    EXPECT_TRUE(IsComplete(*dom));
+    EXPECT_LE(dom->space(), target.space());
+  }
+}
+
+TEST(OptimalitySearchTest, RangeOptimalFor1RqSmallC) {
+  // Theorem 3.1(2).
+  for (uint32_t c = 3; c <= 5; ++c) {
+    AbstractScheme target = AbstractFromEncoding(EncodingKind::kRange, c);
+    EXPECT_FALSE(FindDominatingScheme(target, QueryClass::k1Rq).has_value())
+        << "c=" << c;
+  }
+}
+
+// --- Theorem 4.1(1): I not optimal for EQ when C >= 14 ----------------------
+
+TEST(PairSchemeTest, PairSchemeIsCompleteAndTwoScan) {
+  for (uint32_t c : {6u, 10u, 14u, 20u}) {
+    AbstractScheme pair = PairIntersectionScheme(c);
+    EXPECT_TRUE(IsComplete(pair));
+    EXPECT_NEAR(ExpectedScans(pair, QueryClass::kEq), 2.0, 1e-12);
+  }
+}
+
+TEST(PairSchemeTest, DominatesIntervalForEqAtC14) {
+  // 6 bitmaps vs interval's 7, equal EQ time (2.0) -> dominates.
+  const uint32_t c = 14;
+  AbstractScheme interval = AbstractFromEncoding(EncodingKind::kInterval, c);
+  AbstractScheme pair = PairIntersectionScheme(c);
+  EXPECT_LT(pair.space(), interval.space());
+  SpaceTimeCost pair_cost{pair.space(), ExpectedScans(pair, QueryClass::kEq)};
+  SpaceTimeCost interval_cost{interval.space(),
+                              ExpectedScans(interval, QueryClass::kEq)};
+  EXPECT_TRUE(Dominates(pair_cost, interval_cost));
+}
+
+TEST(PairSchemeTest, DoesNotBeatIntervalSpaceBelowC13) {
+  // For C <= 12, k(k-1)/2 >= C forces k >= ceil(C/2), so the pair scheme
+  // cannot undercut interval encoding's space (consistent with the paper's
+  // C >= 14 threshold; C = 13 is a boundary case discussed in
+  // EXPERIMENTS.md).
+  for (uint32_t c = 4; c <= 12; ++c) {
+    EXPECT_GE(PairIntersectionScheme(c).space(),
+              AbstractFromEncoding(EncodingKind::kInterval, c).space())
+        << c;
+  }
+}
+
+// --- Update costs (Section 4.2) ---------------------------------------------
+
+TEST(UpdateCostTest, EqualityTouchesExactlyOne) {
+  for (uint32_t c : {4u, 10u, 50u}) {
+    UpdateCost cost = ComputeUpdateCost(EncodingKind::kEquality, c);
+    EXPECT_EQ(cost.best, 1u);
+    EXPECT_EQ(cost.worst, 1u);
+    EXPECT_DOUBLE_EQ(cost.expected, 1.0);
+  }
+}
+
+TEST(UpdateCostTest, RangeMatchesPaperFigures) {
+  // Value v sets R^v..R^{C-2}: worst C-1 (v = 0), best 0 (v = C-1, no
+  // bitmap touched -- the paper counts "1" for the record insert itself;
+  // we count touched bitmaps), expected (C-1)/2 under uniform values.
+  const uint32_t c = 50;
+  UpdateCost cost = ComputeUpdateCost(EncodingKind::kRange, c);
+  EXPECT_EQ(cost.worst, c - 1);
+  EXPECT_EQ(cost.best, 0u);
+  EXPECT_NEAR(cost.expected, (c - 1) / 2.0, 0.5);
+}
+
+TEST(UpdateCostTest, IntervalMatchesPaperFigures) {
+  // Worst floor(C/2) (values inside every window), expected ~C/4.
+  const uint32_t c = 50;
+  UpdateCost cost = ComputeUpdateCost(EncodingKind::kInterval, c);
+  EXPECT_EQ(cost.worst, c / 2);
+  EXPECT_EQ(cost.best, 0u);
+  EXPECT_NEAR(cost.expected, c / 4.0, 1.0);
+}
+
+TEST(UpdateCostTest, OrderingEIsBestIIsMiddleRIsWorst) {
+  for (uint32_t c : {10u, 50u, 200u}) {
+    const double e = ComputeUpdateCost(EncodingKind::kEquality, c).expected;
+    const double i = ComputeUpdateCost(EncodingKind::kInterval, c).expected;
+    const double r = ComputeUpdateCost(EncodingKind::kRange, c).expected;
+    EXPECT_LT(e, i);
+    EXPECT_LT(i, r);
+  }
+}
+
+}  // namespace
+}  // namespace bix

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace bix {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad base");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad base");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad base");
+}
+
+TEST(StatusTest, AllErrorCodesRender) {
+  EXPECT_EQ(Status::OutOfRange("x").ToString(), "OutOfRange: x");
+  EXPECT_EQ(Status::Corruption("y").ToString(), "Corruption: y");
+  EXPECT_EQ(Status::NotSupported("z").ToString(), "NotSupported: z");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfRange("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kOutOfRange);
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 8), 0u);
+  EXPECT_EQ(CeilDiv(1, 8), 1u);
+  EXPECT_EQ(CeilDiv(8, 8), 1u);
+  EXPECT_EQ(CeilDiv(9, 8), 2u);
+  EXPECT_EQ(CeilDiv(10, 0), 0u);
+}
+
+TEST(MathTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(4), 2u);
+  EXPECT_EQ(CeilLog2(50), 6u);
+  EXPECT_EQ(CeilLog2(64), 6u);
+  EXPECT_EQ(CeilLog2(65), 7u);
+}
+
+TEST(MathTest, SaturatingPow) {
+  EXPECT_EQ(SaturatingPow(2, 10), 1024u);
+  EXPECT_EQ(SaturatingPow(10, 0), 1u);
+  EXPECT_EQ(SaturatingPow(2, 64), UINT64_MAX);
+  EXPECT_EQ(SaturatingPow(UINT64_MAX, 2), UINT64_MAX);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformInt(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace bix

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "query/membership_rewrite.h"
+#include "workload/column_gen.h"
+#include "workload/query_gen.h"
+#include "workload/scan_baseline.h"
+#include "workload/zipf.h"
+
+namespace bix {
+namespace {
+
+TEST(ZipfTest, UniformWhenZZero) {
+  Rng rng(1);
+  ZipfDistribution dist(10, 0.0, &rng);
+  for (uint32_t v = 0; v < 10; ++v) {
+    EXPECT_NEAR(dist.Probability(v), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  Rng rng(2);
+  for (double z : {0.0, 1.0, 2.0, 3.0}) {
+    ZipfDistribution dist(50, z, &rng);
+    double sum = 0.0;
+    for (uint32_t v = 0; v < 50; ++v) sum += dist.Probability(v);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << z;
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesMass) {
+  // With z = 3, the top value should carry most of the probability mass.
+  Rng rng(3);
+  ZipfDistribution dist(50, 3.0, &rng);
+  double max_p = 0.0;
+  for (uint32_t v = 0; v < 50; ++v) max_p = std::max(max_p, dist.Probability(v));
+  EXPECT_GT(max_p, 0.8);
+}
+
+TEST(ZipfTest, SampleFrequenciesTrackProbabilities) {
+  Rng rng(4);
+  ZipfDistribution dist(10, 1.0, &rng);
+  std::vector<uint64_t> counts(10, 0);
+  const int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) ++counts[dist.Sample(&rng)];
+  for (uint32_t v = 0; v < 10; ++v) {
+    const double observed = static_cast<double>(counts[v]) / kSamples;
+    EXPECT_NEAR(observed, dist.Probability(v), 0.01) << v;
+  }
+}
+
+TEST(ZipfTest, RankToValueAssignmentIsSeedDependent) {
+  // Different seeds should (generically) put the heavy value elsewhere.
+  Rng rng_a(5), rng_b(6);
+  ZipfDistribution a(50, 2.0, &rng_a), b(50, 2.0, &rng_b);
+  uint32_t top_a = 0, top_b = 0;
+  for (uint32_t v = 0; v < 50; ++v) {
+    if (a.Probability(v) > a.Probability(top_a)) top_a = v;
+    if (b.Probability(v) > b.Probability(top_b)) top_b = v;
+  }
+  EXPECT_NE(top_a, top_b);
+}
+
+TEST(ColumnGenTest, RespectsSpec) {
+  Column col = GenerateZipfColumn(
+      {.rows = 10'000, .cardinality = 50, .zipf_z = 1.0, .seed = 11});
+  EXPECT_EQ(col.row_count(), 10'000u);
+  EXPECT_EQ(col.cardinality, 50u);
+  for (uint32_t v : col.values) EXPECT_LT(v, 50u);
+}
+
+TEST(ColumnGenTest, DeterministicForSeed) {
+  ColumnSpec spec{.rows = 1000, .cardinality = 20, .zipf_z = 1.0, .seed = 3};
+  EXPECT_EQ(GenerateZipfColumn(spec).values, GenerateZipfColumn(spec).values);
+}
+
+TEST(ColumnGenTest, PaperExampleMatchesFigure1a) {
+  Column col = PaperExampleColumn();
+  EXPECT_EQ(col.row_count(), 12u);
+  EXPECT_EQ(col.cardinality, 10u);
+  EXPECT_EQ(col.values[0], 3u);
+  EXPECT_EQ(col.values[7], 0u);
+}
+
+TEST(QueryGenTest, EightPaperSets) {
+  auto sets = GeneratePaperQuerySets(50, 42);
+  ASSERT_EQ(sets.size(), 8u);
+  // The specs must be the paper's: (1,0),(1,1),(2,0),(2,1),(2,2),
+  // (5,0),(5,3),(5,5).
+  EXPECT_EQ(sets[0].spec.n_int, 1u);
+  EXPECT_EQ(sets[0].spec.n_equ, 0u);
+  EXPECT_EQ(sets[1].spec.n_equ, 1u);
+  EXPECT_EQ(sets[4].spec.n_int, 2u);
+  EXPECT_EQ(sets[4].spec.n_equ, 2u);
+  EXPECT_EQ(sets[6].spec.n_int, 5u);
+  EXPECT_EQ(sets[6].spec.n_equ, 3u);
+  for (const auto& set : sets) EXPECT_EQ(set.queries.size(), 10u);
+}
+
+class QueryGenSpecSweep : public ::testing::TestWithParam<QuerySetSpec> {};
+
+TEST_P(QueryGenSpecSweep, GeneratedQueriesMatchSpecExactly) {
+  const QuerySetSpec spec = GetParam();
+  Rng rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    MembershipQuery q = GenerateMembershipQuery(spec, 50, &rng);
+    auto intervals = MembershipToIntervals(q.values);
+    ASSERT_EQ(intervals.size(), spec.n_int);
+    uint32_t n_equ = 0;
+    for (const auto& iv : intervals) {
+      EXPECT_LT(iv.hi, 50u);
+      if (iv.IsEquality()) ++n_equ;
+    }
+    EXPECT_EQ(n_equ, spec.n_equ);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSpecs, QueryGenSpecSweep,
+    ::testing::Values(QuerySetSpec{1, 0}, QuerySetSpec{1, 1},
+                      QuerySetSpec{2, 0}, QuerySetSpec{2, 1},
+                      QuerySetSpec{2, 2}, QuerySetSpec{5, 0},
+                      QuerySetSpec{5, 3}, QuerySetSpec{5, 5}),
+    [](const ::testing::TestParamInfo<QuerySetSpec>& info) {
+      return "Nint" + std::to_string(info.param.n_int) + "Nequ" +
+             std::to_string(info.param.n_equ);
+    });
+
+TEST(QueryGenTest, WorksAtCardinality200) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    MembershipQuery q = GenerateMembershipQuery({5, 3}, 200, &rng);
+    EXPECT_EQ(MembershipToIntervals(q.values).size(), 5u);
+  }
+}
+
+TEST(ScanBaselineTest, IntervalSelectsExactRows) {
+  Column col = PaperExampleColumn();
+  Bitvector r = NaiveEvaluateInterval(col, {2, 5});
+  // Values: 3,2,1,2,8,2,9,0,7,5,6,4 -> rows with value in [2,5]:
+  // 0(3),1(2),3(2),5(2),9(5),11(4).
+  EXPECT_EQ(r, Bitvector::FromPositions(12, {0, 1, 3, 5, 9, 11}));
+}
+
+TEST(ScanBaselineTest, MembershipSelectsExactRows) {
+  Column col = PaperExampleColumn();
+  Bitvector r = NaiveEvaluateMembership(col, {0, 9});
+  EXPECT_EQ(r, Bitvector::FromPositions(12, {6, 7}));
+}
+
+}  // namespace
+}  // namespace bix
