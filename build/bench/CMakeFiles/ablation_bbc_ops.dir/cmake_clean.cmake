@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bbc_ops.dir/ablation_bbc_ops.cc.o"
+  "CMakeFiles/ablation_bbc_ops.dir/ablation_bbc_ops.cc.o.d"
+  "ablation_bbc_ops"
+  "ablation_bbc_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bbc_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_codecs.dir/ablation_codecs.cc.o"
+  "CMakeFiles/ablation_codecs.dir/ablation_codecs.cc.o.d"
+  "ablation_codecs"
+  "ablation_codecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

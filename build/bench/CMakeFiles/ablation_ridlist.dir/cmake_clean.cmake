@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ridlist.dir/ablation_ridlist.cc.o"
+  "CMakeFiles/ablation_ridlist.dir/ablation_ridlist.cc.o.d"
+  "ablation_ridlist"
+  "ablation_ridlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ridlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

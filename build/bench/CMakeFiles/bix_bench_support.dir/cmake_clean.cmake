@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libbix_bench_support.a"
+  "../lib/libbix_bench_support.pdb"
+  "CMakeFiles/bix_bench_support.dir/bench_support.cc.o"
+  "CMakeFiles/bix_bench_support.dir/bench_support.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libbix_bench_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_skew_space.dir/fig7_skew_space.cc.o"
+  "CMakeFiles/fig7_skew_space.dir/fig7_skew_space.cc.o.d"
+  "fig7_skew_space"
+  "fig7_skew_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_skew_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

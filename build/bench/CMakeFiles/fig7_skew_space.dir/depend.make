@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_skew_space.
+# This may be replaced when dependencies are built.

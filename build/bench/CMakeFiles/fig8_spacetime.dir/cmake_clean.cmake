@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_spacetime.dir/fig8_spacetime.cc.o"
+  "CMakeFiles/fig8_spacetime.dir/fig8_spacetime.cc.o.d"
+  "fig8_spacetime"
+  "fig8_spacetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_spacetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

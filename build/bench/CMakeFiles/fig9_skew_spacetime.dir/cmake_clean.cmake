@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_skew_spacetime.dir/fig9_skew_spacetime.cc.o"
+  "CMakeFiles/fig9_skew_spacetime.dir/fig9_skew_spacetime.cc.o.d"
+  "fig9_skew_spacetime"
+  "fig9_skew_spacetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_skew_spacetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrids_spacetime.dir/hybrids_spacetime.cc.o"
+  "CMakeFiles/hybrids_spacetime.dir/hybrids_spacetime.cc.o.d"
+  "hybrids_spacetime"
+  "hybrids_spacetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrids_spacetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

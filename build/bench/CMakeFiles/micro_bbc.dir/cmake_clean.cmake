@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bbc.dir/micro_bbc.cc.o"
+  "CMakeFiles/micro_bbc.dir/micro_bbc.cc.o.d"
+  "micro_bbc"
+  "micro_bbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bitvector.dir/micro_bitvector.cc.o"
+  "CMakeFiles/micro_bitvector.dir/micro_bitvector.cc.o.d"
+  "micro_bitvector"
+  "micro_bitvector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bitvector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

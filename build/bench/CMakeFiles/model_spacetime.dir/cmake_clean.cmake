@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_spacetime.dir/model_spacetime.cc.o"
+  "CMakeFiles/model_spacetime.dir/model_spacetime.cc.o.d"
+  "model_spacetime"
+  "model_spacetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_spacetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_optimality.dir/table1_optimality.cc.o"
+  "CMakeFiles/table1_optimality.dir/table1_optimality.cc.o.d"
+  "table1_optimality"
+  "table1_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_update_cost.dir/table_update_cost.cc.o"
+  "CMakeFiles/table_update_cost.dir/table_update_cost.cc.o.d"
+  "table_update_cost"
+  "table_update_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_update_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

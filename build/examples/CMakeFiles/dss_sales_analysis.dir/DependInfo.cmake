@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dss_sales_analysis.cc" "examples/CMakeFiles/dss_sales_analysis.dir/dss_sales_analysis.cc.o" "gcc" "examples/CMakeFiles/dss_sales_analysis.dir/dss_sales_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/bix_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bix_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/bix_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/bix_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/bix_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/bix_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bix_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/bix_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitvector/CMakeFiles/bix_bitvector.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

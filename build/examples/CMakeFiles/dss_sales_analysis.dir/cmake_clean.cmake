@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_sales_analysis.dir/dss_sales_analysis.cc.o"
+  "CMakeFiles/dss_sales_analysis.dir/dss_sales_analysis.cc.o.d"
+  "dss_sales_analysis"
+  "dss_sales_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_sales_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_queries.dir/membership_queries.cc.o"
+  "CMakeFiles/membership_queries.dir/membership_queries.cc.o.d"
+  "membership_queries"
+  "membership_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_schema_filter.dir/star_schema_filter.cc.o"
+  "CMakeFiles/star_schema_filter.dir/star_schema_filter.cc.o.d"
+  "star_schema_filter"
+  "star_schema_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_schema_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

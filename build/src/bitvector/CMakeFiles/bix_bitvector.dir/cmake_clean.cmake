@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_bitvector.dir/bitvector.cc.o"
+  "CMakeFiles/bix_bitvector.dir/bitvector.cc.o.d"
+  "libbix_bitvector.a"
+  "libbix_bitvector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_bitvector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

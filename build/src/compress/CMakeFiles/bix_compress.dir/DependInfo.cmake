@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bbc.cc" "src/compress/CMakeFiles/bix_compress.dir/bbc.cc.o" "gcc" "src/compress/CMakeFiles/bix_compress.dir/bbc.cc.o.d"
+  "/root/repo/src/compress/bbc_ops.cc" "src/compress/CMakeFiles/bix_compress.dir/bbc_ops.cc.o" "gcc" "src/compress/CMakeFiles/bix_compress.dir/bbc_ops.cc.o.d"
+  "/root/repo/src/compress/bytes.cc" "src/compress/CMakeFiles/bix_compress.dir/bytes.cc.o" "gcc" "src/compress/CMakeFiles/bix_compress.dir/bytes.cc.o.d"
+  "/root/repo/src/compress/wah.cc" "src/compress/CMakeFiles/bix_compress.dir/wah.cc.o" "gcc" "src/compress/CMakeFiles/bix_compress.dir/wah.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bitvector/CMakeFiles/bix_bitvector.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_compress.dir/bbc.cc.o"
+  "CMakeFiles/bix_compress.dir/bbc.cc.o.d"
+  "CMakeFiles/bix_compress.dir/bbc_ops.cc.o"
+  "CMakeFiles/bix_compress.dir/bbc_ops.cc.o.d"
+  "CMakeFiles/bix_compress.dir/bytes.cc.o"
+  "CMakeFiles/bix_compress.dir/bytes.cc.o.d"
+  "CMakeFiles/bix_compress.dir/wah.cc.o"
+  "CMakeFiles/bix_compress.dir/wah.cc.o.d"
+  "libbix_compress.a"
+  "libbix_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_core.dir/bitmap_index_facade.cc.o"
+  "CMakeFiles/bix_core.dir/bitmap_index_facade.cc.o.d"
+  "CMakeFiles/bix_core.dir/index_advisor.cc.o"
+  "CMakeFiles/bix_core.dir/index_advisor.cc.o.d"
+  "CMakeFiles/bix_core.dir/index_io.cc.o"
+  "CMakeFiles/bix_core.dir/index_io.cc.o.d"
+  "CMakeFiles/bix_core.dir/multi_attribute.cc.o"
+  "CMakeFiles/bix_core.dir/multi_attribute.cc.o.d"
+  "libbix_core.a"
+  "libbix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/ei_star_encoding.cc" "src/encoding/CMakeFiles/bix_encoding.dir/ei_star_encoding.cc.o" "gcc" "src/encoding/CMakeFiles/bix_encoding.dir/ei_star_encoding.cc.o.d"
+  "/root/repo/src/encoding/encoding_scheme.cc" "src/encoding/CMakeFiles/bix_encoding.dir/encoding_scheme.cc.o" "gcc" "src/encoding/CMakeFiles/bix_encoding.dir/encoding_scheme.cc.o.d"
+  "/root/repo/src/encoding/equality_encoding.cc" "src/encoding/CMakeFiles/bix_encoding.dir/equality_encoding.cc.o" "gcc" "src/encoding/CMakeFiles/bix_encoding.dir/equality_encoding.cc.o.d"
+  "/root/repo/src/encoding/equality_interval_encoding.cc" "src/encoding/CMakeFiles/bix_encoding.dir/equality_interval_encoding.cc.o" "gcc" "src/encoding/CMakeFiles/bix_encoding.dir/equality_interval_encoding.cc.o.d"
+  "/root/repo/src/encoding/equality_range_encoding.cc" "src/encoding/CMakeFiles/bix_encoding.dir/equality_range_encoding.cc.o" "gcc" "src/encoding/CMakeFiles/bix_encoding.dir/equality_range_encoding.cc.o.d"
+  "/root/repo/src/encoding/formulas.cc" "src/encoding/CMakeFiles/bix_encoding.dir/formulas.cc.o" "gcc" "src/encoding/CMakeFiles/bix_encoding.dir/formulas.cc.o.d"
+  "/root/repo/src/encoding/interval_encoding.cc" "src/encoding/CMakeFiles/bix_encoding.dir/interval_encoding.cc.o" "gcc" "src/encoding/CMakeFiles/bix_encoding.dir/interval_encoding.cc.o.d"
+  "/root/repo/src/encoding/oreo_encoding.cc" "src/encoding/CMakeFiles/bix_encoding.dir/oreo_encoding.cc.o" "gcc" "src/encoding/CMakeFiles/bix_encoding.dir/oreo_encoding.cc.o.d"
+  "/root/repo/src/encoding/range_encoding.cc" "src/encoding/CMakeFiles/bix_encoding.dir/range_encoding.cc.o" "gcc" "src/encoding/CMakeFiles/bix_encoding.dir/range_encoding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/bix_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bix_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/bix_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitvector/CMakeFiles/bix_bitvector.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_encoding.dir/ei_star_encoding.cc.o"
+  "CMakeFiles/bix_encoding.dir/ei_star_encoding.cc.o.d"
+  "CMakeFiles/bix_encoding.dir/encoding_scheme.cc.o"
+  "CMakeFiles/bix_encoding.dir/encoding_scheme.cc.o.d"
+  "CMakeFiles/bix_encoding.dir/equality_encoding.cc.o"
+  "CMakeFiles/bix_encoding.dir/equality_encoding.cc.o.d"
+  "CMakeFiles/bix_encoding.dir/equality_interval_encoding.cc.o"
+  "CMakeFiles/bix_encoding.dir/equality_interval_encoding.cc.o.d"
+  "CMakeFiles/bix_encoding.dir/equality_range_encoding.cc.o"
+  "CMakeFiles/bix_encoding.dir/equality_range_encoding.cc.o.d"
+  "CMakeFiles/bix_encoding.dir/formulas.cc.o"
+  "CMakeFiles/bix_encoding.dir/formulas.cc.o.d"
+  "CMakeFiles/bix_encoding.dir/interval_encoding.cc.o"
+  "CMakeFiles/bix_encoding.dir/interval_encoding.cc.o.d"
+  "CMakeFiles/bix_encoding.dir/oreo_encoding.cc.o"
+  "CMakeFiles/bix_encoding.dir/oreo_encoding.cc.o.d"
+  "CMakeFiles/bix_encoding.dir/range_encoding.cc.o"
+  "CMakeFiles/bix_encoding.dir/range_encoding.cc.o.d"
+  "libbix_encoding.a"
+  "libbix_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

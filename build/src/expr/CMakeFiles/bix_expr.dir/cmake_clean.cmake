@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_expr.dir/bitmap_expr.cc.o"
+  "CMakeFiles/bix_expr.dir/bitmap_expr.cc.o.d"
+  "CMakeFiles/bix_expr.dir/evaluate.cc.o"
+  "CMakeFiles/bix_expr.dir/evaluate.cc.o.d"
+  "libbix_expr.a"
+  "libbix_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

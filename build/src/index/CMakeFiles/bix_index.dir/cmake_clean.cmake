@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_index.dir/bitmap_index.cc.o"
+  "CMakeFiles/bix_index.dir/bitmap_index.cc.o.d"
+  "CMakeFiles/bix_index.dir/decomposition.cc.o"
+  "CMakeFiles/bix_index.dir/decomposition.cc.o.d"
+  "CMakeFiles/bix_index.dir/rid_index.cc.o"
+  "CMakeFiles/bix_index.dir/rid_index.cc.o.d"
+  "libbix_index.a"
+  "libbix_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

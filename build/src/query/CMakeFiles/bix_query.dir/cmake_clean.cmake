@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_query.dir/executor.cc.o"
+  "CMakeFiles/bix_query.dir/executor.cc.o.d"
+  "CMakeFiles/bix_query.dir/interval_rewrite.cc.o"
+  "CMakeFiles/bix_query.dir/interval_rewrite.cc.o.d"
+  "CMakeFiles/bix_query.dir/membership_rewrite.cc.o"
+  "CMakeFiles/bix_query.dir/membership_rewrite.cc.o.d"
+  "CMakeFiles/bix_query.dir/query.cc.o"
+  "CMakeFiles/bix_query.dir/query.cc.o.d"
+  "libbix_query.a"
+  "libbix_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

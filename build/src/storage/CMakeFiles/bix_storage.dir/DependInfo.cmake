@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bitmap_cache.cc" "src/storage/CMakeFiles/bix_storage.dir/bitmap_cache.cc.o" "gcc" "src/storage/CMakeFiles/bix_storage.dir/bitmap_cache.cc.o.d"
+  "/root/repo/src/storage/bitmap_store.cc" "src/storage/CMakeFiles/bix_storage.dir/bitmap_store.cc.o" "gcc" "src/storage/CMakeFiles/bix_storage.dir/bitmap_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/bix_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitvector/CMakeFiles/bix_bitvector.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_storage.dir/bitmap_cache.cc.o"
+  "CMakeFiles/bix_storage.dir/bitmap_cache.cc.o.d"
+  "CMakeFiles/bix_storage.dir/bitmap_store.cc.o"
+  "CMakeFiles/bix_storage.dir/bitmap_store.cc.o.d"
+  "libbix_storage.a"
+  "libbix_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbix_storage.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/theory/base_optimizer.cc" "src/theory/CMakeFiles/bix_theory.dir/base_optimizer.cc.o" "gcc" "src/theory/CMakeFiles/bix_theory.dir/base_optimizer.cc.o.d"
+  "/root/repo/src/theory/cost_model.cc" "src/theory/CMakeFiles/bix_theory.dir/cost_model.cc.o" "gcc" "src/theory/CMakeFiles/bix_theory.dir/cost_model.cc.o.d"
+  "/root/repo/src/theory/encoded_bitmap.cc" "src/theory/CMakeFiles/bix_theory.dir/encoded_bitmap.cc.o" "gcc" "src/theory/CMakeFiles/bix_theory.dir/encoded_bitmap.cc.o.d"
+  "/root/repo/src/theory/optimality.cc" "src/theory/CMakeFiles/bix_theory.dir/optimality.cc.o" "gcc" "src/theory/CMakeFiles/bix_theory.dir/optimality.cc.o.d"
+  "/root/repo/src/theory/update_cost.cc" "src/theory/CMakeFiles/bix_theory.dir/update_cost.cc.o" "gcc" "src/theory/CMakeFiles/bix_theory.dir/update_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/bix_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bix_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/bix_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/bix_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/bix_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bix_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/bix_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitvector/CMakeFiles/bix_bitvector.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

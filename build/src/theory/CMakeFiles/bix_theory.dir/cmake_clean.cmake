@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_theory.dir/base_optimizer.cc.o"
+  "CMakeFiles/bix_theory.dir/base_optimizer.cc.o.d"
+  "CMakeFiles/bix_theory.dir/cost_model.cc.o"
+  "CMakeFiles/bix_theory.dir/cost_model.cc.o.d"
+  "CMakeFiles/bix_theory.dir/encoded_bitmap.cc.o"
+  "CMakeFiles/bix_theory.dir/encoded_bitmap.cc.o.d"
+  "CMakeFiles/bix_theory.dir/optimality.cc.o"
+  "CMakeFiles/bix_theory.dir/optimality.cc.o.d"
+  "CMakeFiles/bix_theory.dir/update_cost.cc.o"
+  "CMakeFiles/bix_theory.dir/update_cost.cc.o.d"
+  "libbix_theory.a"
+  "libbix_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

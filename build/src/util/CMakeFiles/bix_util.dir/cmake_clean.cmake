@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_util.dir/status.cc.o"
+  "CMakeFiles/bix_util.dir/status.cc.o.d"
+  "libbix_util.a"
+  "libbix_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bix_workload.dir/column_gen.cc.o"
+  "CMakeFiles/bix_workload.dir/column_gen.cc.o.d"
+  "CMakeFiles/bix_workload.dir/query_gen.cc.o"
+  "CMakeFiles/bix_workload.dir/query_gen.cc.o.d"
+  "CMakeFiles/bix_workload.dir/scan_baseline.cc.o"
+  "CMakeFiles/bix_workload.dir/scan_baseline.cc.o.d"
+  "CMakeFiles/bix_workload.dir/zipf.cc.o"
+  "CMakeFiles/bix_workload.dir/zipf.cc.o.d"
+  "libbix_workload.a"
+  "libbix_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bix_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

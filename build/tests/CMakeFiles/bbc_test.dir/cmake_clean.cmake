@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbc_test.dir/bbc_test.cc.o"
+  "CMakeFiles/bbc_test.dir/bbc_test.cc.o.d"
+  "bbc_test"
+  "bbc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

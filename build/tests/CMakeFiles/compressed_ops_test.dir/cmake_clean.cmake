@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_ops_test.dir/compressed_ops_test.cc.o"
+  "CMakeFiles/compressed_ops_test.dir/compressed_ops_test.cc.o.d"
+  "compressed_ops_test"
+  "compressed_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

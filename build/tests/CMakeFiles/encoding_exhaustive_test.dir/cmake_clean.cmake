@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoding_exhaustive_test.dir/encoding_exhaustive_test.cc.o"
+  "CMakeFiles/encoding_exhaustive_test.dir/encoding_exhaustive_test.cc.o.d"
+  "encoding_exhaustive_test"
+  "encoding_exhaustive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoding_exhaustive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_formulas_test.dir/paper_formulas_test.cc.o"
+  "CMakeFiles/paper_formulas_test.dir/paper_formulas_test.cc.o.d"
+  "paper_formulas_test"
+  "paper_formulas_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_formulas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rid_index_test.dir/rid_index_test.cc.o"
+  "CMakeFiles/rid_index_test.dir/rid_index_test.cc.o.d"
+  "rid_index_test"
+  "rid_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rid_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_extensions_test.dir/theory_extensions_test.cc.o"
+  "CMakeFiles/theory_extensions_test.dir/theory_extensions_test.cc.o.d"
+  "theory_extensions_test"
+  "theory_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
