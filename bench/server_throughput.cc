@@ -1,0 +1,134 @@
+// Query-service scaling bench: queries/sec and tail latency vs worker
+// count for the three single-component encodings, over a Zipf-skewed
+// interval workload. Cache misses sleep their modeled DiskModel latency
+// (io_latency_scale), so throughput reflects the system the paper models —
+// workers overlap disk waits, and the shared sharded cache turns popular
+// bitmaps into latency-free hits across queries. The interesting
+// comparison is 4 workers vs 1 on the same workload (>2x is shared-cache
+// scaling at work, since a single core can overlap simulated I/O but not
+// real CPU).
+//
+//   server_throughput [--rows=N] [--cardinality=C] [--seed=S] [--quick]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "bench_support.h"
+#include "core/bitmap_index_facade.h"
+#include "server/query_service.h"
+#include "util/rng.h"
+#include "workload/column_gen.h"
+#include "workload/zipf.h"
+
+namespace bix {
+namespace bench {
+namespace {
+
+std::vector<ServiceQuery> ZipfIntervalQueries(uint32_t cardinality,
+                                              uint32_t count, uint64_t seed) {
+  // Interval midpoints follow the column's Zipf skew, so some bitmaps are
+  // far more popular than others — the regime where a shared cache beats
+  // per-worker exclusive pools.
+  Rng rng(seed);
+  ZipfDistribution zipf(cardinality, 1.0, &rng);
+  std::vector<ServiceQuery> queries;
+  queries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t lo = zipf.Sample(&rng);
+    const uint32_t width =
+        static_cast<uint32_t>(rng.UniformInt(0, cardinality / 8));
+    const uint32_t hi = std::min(lo + width, cardinality - 1);
+    queries.push_back(ServiceQuery::Interval(IntervalQuery{lo, hi, false}));
+  }
+  return queries;
+}
+
+struct RunResult {
+  double qps = 0.0;
+  double p99_ms = 0.0;
+  double hit_rate = 0.0;
+};
+
+RunResult RunOnce(const BitmapIndex& index,
+                  const std::vector<ServiceQuery>& queries,
+                  uint32_t num_workers) {
+  ServiceOptions options;
+  options.num_workers = num_workers;
+  options.queue_capacity = 128;
+  options.cache_shards = 8;
+  // Pool far smaller than the index working set, so the miss stream (and
+  // its modeled latency) persists; only the Zipf-popular bitmaps stay hot.
+  options.buffer_pool_bytes = 256 * 1024;
+  options.io_latency_scale = 0.25;
+  QueryService service(&index, options);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(queries.size());
+  for (const ServiceQuery& q : queries) futures.push_back(service.Submit(q));
+  for (auto& f : futures) f.get();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+  ServiceStats stats = service.Stats();
+  RunResult r;
+  r.qps = static_cast<double>(queries.size()) / wall;
+  r.p99_ms = stats.latency.p99() * 1e3;
+  r.hit_rate = stats.CacheHitRate();
+  return r;
+}
+
+void Run(const BenchArgs& args) {
+  ColumnSpec spec;
+  spec.rows = args.quick ? 50'000 : args.rows / 5;  // default 200k rows
+  spec.cardinality = args.cardinality * 2;          // default C=100
+  spec.zipf_z = 1.0;
+  spec.seed = args.seed;
+  const Column column = GenerateZipfColumn(spec);
+  const uint32_t num_queries = args.quick ? 60 : 160;
+
+  struct EncodingCase {
+    const char* name;
+    EncodingKind kind;
+  };
+  const EncodingCase cases[] = {
+      {"equality", EncodingKind::kEquality},
+      {"range", EncodingKind::kRange},
+      {"interval", EncodingKind::kInterval},
+  };
+  const uint32_t worker_counts[] = {1, 2, 4, 8};
+
+  std::printf("# server_throughput: rows=%llu C=%u queries=%u "
+              "(Zipf interval workload, io_latency_scale=0.25)\n",
+              static_cast<unsigned long long>(spec.rows), spec.cardinality,
+              num_queries);
+  TablePrinter table({"encoding", "workers", "queries/s", "p99_ms",
+                      "hit_rate", "speedup_vs_1w"});
+  for (const EncodingCase& c : cases) {
+    IndexConfig config;
+    config.encoding = c.kind;
+    const BitmapIndex index = BuildIndex(column, config).value();
+    const std::vector<ServiceQuery> queries =
+        ZipfIntervalQueries(spec.cardinality, num_queries, args.seed + 1);
+    double qps_1w = 0.0;
+    for (uint32_t workers : worker_counts) {
+      const RunResult r = RunOnce(index, queries, workers);
+      if (workers == 1) qps_1w = r.qps;
+      table.AddRow({c.name, std::to_string(workers), FormatDouble(r.qps, 1),
+                    FormatDouble(r.p99_ms, 2), FormatDouble(r.hit_rate, 3),
+                    FormatDouble(qps_1w > 0 ? r.qps / qps_1w : 0.0, 2)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bix
+
+int main(int argc, char** argv) {
+  bix::bench::Run(bix::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -29,4 +29,27 @@ Result<std::vector<uint32_t>> SpaceOptimalBases(uint32_t cardinality,
   return d.value().BasesMsbFirst();
 }
 
+Result<std::unique_ptr<QueryService>> Serve(const BitmapIndex* index,
+                                            ServiceOptions options) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("index must not be null");
+  }
+  if (options.num_workers == 0) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (options.queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (options.cache_shards == 0) {
+    return Status::InvalidArgument("cache_shards must be >= 1");
+  }
+  if (options.buffer_pool_bytes == 0) {
+    return Status::InvalidArgument("buffer_pool_bytes must be > 0");
+  }
+  if (options.io_latency_scale < 0.0) {
+    return Status::InvalidArgument("io_latency_scale must be >= 0");
+  }
+  return std::make_unique<QueryService>(index, options);
+}
+
 }  // namespace bix

@@ -1,11 +1,13 @@
 #ifndef BIX_CORE_BITMAP_INDEX_FACADE_H_
 #define BIX_CORE_BITMAP_INDEX_FACADE_H_
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "index/bitmap_index.h"
 #include "query/executor.h"
+#include "server/query_service.h"
 #include "util/status.h"
 
 namespace bix {
@@ -28,6 +30,14 @@ Result<BitmapIndex> BuildIndex(const Column& column, const IndexConfig& config);
 Result<std::vector<uint32_t>> SpaceOptimalBases(uint32_t cardinality,
                                                 uint32_t num_components,
                                                 EncodingKind encoding);
+
+// Validates the options and starts a concurrent QueryService over `index`
+// (see src/server/query_service.h): a fixed worker pool sharing one
+// lock-striped bitmap cache, with admission control and per-query metrics.
+// The index must outlive the returned service and stay immutable while it
+// is running.
+Result<std::unique_ptr<QueryService>> Serve(const BitmapIndex* index,
+                                            ServiceOptions options = {});
 
 }  // namespace bix
 

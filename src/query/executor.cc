@@ -14,8 +14,19 @@ namespace bix {
 QueryExecutor::QueryExecutor(const BitmapIndex* index, ExecutorOptions options)
     : index_(index),
       options_(options),
-      cache_(&index->store(), options.buffer_pool_bytes, options.disk) {
+      owned_cache_(std::make_unique<BitmapCache>(
+          &index->store(), options.buffer_pool_bytes, options.disk)),
+      cache_(owned_cache_.get()) {
   BIX_CHECK(index != nullptr);
+}
+
+QueryExecutor::QueryExecutor(const BitmapIndex* index, ExecutorOptions options,
+                             BitmapCacheInterface* shared_cache)
+    : index_(index), options_(options), cache_(shared_cache) {
+  BIX_CHECK(index != nullptr);
+  BIX_CHECK(shared_cache != nullptr);
+  BIX_CHECK_MSG(!options.cold_pool_per_query,
+                "a shared cache cannot be dropped per query");
 }
 
 ExprPtr QueryExecutor::Rewrite(IntervalQuery q) const {
@@ -32,14 +43,14 @@ std::vector<ExprPtr> QueryExecutor::RewriteMembership(
 }
 
 Bitvector QueryExecutor::EvaluateInterval(IntervalQuery q) {
-  return EvaluateConstituents({Rewrite(q)});
+  return EvaluateRewritten({Rewrite(q)});
 }
 
 Bitvector QueryExecutor::EvaluateMembership(
     const std::vector<uint32_t>& values) {
   BIX_CHECK_MSG(!values.empty(), "empty membership query");
   for (uint32_t v : values) BIX_CHECK(v < index_->decomposition().cardinality());
-  return EvaluateConstituents(RewriteMembership(values));
+  return EvaluateRewritten(RewriteMembership(values));
 }
 
 std::string QueryExecutor::QueryPlan::ToString() const {
@@ -136,9 +147,9 @@ void QueryExecutor::OrderForSharing(std::vector<const ExprPtr*>* order) {
   *order = std::move(result);
 }
 
-Bitvector QueryExecutor::EvaluateConstituents(
+Bitvector QueryExecutor::EvaluateRewritten(
     const std::vector<ExprPtr>& exprs) {
-  if (options_.cold_pool_per_query) cache_.DropPool();
+  if (options_.cold_pool_per_query) cache_->DropPool();
   const uint64_t rows = index_->row_count();
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -154,7 +165,7 @@ Bitvector QueryExecutor::EvaluateConstituents(
     }
     for (const ExprPtr* e : order) {
       Bitvector part = EvaluateExpr(
-          *e, rows, [this](BitmapKey key) { return cache_.Fetch(key); });
+          *e, rows, [this](BitmapKey key) { return cache_->Fetch(key, &stats_); });
       result.OrWith(part);
     }
   } else {
@@ -177,7 +188,7 @@ Bitvector QueryExecutor::EvaluateConstituents(
     std::unordered_map<uint64_t, Bitvector> fetched;
     fetched.reserve(leaves.size());
     for (const BitmapKey& key : leaves) {
-      fetched.emplace(key.Packed(), cache_.Fetch(key));
+      fetched.emplace(key.Packed(), cache_->Fetch(key, &stats_));
     }
     for (const ExprPtr& e : exprs) {
       Bitvector part =
@@ -191,7 +202,7 @@ Bitvector QueryExecutor::EvaluateConstituents(
   }
 
   const auto t1 = std::chrono::steady_clock::now();
-  cache_.AddCpuSeconds(std::chrono::duration<double>(t1 - t0).count());
+  stats_.cpu_seconds += std::chrono::duration<double>(t1 - t0).count();
   return result;
 }
 

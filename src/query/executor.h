@@ -1,6 +1,7 @@
 #ifndef BIX_QUERY_EXECUTOR_H_
 #define BIX_QUERY_EXECUTOR_H_
 
+#include <memory>
 #include <vector>
 
 #include "expr/evaluate.h"
@@ -37,16 +38,31 @@ struct ExecutorOptions {
   DiskModel disk;
   EvalStrategy strategy = EvalStrategy::kComponentWise;
   // When true, the pool is dropped before every query, mimicking the
-  // paper's flushed file-system buffer (each query starts cold).
+  // paper's flushed file-system buffer (each query starts cold). Must be
+  // false when the executor borrows a shared cache.
   bool cold_pool_per_query = true;
 };
 
 // Evaluates interval and membership queries against a BitmapIndex through
 // the three-phase pipeline: membership rewrite -> interval rewrite ->
 // bitmap expression evaluation, with buffer-pool-aware scheduling.
+//
+// The executor fetches bitmaps through a BitmapCacheInterface. By default
+// it owns a private BitmapCache (the paper's single-query buffer pool);
+// the second constructor borrows a shared, thread-safe cache instead so
+// that many executors — one per worker thread of a QueryService — share
+// fetched bitmaps across concurrent queries. Either way, I/O and CPU cost
+// is accounted into the executor's own IoStats block, so per-executor
+// breakdowns survive cache sharing.
 class QueryExecutor {
  public:
+  // Owns a private BitmapCache sized to options.buffer_pool_bytes.
   QueryExecutor(const BitmapIndex* index, ExecutorOptions options);
+  // Borrows `shared_cache` (must outlive the executor). Requires
+  // options.cold_pool_per_query == false: a shared pool is never dropped
+  // on behalf of a single query.
+  QueryExecutor(const BitmapIndex* index, ExecutorOptions options,
+                BitmapCacheInterface* shared_cache);
 
   QueryExecutor(const QueryExecutor&) = delete;
   QueryExecutor& operator=(const QueryExecutor&) = delete;
@@ -55,6 +71,10 @@ class QueryExecutor {
   Bitvector EvaluateInterval(IntervalQuery q);
   // "A in {values}". Values must be < cardinality.
   Bitvector EvaluateMembership(const std::vector<uint32_t>& values);
+  // Evaluates already-rewritten constituents (the OR of their results).
+  // Lets callers that time the rewrite separately (e.g. the query service's
+  // per-query metrics) drive the pipeline in two steps.
+  Bitvector EvaluateRewritten(const std::vector<ExprPtr>& exprs);
 
   // Rewrites without executing (for inspection, tests, cost analysis).
   ExprPtr Rewrite(IntervalQuery q) const;
@@ -75,19 +95,21 @@ class QueryExecutor {
   QueryPlan ExplainMembership(const std::vector<uint32_t>& values) const;
   QueryPlan ExplainInterval(IntervalQuery q) const;
 
-  // Cumulative I/O + CPU counters since construction / ResetStats.
-  const IoStats& stats() const { return cache_.stats(); }
-  void ResetStats() { cache_.ResetStats(); }
-  void DropPool() { cache_.DropPool(); }
+  // Cumulative I/O + CPU counters since construction / ResetStats. Local to
+  // this executor even when the underlying cache is shared.
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+  void DropPool() { cache_->DropPool(); }
 
  private:
-  Bitvector EvaluateConstituents(const std::vector<ExprPtr>& exprs);
   // Reorders constituents for kBufferAware (greedy shared-leaf chaining).
   void OrderForSharing(std::vector<const ExprPtr*>* order);
 
   const BitmapIndex* index_;
   ExecutorOptions options_;
-  BitmapCache cache_;
+  std::unique_ptr<BitmapCache> owned_cache_;  // null when borrowing
+  BitmapCacheInterface* cache_;               // owned_cache_.get() or borrowed
+  IoStats stats_;
 };
 
 }  // namespace bix

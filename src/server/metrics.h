@@ -1,0 +1,81 @@
+#ifndef BIX_SERVER_METRICS_H_
+#define BIX_SERVER_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "storage/io_stats.h"
+
+namespace bix {
+
+// Per-query cost breakdown recorded by a query-service worker: wall-clock
+// time spent in each pipeline stage plus the storage-layer counters of this
+// query's fetches (an IoStats block private to the query, merged into the
+// service aggregate with IoStats::Add when the query completes).
+struct QueryMetrics {
+  double queue_seconds = 0.0;    // admission to worker pickup
+  double rewrite_seconds = 0.0;  // membership + interval rewrite
+  double eval_seconds = 0.0;     // expression evaluation incl. fetches
+  IoStats io;
+
+  // End-to-end latency as the client saw it.
+  double total_seconds() const {
+    return queue_seconds + rewrite_seconds + eval_seconds;
+  }
+};
+
+// Fixed-footprint latency histogram with logarithmic buckets spanning
+// 1 microsecond to ~1 hour (half-power-of-two resolution, ~±19% relative
+// error on reported quantiles). Plain value type: single-writer or
+// externally synchronized; the service records under its stats mutex and
+// returns copies in snapshots.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(double seconds);
+  void Add(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  // Upper edge of the bucket containing the q-quantile (q in [0, 1]);
+  // 0 when empty.
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+
+ private:
+  static int BucketFor(double seconds);
+  static double BucketUpperEdge(int bucket);
+
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+};
+
+// Point-in-time snapshot of service-level aggregates, returned by
+// QueryService::Stats(). All counters are cumulative since service start.
+struct ServiceStats {
+  uint64_t submitted = 0;  // Submit/TrySubmit calls (incl. invalid ones)
+  uint64_t rejected = 0;   // admission-control + shutdown rejections
+  uint64_t completed = 0;  // queries fully evaluated
+
+  IoStats io;  // roll-up of per-query IoStats blocks
+  double queue_seconds_total = 0.0;
+  double rewrite_seconds_total = 0.0;
+  double eval_seconds_total = 0.0;
+  LatencyHistogram latency;  // per-query total_seconds()
+
+  // Shared-cache effectiveness across all completed queries.
+  double CacheHitRate() const {
+    return io.scans == 0
+               ? 0.0
+               : static_cast<double>(io.pool_hits) / static_cast<double>(io.scans);
+  }
+
+  std::string ToString() const;  // one-line human-readable summary
+};
+
+}  // namespace bix
+
+#endif  // BIX_SERVER_METRICS_H_

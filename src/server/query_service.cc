@@ -1,0 +1,197 @@
+#include "server/query_service.h"
+
+#include <utility>
+
+namespace bix {
+
+namespace {
+double SecondsBetween(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+std::future<QueryResult> ResolvedWith(Status status) {
+  std::promise<QueryResult> promise;
+  QueryResult result;
+  result.status = std::move(status);
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+}  // namespace
+
+QueryService::QueryService(const BitmapIndex* index, ServiceOptions options)
+    : index_(index),
+      options_(options),
+      cache_(std::make_unique<ShardedBitmapCache>(
+          &index->store(), options.buffer_pool_bytes, options.cache_shards,
+          options.disk, options.io_latency_scale)),
+      queue_(options.queue_capacity) {
+  BIX_CHECK(index != nullptr);
+  BIX_CHECK(options.num_workers > 0);
+  workers_.reserve(options_.num_workers);
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+Status QueryService::Validate(const ServiceQuery& query) const {
+  const uint32_t cardinality = index_->decomposition().cardinality();
+  if (query.kind == ServiceQuery::Kind::kInterval) {
+    if (query.interval.lo > query.interval.hi) {
+      return Status::InvalidArgument("interval lo > hi");
+    }
+    if (query.interval.hi >= cardinality) {
+      return Status::OutOfRange("interval hi >= cardinality");
+    }
+    return Status::OK();
+  }
+  if (query.values.empty()) {
+    return Status::InvalidArgument("empty membership query");
+  }
+  for (uint32_t v : query.values) {
+    if (v >= cardinality) {
+      return Status::OutOfRange("membership value >= cardinality");
+    }
+  }
+  return Status::OK();
+}
+
+std::future<QueryResult> QueryService::SubmitInternal(ServiceQuery query,
+                                                      bool blocking) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+  }
+  Status valid = Validate(query);
+  if (!valid.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected;
+    return ResolvedWith(std::move(valid));
+  }
+
+  Task task;
+  task.query = std::move(query);
+  task.enqueued = std::chrono::steady_clock::now();
+  std::future<QueryResult> future = task.promise.get_future();
+  {
+    // Count the query as pending before pushing so Drain can never observe
+    // an admitted-but-uncounted query.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++pending_;
+  }
+  const bool accepted = blocking ? queue_.Push(std::move(task))
+                                 : queue_.TryPush(std::move(task));
+  if (!accepted) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected;
+      --pending_;
+    }
+    drained_cv_.notify_all();
+    QueryResult result;
+    result.status = Status::Unavailable(
+        queue_.closed() ? "service is shut down" : "queue is full");
+    task.promise.set_value(std::move(result));
+  }
+  return future;
+}
+
+std::future<QueryResult> QueryService::Submit(ServiceQuery query) {
+  return SubmitInternal(std::move(query), /*blocking=*/true);
+}
+
+std::future<QueryResult> QueryService::TrySubmit(ServiceQuery query) {
+  return SubmitInternal(std::move(query), /*blocking=*/false);
+}
+
+std::vector<QueryResult> QueryService::ExecuteBatch(
+    std::vector<ServiceQuery> batch) {
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(batch.size());
+  for (ServiceQuery& query : batch) futures.push_back(Submit(std::move(query)));
+  std::vector<QueryResult> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(stats_mu_);
+  drained_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.Close();  // workers drain the remaining queue, then exit
+  for (std::thread& w : workers_) w.join();
+}
+
+ServiceStats QueryService::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void QueryService::WorkerLoop(uint32_t worker_id) {
+  (void)worker_id;
+  ExecutorOptions exec_options;
+  exec_options.buffer_pool_bytes = options_.buffer_pool_bytes;
+  exec_options.disk = options_.disk;
+  exec_options.strategy = options_.strategy;
+  exec_options.cold_pool_per_query = false;  // the pool is shared and warm
+  QueryExecutor executor(index_, exec_options, cache_.get());
+  while (true) {
+    std::optional<Task> task = queue_.Pop();
+    if (!task.has_value()) break;  // closed and drained: deterministic exit
+    QueryResult result = Execute(&executor, *task);
+    // Record before resolving the future, so a caller that waited on the
+    // result is guaranteed to see its query in the service counters.
+    RecordCompletion(result.metrics);
+    task->promise.set_value(std::move(result));
+  }
+}
+
+QueryResult QueryService::Execute(QueryExecutor* executor, const Task& task) {
+  using Clock = std::chrono::steady_clock;
+  QueryResult result;
+  result.metrics.queue_seconds = SecondsBetween(task.enqueued, Clock::now());
+
+  executor->ResetStats();
+  const auto t0 = Clock::now();
+  std::vector<ExprPtr> exprs;
+  if (task.query.kind == ServiceQuery::Kind::kInterval) {
+    exprs.push_back(executor->Rewrite(task.query.interval));
+  } else {
+    exprs = executor->RewriteMembership(task.query.values);
+  }
+  const auto t1 = Clock::now();
+  result.rows = executor->EvaluateRewritten(exprs);
+  const auto t2 = Clock::now();
+
+  result.metrics.rewrite_seconds = SecondsBetween(t0, t1);
+  result.metrics.eval_seconds = SecondsBetween(t1, t2);
+  result.metrics.io = executor->stats();
+  result.status = Status::OK();
+  return result;
+}
+
+void QueryService::RecordCompletion(const QueryMetrics& metrics) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.completed;
+    stats_.io.Add(metrics.io);
+    stats_.queue_seconds_total += metrics.queue_seconds;
+    stats_.rewrite_seconds_total += metrics.rewrite_seconds;
+    stats_.eval_seconds_total += metrics.eval_seconds;
+    stats_.latency.Record(metrics.total_seconds());
+    --pending_;
+  }
+  drained_cv_.notify_all();
+}
+
+}  // namespace bix

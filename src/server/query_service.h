@@ -1,0 +1,150 @@
+#ifndef BIX_SERVER_QUERY_SERVICE_H_
+#define BIX_SERVER_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "index/bitmap_index.h"
+#include "query/executor.h"
+#include "server/metrics.h"
+#include "server/sharded_cache.h"
+#include "server/work_queue.h"
+#include "util/status.h"
+
+namespace bix {
+
+// One query as submitted to the service: either an interval query
+// "lo <= A <= hi" or a membership query "A in {values}".
+struct ServiceQuery {
+  enum class Kind : uint8_t { kInterval, kMembership };
+
+  Kind kind = Kind::kInterval;
+  IntervalQuery interval;
+  std::vector<uint32_t> values;  // membership only
+
+  static ServiceQuery Interval(IntervalQuery q) {
+    ServiceQuery sq;
+    sq.kind = Kind::kInterval;
+    sq.interval = q;
+    return sq;
+  }
+  static ServiceQuery Membership(std::vector<uint32_t> values) {
+    ServiceQuery sq;
+    sq.kind = Kind::kMembership;
+    sq.values = std::move(values);
+    return sq;
+  }
+};
+
+// The service's answer: resolved rows plus the per-query cost breakdown.
+// `status` is Unavailable when the query was rejected by admission control
+// or the service was shutting down, InvalidArgument for malformed queries;
+// `rows`/`metrics` are meaningful only when status.ok().
+struct QueryResult {
+  Status status;
+  Bitvector rows;
+  QueryMetrics metrics;
+};
+
+struct ServiceOptions {
+  uint32_t num_workers = 4;
+  // Admission control: TrySubmit rejects once this many queries wait.
+  size_t queue_capacity = 256;
+  // Shared cache: total byte budget, split over lock-striped shards.
+  uint64_t buffer_pool_bytes = 11ull << 20;
+  uint32_t cache_shards = 8;
+  DiskModel disk;
+  EvalStrategy strategy = EvalStrategy::kComponentWise;
+  // When > 0, cache misses sleep for the modeled (io + decode) seconds
+  // scaled by this factor, turning the DiskModel into actual latency.
+  // Benches use this to measure worker scaling; leave 0 for tests.
+  double io_latency_scale = 0.0;
+};
+
+// A concurrent query service over one immutable BitmapIndex: a bounded
+// MPMC work queue feeding a fixed pool of worker threads, each running its
+// own QueryExecutor over one shared ShardedBitmapCache. This is the
+// serving layer the ROADMAP's production north-star plugs into — admission
+// control bounds memory under overload, per-query metrics roll up into
+// service counters and latency histograms, and Shutdown drains
+// deterministically.
+//
+// The index must be immutable while the service is running (no Append);
+// it is read concurrently without locks.
+class QueryService {
+ public:
+  QueryService(const BitmapIndex* index, ServiceOptions options);
+  ~QueryService();  // implies Shutdown()
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Blocking admission (backpressure): waits for queue space. The future
+  // resolves when a worker finishes the query. After Shutdown, resolves
+  // immediately with Unavailable.
+  std::future<QueryResult> Submit(ServiceQuery query);
+
+  // Non-blocking admission control: when the queue is full (or the service
+  // is shut down) the future resolves immediately with an Unavailable
+  // status instead of queueing unboundedly.
+  std::future<QueryResult> TrySubmit(ServiceQuery query);
+
+  // Convenience: blocking-submits the whole batch and waits for every
+  // result (order matches the input).
+  std::vector<QueryResult> ExecuteBatch(std::vector<ServiceQuery> batch);
+
+  // Blocks until every queued and in-flight query has completed. New
+  // submissions remain allowed (drain of a moment, not a barrier).
+  void Drain();
+
+  // Deterministic shutdown: stops admitting, lets workers finish every
+  // already-queued query, joins all workers. Idempotent.
+  void Shutdown();
+
+  // Point-in-time aggregate counters (thread-safe).
+  ServiceStats Stats() const;
+
+  const ShardedBitmapCache& cache() const { return *cache_; }
+  uint32_t num_workers() const { return options_.num_workers; }
+
+ private:
+  struct Task {
+    ServiceQuery query;
+    std::promise<QueryResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  // Validation at the admission edge, so malformed queries fail with a
+  // Status instead of aborting a worker.
+  Status Validate(const ServiceQuery& query) const;
+  std::future<QueryResult> SubmitInternal(ServiceQuery query, bool blocking);
+  void WorkerLoop(uint32_t worker_id);
+  QueryResult Execute(QueryExecutor* executor, const Task& task);
+  void RecordCompletion(const QueryMetrics& metrics);
+
+  const BitmapIndex* index_;
+  const ServiceOptions options_;
+  std::unique_ptr<ShardedBitmapCache> cache_;
+  BoundedWorkQueue<Task> queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+  // Queries admitted but not yet completed (queued or in flight); Drain
+  // waits for this to reach zero. Guarded by stats_mu_.
+  uint64_t pending_ = 0;
+  std::condition_variable drained_cv_;
+
+  std::mutex lifecycle_mu_;
+  bool shut_down_ = false;
+};
+
+}  // namespace bix
+
+#endif  // BIX_SERVER_QUERY_SERVICE_H_

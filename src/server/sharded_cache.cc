@@ -1,0 +1,127 @@
+#include "server/sharded_cache.h"
+
+#include <chrono>
+#include <thread>
+
+namespace bix {
+
+ShardedBitmapCache::ShardedBitmapCache(const BitmapStore* store,
+                                       uint64_t pool_bytes,
+                                       uint32_t num_shards, DiskModel disk,
+                                       double io_latency_scale)
+    : store_(store),
+      pool_bytes_(pool_bytes),
+      shard_pool_bytes_(num_shards == 0 ? 0 : pool_bytes / num_shards),
+      disk_(disk),
+      io_latency_scale_(io_latency_scale) {
+  BIX_CHECK(store != nullptr);
+  BIX_CHECK(num_shards > 0);
+  shards_.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+Bitvector ShardedBitmapCache::Fetch(BitmapKey key, IoStats* stats) {
+  ++stats->scans;
+  Shard& shard = ShardFor(key);
+
+  // Hit path: take a reference to the decoded bitmap under the lock and
+  // copy it outside (the shared_ptr keeps the entry's payload alive even if
+  // it is evicted meanwhile; the copy is the caller's private buffer).
+  std::shared_ptr<const Bitvector> cached;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.resident.find(key);
+    if (it != shard.resident.end()) {
+      ++stats->pool_hits;
+      ++shard.counters.hits;
+      Shard::Entry& e = it->second;
+      shard.lru.erase(e.lru_it);
+      shard.lru.push_front(key);
+      e.lru_it = shard.lru.begin();
+      cached = e.bitmap;
+    }
+  }
+  if (cached) return *cached;
+
+  // Miss path. The store is immutable after build, so GetBlob/Materialize
+  // need no lock; only the accounting and the insert take the shard mutex.
+  const BitmapStore::Blob& blob = store_->GetBlob(key);
+  const uint64_t stored_bytes = blob.bytes.size();
+  ++stats->disk_reads;
+  stats->bytes_read += stored_bytes;
+  const double io_s = disk_.ReadSeconds(stored_bytes);
+  stats->io_seconds += io_s;
+  double decode_s = 0.0;
+  if (blob.compressed) {
+    decode_s = disk_.DecodeSeconds(stored_bytes);
+    stats->decode_seconds += decode_s;
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.counters.misses;
+    if (!shard.read_before.insert(key.Packed()).second) ++stats->rescans;
+  }
+  if (io_latency_scale_ > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>((io_s + decode_s) * io_latency_scale_));
+  }
+  auto bitmap = std::make_shared<const Bitvector>(store_->Materialize(key));
+  Bitvector result = *bitmap;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Insert(&shard, key, stored_bytes, std::move(bitmap));
+  }
+  return result;
+}
+
+void ShardedBitmapCache::DropPool() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->resident.clear();
+    shard->used_bytes = 0;
+    shard->read_before.clear();
+  }
+}
+
+uint64_t ShardedBitmapCache::pool_bytes_used() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->used_bytes;
+  }
+  return total;
+}
+
+ShardedBitmapCache::Counters ShardedBitmapCache::TotalCounters() const {
+  Counters total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->counters.hits;
+    total.misses += shard->counters.misses;
+  }
+  return total;
+}
+
+void ShardedBitmapCache::Insert(Shard* shard, BitmapKey key,
+                                uint64_t stored_bytes,
+                                std::shared_ptr<const Bitvector> bitmap) {
+  if (stored_bytes > shard_pool_bytes_) return;  // too big; read-through
+  if (shard->resident.count(key) > 0) return;    // raced with another miss
+  while (shard->used_bytes + stored_bytes > shard_pool_bytes_ &&
+         !shard->lru.empty()) {
+    BitmapKey victim = shard->lru.back();
+    shard->lru.pop_back();
+    auto vit = shard->resident.find(victim);
+    shard->used_bytes -= vit->second.stored_bytes;
+    shard->resident.erase(vit);
+  }
+  shard->lru.push_front(key);
+  shard->resident.emplace(
+      key, Shard::Entry{shard->lru.begin(), stored_bytes, std::move(bitmap)});
+  shard->used_bytes += stored_bytes;
+}
+
+}  // namespace bix

@@ -1,0 +1,105 @@
+#ifndef BIX_SERVER_SHARDED_CACHE_H_
+#define BIX_SERVER_SHARDED_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/bitmap_cache.h"
+#include "storage/bitmap_store.h"
+#include "storage/disk_model.h"
+#include "storage/io_stats.h"
+
+namespace bix {
+
+// The query service's shared buffer pool: a thread-safe bitmap cache of N
+// lock-striped LRU shards keyed by BitmapKey. Concurrent queries running on
+// different workers share fetched bitmaps the way the paper's buffer pool
+// shares scans *within* one query — the whole point of replacing per-worker
+// exclusive pools.
+//
+// Differences from the single-owner BitmapCache, both deliberate for a
+// serving path:
+//  - Shards cache *decoded* bitmaps, so a pool hit skips the real
+//    decompression work as well as the modeled disk read (a server
+//    optimizes wall-clock; the paper's file-system buffer caches the
+//    stored form and re-decodes every fetch). The byte budget still counts
+//    *stored* bytes so pool sizing stays comparable with BitmapCache.
+//  - Fetch accounts into a caller-supplied IoStats block only, so each
+//    query keeps a private, consistent cost breakdown; the service rolls
+//    the blocks up. Shard-level aggregate hit/miss counters are kept
+//    separately for ServiceStats.
+//  - When `io_latency_scale` > 0, a miss sleeps for the modeled
+//    (io + decode) seconds scaled by that factor — turning the DiskModel
+//    from pure accounting into actual latency so that worker-count scaling
+//    and cache sharing have measurable wall-clock effects (benches use
+//    this; tests leave it 0).
+//
+// Locking: one mutex per shard, held only for map/LRU bookkeeping — never
+// across Materialize or the modeled-latency sleep. Two threads missing the
+// same key concurrently may both materialize it (both count as disk reads,
+// exactly like two concurrent misses against a real buffer pool).
+class ShardedBitmapCache : public BitmapCacheInterface {
+ public:
+  ShardedBitmapCache(const BitmapStore* store, uint64_t pool_bytes,
+                     uint32_t num_shards, DiskModel disk = DiskModel{},
+                     double io_latency_scale = 0.0);
+
+  ShardedBitmapCache(const ShardedBitmapCache&) = delete;
+  ShardedBitmapCache& operator=(const ShardedBitmapCache&) = delete;
+
+  // BitmapCacheInterface. Thread-safe; `stats` must be private to the
+  // calling thread (or otherwise synchronized by the caller).
+  Bitvector Fetch(BitmapKey key, IoStats* stats) override;
+  void DropPool() override;
+
+  uint64_t pool_bytes() const { return pool_bytes_; }
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  uint64_t pool_bytes_used() const;  // sum over shards (racy-but-consistent)
+
+  // Cache-level aggregate counters (independent of per-query blocks).
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  Counters TotalCounters() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // LRU bookkeeping: most-recently-used at the front.
+    std::list<BitmapKey> lru;
+    struct Entry {
+      std::list<BitmapKey>::iterator lru_it;
+      uint64_t stored_bytes = 0;
+      std::shared_ptr<const Bitvector> bitmap;
+    };
+    std::unordered_map<BitmapKey, Entry, BitmapKeyHash> resident;
+    uint64_t used_bytes = 0;
+    // Keys ever read from disk, to count rescans.
+    std::unordered_set<uint64_t> read_before;
+    Counters counters;
+  };
+
+  Shard& ShardFor(BitmapKey key) {
+    return *shards_[BitmapKeyHash{}(key) % shards_.size()];
+  }
+  // Inserts under the shard lock, evicting LRU entries to fit.
+  void Insert(Shard* shard, BitmapKey key, uint64_t stored_bytes,
+              std::shared_ptr<const Bitvector> bitmap);
+
+  const BitmapStore* store_;
+  const uint64_t pool_bytes_;        // total budget, split evenly per shard
+  const uint64_t shard_pool_bytes_;  // per-shard budget
+  const DiskModel disk_;
+  const double io_latency_scale_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_SERVER_SHARDED_CACHE_H_

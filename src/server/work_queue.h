@@ -1,0 +1,106 @@
+#ifndef BIX_SERVER_WORK_QUEUE_H_
+#define BIX_SERVER_WORK_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+
+namespace bix {
+
+// A bounded multi-producer/multi-consumer queue: the admission-control
+// point of the query service. Producers either TryPush (reject when full —
+// bounded memory under overload, the service returns a rejected status to
+// the client) or Push (block for backpressure). Consumers Pop until the
+// queue is closed and drained, which gives workers a deterministic
+// shutdown path: Close() wakes everyone, remaining items are still handed
+// out, and Pop returns nullopt only once the queue is empty.
+template <typename T>
+class BoundedWorkQueue {
+ public:
+  explicit BoundedWorkQueue(size_t capacity) : capacity_(capacity) {
+    BIX_CHECK(capacity > 0);
+  }
+
+  BoundedWorkQueue(const BoundedWorkQueue&) = delete;
+  BoundedWorkQueue& operator=(const BoundedWorkQueue&) = delete;
+
+  // Non-blocking admission: false when the queue is full or closed. The
+  // item is moved from only on success, so a rejected caller still owns it
+  // (the service needs this to resolve the query's promise with a status).
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    consumer_cv_.notify_one();
+    return true;
+  }
+
+  // Blocking admission (backpressure): waits for a free slot; false when
+  // the queue is (or becomes) closed, leaving the item intact.
+  bool Push(T&& item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      producer_cv_.wait(
+          lock, [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    consumer_cv_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and empty
+  // (then returns nullopt, telling the worker to exit).
+  std::optional<T> Pop() {
+    std::optional<T> item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      consumer_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    producer_cv_.notify_one();
+    return item;
+  }
+
+  // Rejects all future pushes and wakes blocked producers/consumers.
+  // Already-queued items remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    consumer_cv_.notify_all();
+    producer_cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable consumer_cv_;
+  std::condition_variable producer_cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace bix
+
+#endif  // BIX_SERVER_WORK_QUEUE_H_

@@ -2,21 +2,21 @@
 
 namespace bix {
 
-Bitvector BitmapCache::Fetch(BitmapKey key) {
-  ++stats_.scans;
+Bitvector BitmapCache::Fetch(BitmapKey key, IoStats* stats) {
+  ++stats->scans;
   const BitmapStore::Blob& blob = store_->GetBlob(key);
   const uint64_t bytes = blob.bytes.size();
   // Decompression is paid on every fetch (the pool caches the stored form).
-  if (blob.compressed) stats_.decode_seconds += disk_.DecodeSeconds(bytes);
+  if (blob.compressed) stats->decode_seconds += disk_.DecodeSeconds(bytes);
   auto it = resident_.find(key);
   if (it != resident_.end()) {
-    ++stats_.pool_hits;
+    ++stats->pool_hits;
     Touch(key);
   } else {
-    ++stats_.disk_reads;
-    stats_.bytes_read += bytes;
-    stats_.io_seconds += disk_.ReadSeconds(bytes);
-    if (!read_before_.insert(key.Packed()).second) ++stats_.rescans;
+    ++stats->disk_reads;
+    stats->bytes_read += bytes;
+    stats->io_seconds += disk_.ReadSeconds(bytes);
+    if (!read_before_.insert(key.Packed()).second) ++stats->rescans;
     Insert(key, bytes);
   }
   // Decode CPU (BBC decompression for compressed indexes) is measured by

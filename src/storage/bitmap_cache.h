@@ -12,6 +12,25 @@
 
 namespace bix {
 
+// Anything the query evaluator can fetch bitmaps through: the classic
+// single-owner BitmapCache below, or the thread-safe ShardedBitmapCache of
+// src/server. Implementations account each fetch into the *caller-supplied*
+// stats block rather than shared internal state, so a caller always gets a
+// consistent per-query / per-worker cost breakdown even when the cache
+// itself is shared by many concurrent queries; aggregation across callers
+// is then an explicit IoStats::Add roll-up.
+class BitmapCacheInterface {
+ public:
+  virtual ~BitmapCacheInterface() = default;
+
+  // One bitmap scan: accounts I/O into *stats, updates the pool, and
+  // returns the decoded bitmap.
+  virtual Bitvector Fetch(BitmapKey key, IoStats* stats) = 0;
+
+  // Drops all cached pages and the has-been-read history.
+  virtual void DropPool() = 0;
+};
+
 // The buffer pool of Section 6.3/7: a byte-budgeted LRU cache of stored
 // bitmap payloads sitting between the query evaluator and the simulated
 // disk. The pool caches bitmaps in their *stored* form (compressed indexes
@@ -20,7 +39,10 @@ namespace bix {
 // on pool misses — exactly the cost structure the paper measures.
 //
 // A bitmap larger than the whole pool is read from disk and not cached.
-class BitmapCache {
+//
+// Not thread-safe: one owner at a time (the paper's single-query setting).
+// Concurrent readers share a ShardedBitmapCache (src/server) instead.
+class BitmapCache : public BitmapCacheInterface {
  public:
   BitmapCache(const BitmapStore* store, uint64_t pool_bytes,
               DiskModel disk = DiskModel{})
@@ -31,9 +53,12 @@ class BitmapCache {
   BitmapCache(const BitmapCache&) = delete;
   BitmapCache& operator=(const BitmapCache&) = delete;
 
-  // One bitmap scan: accounts I/O, updates the pool, and returns the
-  // decoded bitmap. CPU time (including decode) is measured by the caller.
-  Bitvector Fetch(BitmapKey key);
+  // BitmapCacheInterface: accounts the scan into *stats.
+  Bitvector Fetch(BitmapKey key, IoStats* stats) override;
+
+  // Convenience for single-owner callers: accounts into the internal
+  // cumulative stats block.
+  Bitvector Fetch(BitmapKey key) { return Fetch(key, &stats_); }
 
   // Lets the executor charge measured CPU time into the same stats block.
   void AddCpuSeconds(double s) { stats_.cpu_seconds += s; }
@@ -42,7 +67,7 @@ class BitmapCache {
   void ResetStats() { stats_ = IoStats{}; }
   // Drops all cached pages and the has-been-read history. Benches call this
   // between queries to mimic the paper's flushed file-system buffer.
-  void DropPool();
+  void DropPool() override;
 
   uint64_t pool_bytes() const { return pool_bytes_; }
   uint64_t pool_bytes_used() const { return used_bytes_; }

@@ -23,6 +23,11 @@ struct IoStats {
     return io_seconds + decode_seconds + cpu_seconds;
   }
 
+  // Field-by-field merge, used to roll worker/per-query blocks up into
+  // aggregate counters. Callers merging blocks produced by concurrent
+  // workers must either hand each worker its own block (the
+  // BitmapCacheInterface contract) or hold a lock around Add; IoStats
+  // itself is a plain value type.
   void Add(const IoStats& o) {
     scans += o.scans;
     pool_hits += o.pool_hits;
@@ -34,6 +39,12 @@ struct IoStats {
     cpu_seconds += o.cpu_seconds;
   }
 };
+
+// Tripwire for Add() completeness: adding a counter to IoStats changes the
+// struct's size, which fails this assert until Add (and the roll-up test in
+// tests/storage_test.cc) are updated to merge the new field.
+static_assert(sizeof(IoStats) == 5 * sizeof(uint64_t) + 3 * sizeof(double),
+              "IoStats gained a field; update IoStats::Add to merge it");
 
 }  // namespace bix
 

@@ -14,6 +14,8 @@ std::string Status::ToString() const {
       return "Corruption: " + message_;
     case Code::kNotSupported:
       return "NotSupported: " + message_;
+    case Code::kUnavailable:
+      return "Unavailable: " + message_;
   }
   return "Unknown";
 }

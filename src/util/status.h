@@ -20,6 +20,7 @@ class Status {
     kOutOfRange,
     kCorruption,
     kNotSupported,
+    kUnavailable,  // transient overload/shutdown; the caller may retry
   };
 
   Status() : code_(Code::kOk) {}
@@ -36,6 +37,9 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

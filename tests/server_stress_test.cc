@@ -1,0 +1,171 @@
+// Concurrency stress tests for the query service: many workers hammering
+// one shared sharded cache must produce results bit-identical to the
+// single-threaded QueryExecutor, and admission control must reject (not
+// queue unboundedly) under overload. CI additionally builds this test with
+// -fsanitize=thread (-DBIX_SANITIZE=thread) to catch data races.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/bitmap_index_facade.h"
+#include "server/query_service.h"
+#include "util/rng.h"
+#include "workload/column_gen.h"
+
+namespace bix {
+namespace {
+
+// A mixed interval/membership workload over a Zipf column. Sized so the
+// full stress run stays fast under ThreadSanitizer on small CI machines
+// while still exercising eviction and cross-worker sharing.
+struct StressSetup {
+  Column column;
+  std::optional<BitmapIndex> index;
+  std::vector<ServiceQuery> queries;
+
+  explicit StressSetup(EncodingKind encoding, bool compressed,
+                       uint32_t num_queries) {
+    ColumnSpec spec;
+    spec.rows = 20'000;
+    spec.cardinality = 64;
+    spec.zipf_z = 1.0;
+    spec.seed = 7;
+    column = GenerateZipfColumn(spec);
+    IndexConfig config;
+    config.encoding = encoding;
+    config.compressed = compressed;
+    index.emplace(BuildIndex(column, config).value());
+
+    Rng rng(2024);
+    queries.reserve(num_queries);
+    for (uint32_t i = 0; i < num_queries; ++i) {
+      if (rng.Bernoulli(0.5)) {
+        const uint32_t lo =
+            static_cast<uint32_t>(rng.UniformInt(0, spec.cardinality - 1));
+        const uint32_t hi =
+            static_cast<uint32_t>(rng.UniformInt(lo, spec.cardinality - 1));
+        queries.push_back(
+            ServiceQuery::Interval(IntervalQuery{lo, hi, false}));
+      } else {
+        const uint32_t k = static_cast<uint32_t>(rng.UniformInt(1, 8));
+        std::vector<uint32_t> values;
+        for (uint32_t j = 0; j < k; ++j) {
+          values.push_back(
+              static_cast<uint32_t>(rng.UniformInt(0, spec.cardinality - 1)));
+        }
+        queries.push_back(ServiceQuery::Membership(std::move(values)));
+      }
+    }
+  }
+
+  // Ground truth from the single-threaded executor (the paper pipeline).
+  std::vector<Bitvector> ReferenceResults() const {
+    ExecutorOptions options;
+    QueryExecutor executor(&*index, options);
+    std::vector<Bitvector> results;
+    results.reserve(queries.size());
+    for (const ServiceQuery& q : queries) {
+      results.push_back(q.kind == ServiceQuery::Kind::kInterval
+                            ? executor.EvaluateInterval(q.interval)
+                            : executor.EvaluateMembership(q.values));
+    }
+    return results;
+  }
+};
+
+TEST(ServerStressTest, EightWorkersBitIdenticalToSingleThread) {
+  StressSetup setup(EncodingKind::kInterval, /*compressed=*/false,
+                    /*num_queries=*/1000);
+  const std::vector<Bitvector> expected = setup.ReferenceResults();
+
+  ServiceOptions options;
+  options.num_workers = 8;
+  options.queue_capacity = 64;
+  options.cache_shards = 8;
+  // Pool smaller than the full working set so eviction churns concurrently
+  // with hits (the interesting regime for races).
+  options.buffer_pool_bytes = 24 * 1024;
+  QueryService service(&*setup.index, options);
+
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(setup.queries.size());
+  for (const ServiceQuery& q : setup.queries) {
+    futures.push_back(service.Submit(q));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    QueryResult r = futures[i].get();
+    ASSERT_TRUE(r.status.ok()) << "query " << i << ": " << r.status.ToString();
+    ASSERT_EQ(r.rows, expected[i]) << "result mismatch at query " << i;
+  }
+
+  service.Drain();
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, setup.queries.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.io.scans, stats.io.pool_hits + stats.io.disk_reads);
+  EXPECT_GT(stats.io.pool_hits, 0u);  // workers actually shared the cache
+  EXPECT_EQ(stats.latency.count(), setup.queries.size());
+}
+
+TEST(ServerStressTest, CompressedIndexBitIdenticalToSingleThread) {
+  // BBC-compressed bitmaps exercise the decode path under concurrency.
+  StressSetup setup(EncodingKind::kEquality, /*compressed=*/true,
+                    /*num_queries=*/300);
+  const std::vector<Bitvector> expected = setup.ReferenceResults();
+
+  ServiceOptions options;
+  options.num_workers = 8;
+  options.queue_capacity = 32;
+  options.cache_shards = 4;
+  options.buffer_pool_bytes = 16 * 1024;
+  QueryService service(&*setup.index, options);
+
+  std::vector<QueryResult> results = service.ExecuteBatch(setup.queries);
+  ASSERT_EQ(results.size(), expected.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].status.ok());
+    ASSERT_EQ(results[i].rows, expected[i]) << "mismatch at query " << i;
+  }
+}
+
+TEST(ServerStressTest, AdmissionControlRejectsWhenQueueIsFull) {
+  StressSetup setup(EncodingKind::kInterval, /*compressed=*/false,
+                    /*num_queries=*/1);
+
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 2;
+  options.cache_shards = 2;
+  // Make every cache miss sleep its modeled latency, and make the pool too
+  // small to cache anything, so the single worker stays busy (>= one seek
+  // per query) long enough for the queue to fill deterministically.
+  options.io_latency_scale = 1.0;
+  options.buffer_pool_bytes = 1;
+  QueryService service(&*setup.index, options);
+
+  const ServiceQuery q = ServiceQuery::Interval(IntervalQuery{5, 40, false});
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(service.TrySubmit(q));
+  }
+  uint64_t ok = 0, rejected = 0;
+  for (auto& f : futures) {
+    QueryResult r = f.get();
+    if (r.status.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.status.code(), Status::Code::kUnavailable);
+      ++rejected;
+    }
+  }
+  EXPECT_GT(ok, 0u);        // the service still made progress
+  EXPECT_GT(rejected, 0u);  // and shed load instead of queueing 32 deep
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.submitted, 32u);
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.completed, ok);
+}
+
+}  // namespace
+}  // namespace bix

@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/bitmap_index_facade.h"
+#include "server/metrics.h"
+#include "server/query_service.h"
+#include "server/sharded_cache.h"
+#include "server/work_queue.h"
+#include "util/rng.h"
+#include "workload/column_gen.h"
+
+namespace bix {
+namespace {
+
+// ---------------------------------------------------------------- queue --
+
+TEST(BoundedWorkQueueTest, FifoAndCapacity) {
+  BoundedWorkQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full: admission control rejects
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_TRUE(q.TryPush(4));
+  EXPECT_EQ(q.Pop().value(), 4);
+}
+
+TEST(BoundedWorkQueueTest, RejectedItemIsNotConsumed) {
+  BoundedWorkQueue<std::unique_ptr<int>> q(1);
+  EXPECT_TRUE(q.TryPush(std::make_unique<int>(1)));
+  auto item = std::make_unique<int>(2);
+  EXPECT_FALSE(q.TryPush(std::move(item)));
+  ASSERT_NE(item, nullptr);  // still owned by the caller
+  EXPECT_EQ(*item, 2);
+}
+
+TEST(BoundedWorkQueueTest, CloseDrainsRemainingItems) {
+  BoundedWorkQueue<int> q(4);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  q.Close();
+  EXPECT_FALSE(q.TryPush(3));  // no admissions after close
+  EXPECT_EQ(q.Pop().value(), 1);  // queued work is still handed out
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());  // drained: workers exit
+}
+
+TEST(BoundedWorkQueueTest, BlockingPushWaitsForSpace) {
+  BoundedWorkQueue<int> q(1);
+  EXPECT_TRUE(q.TryPush(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(2));  // blocks until the consumer pops
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.Pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.Pop().value(), 2);
+}
+
+TEST(BoundedWorkQueueTest, CloseUnblocksBlockedProducer) {
+  BoundedWorkQueue<int> q(1);
+  EXPECT_TRUE(q.TryPush(1));  // queue stays full: the producer must block
+  std::thread producer([&] { EXPECT_FALSE(q.Push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  producer.join();
+  EXPECT_EQ(q.Pop().value(), 1);  // the admitted item still drains
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+// ------------------------------------------------------------ histogram --
+
+TEST(LatencyHistogramTest, EmptyQuantilesAreZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesBracketRecordedValues) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.Record(0.001);  // 1 ms
+  h.Record(1.0);  // one outlier
+  EXPECT_EQ(h.count(), 100u);
+  // p50 lands in the 1 ms bucket (log buckets: upper edge within ~41%).
+  EXPECT_GE(h.p50(), 0.001 * 0.7);
+  EXPECT_LE(h.p50(), 0.001 * 1.5);
+  // p99 still in the 1 ms bucket; the outlier only moves the max.
+  EXPECT_LE(h.p99(), 0.002);
+  EXPECT_GE(h.Quantile(1.0), 0.7);  // the outlier's bucket
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+}
+
+TEST(LatencyHistogramTest, AddMergesCounts) {
+  LatencyHistogram a, b;
+  a.Record(0.001);
+  b.Record(0.100);
+  b.Record(0.100);
+  a.Add(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_GE(a.Quantile(1.0), 0.07);
+}
+
+// -------------------------------------------------------- sharded cache --
+
+class ShardedCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(7);
+    for (uint32_t s = 0; s < 8; ++s) {
+      Bitvector bv(1000);
+      for (uint64_t i = 0; i < 1000; ++i) {
+        if (rng.Bernoulli(0.3)) bv.Set(i);
+      }
+      reference_.push_back(bv);
+      store_.PutUncompressed({1, s}, bv);  // 125 stored bytes each
+    }
+  }
+  BitmapStore store_;
+  std::vector<Bitvector> reference_;
+};
+
+TEST_F(ShardedCacheTest, FetchReturnsStoredBitmap) {
+  ShardedBitmapCache cache(&store_, 1 << 20, 4);
+  IoStats stats;
+  for (uint32_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(cache.Fetch({1, s}, &stats), reference_[s]);
+  }
+  EXPECT_EQ(stats.scans, 8u);
+  EXPECT_EQ(stats.disk_reads, 8u);
+  EXPECT_EQ(stats.pool_hits, 0u);
+}
+
+TEST_F(ShardedCacheTest, SecondFetchHitsPool) {
+  ShardedBitmapCache cache(&store_, 1 << 20, 4);
+  IoStats stats;
+  cache.Fetch({1, 0}, &stats);
+  EXPECT_EQ(cache.Fetch({1, 0}, &stats), reference_[0]);
+  EXPECT_EQ(stats.pool_hits, 1u);
+  EXPECT_EQ(stats.disk_reads, 1u);
+  EXPECT_EQ(stats.bytes_read, 125u);
+  const auto counters = cache.TotalCounters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 1u);
+}
+
+TEST_F(ShardedCacheTest, CallersShareResidency) {
+  // The point of the shared pool: worker B hits on what worker A fetched.
+  ShardedBitmapCache cache(&store_, 1 << 20, 4);
+  IoStats a, b;
+  cache.Fetch({1, 3}, &a);
+  cache.Fetch({1, 3}, &b);
+  EXPECT_EQ(a.disk_reads, 1u);
+  EXPECT_EQ(b.pool_hits, 1u);
+  EXPECT_EQ(b.disk_reads, 0u);
+}
+
+TEST_F(ShardedCacheTest, TinyShardsEvictAndRescan) {
+  // One shard with room for a single 125-byte bitmap: alternating fetches
+  // evict each other and re-reads count as rescans.
+  ShardedBitmapCache cache(&store_, 130, 1);
+  IoStats stats;
+  cache.Fetch({1, 0}, &stats);
+  cache.Fetch({1, 1}, &stats);  // evicts 0
+  cache.Fetch({1, 0}, &stats);  // rescan
+  EXPECT_EQ(stats.disk_reads, 3u);
+  EXPECT_EQ(stats.rescans, 1u);
+  EXPECT_LE(cache.pool_bytes_used(), 130u);
+}
+
+TEST_F(ShardedCacheTest, OversizedBitmapReadsThrough) {
+  ShardedBitmapCache cache(&store_, 64, 1);  // smaller than any bitmap
+  IoStats stats;
+  cache.Fetch({1, 0}, &stats);
+  cache.Fetch({1, 0}, &stats);
+  EXPECT_EQ(stats.disk_reads, 2u);
+  EXPECT_EQ(cache.pool_bytes_used(), 0u);
+}
+
+TEST_F(ShardedCacheTest, DropPoolForgetsResidencyAndHistory) {
+  ShardedBitmapCache cache(&store_, 1 << 20, 4);
+  IoStats stats;
+  cache.Fetch({1, 0}, &stats);
+  cache.DropPool();
+  cache.Fetch({1, 0}, &stats);
+  EXPECT_EQ(stats.disk_reads, 2u);
+  EXPECT_EQ(stats.rescans, 0u);
+  EXPECT_EQ(cache.pool_bytes_used(), 125u);
+}
+
+TEST_F(ShardedCacheTest, ConcurrentFetchesReturnCorrectBitmaps) {
+  ShardedBitmapCache cache(&store_, 4 * 125, 2);  // forces some evictions
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + t);
+      IoStats stats;
+      for (int i = 0; i < 200; ++i) {
+        const uint32_t s = static_cast<uint32_t>(rng.UniformInt(0, 7));
+        if (cache.Fetch({1, s}, &stats) != reference_[s]) ++failures;
+      }
+      if (stats.scans != 200u) ++failures;
+      if (stats.pool_hits + stats.disk_reads != stats.scans) ++failures;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// -------------------------------------------------------------- service --
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ColumnSpec spec;
+    spec.rows = 5000;
+    spec.cardinality = 40;
+    spec.zipf_z = 1.0;
+    column_ = GenerateZipfColumn(spec);
+    IndexConfig config;
+    config.encoding = EncodingKind::kInterval;
+    index_.emplace(BuildIndex(column_, config).value());
+  }
+
+  ServiceOptions SmallService() const {
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.queue_capacity = 16;
+    options.cache_shards = 4;
+    return options;
+  }
+
+  Column column_;
+  std::optional<BitmapIndex> index_;
+};
+
+TEST_F(QueryServiceTest, ResultsMatchSingleThreadedExecutor) {
+  ExecutorOptions exec_options;
+  QueryExecutor reference(&*index_, exec_options);
+  QueryService service(&*index_, SmallService());
+
+  IntervalQuery iq{5, 20, false};
+  QueryResult r1 = service.Submit(ServiceQuery::Interval(iq)).get();
+  ASSERT_TRUE(r1.status.ok()) << r1.status.ToString();
+  EXPECT_EQ(r1.rows, reference.EvaluateInterval(iq));
+
+  std::vector<uint32_t> values{3, 9, 27};
+  QueryResult r2 = service.Submit(ServiceQuery::Membership(values)).get();
+  ASSERT_TRUE(r2.status.ok());
+  EXPECT_EQ(r2.rows, reference.EvaluateMembership(values));
+}
+
+TEST_F(QueryServiceTest, PerQueryMetricsAreRecorded) {
+  QueryService service(&*index_, SmallService());
+  QueryResult r =
+      service.Submit(ServiceQuery::Interval(IntervalQuery{2, 10, false}))
+          .get();
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_GT(r.metrics.io.scans, 0u);
+  EXPECT_EQ(r.metrics.io.scans,
+            r.metrics.io.pool_hits + r.metrics.io.disk_reads);
+  EXPECT_GE(r.metrics.queue_seconds, 0.0);
+  EXPECT_GE(r.metrics.rewrite_seconds, 0.0);
+  EXPECT_GT(r.metrics.eval_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(
+      r.metrics.total_seconds(),
+      r.metrics.queue_seconds + r.metrics.rewrite_seconds +
+          r.metrics.eval_seconds);
+}
+
+TEST_F(QueryServiceTest, ServiceStatsRollUpPerQueryBlocks) {
+  QueryService service(&*index_, SmallService());
+  std::vector<QueryResult> results = service.ExecuteBatch({
+      ServiceQuery::Interval(IntervalQuery{0, 5, false}),
+      ServiceQuery::Interval(IntervalQuery{0, 5, false}),
+      ServiceQuery::Membership({1, 2, 3}),
+  });
+  uint64_t scans = 0;
+  for (const QueryResult& r : results) {
+    ASSERT_TRUE(r.status.ok());
+    scans += r.metrics.io.scans;
+  }
+  service.Drain();
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.io.scans, scans);  // field-by-field roll-up
+  EXPECT_EQ(stats.latency.count(), 3u);
+  // The repeated interval query hits bitmaps its first run fetched.
+  EXPECT_GT(stats.io.pool_hits, 0u);
+  EXPECT_GT(stats.CacheHitRate(), 0.0);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST_F(QueryServiceTest, InvalidQueriesAreRejectedWithStatus) {
+  QueryService service(&*index_, SmallService());
+  QueryResult lo_gt_hi =
+      service.Submit(ServiceQuery::Interval(IntervalQuery{9, 3, false})).get();
+  EXPECT_EQ(lo_gt_hi.status.code(), Status::Code::kInvalidArgument);
+  QueryResult out_of_domain =
+      service.Submit(ServiceQuery::Interval(IntervalQuery{0, 1000, false}))
+          .get();
+  EXPECT_EQ(out_of_domain.status.code(), Status::Code::kOutOfRange);
+  QueryResult empty = service.Submit(ServiceQuery::Membership({})).get();
+  EXPECT_EQ(empty.status.code(), Status::Code::kInvalidArgument);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.rejected, 3u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST_F(QueryServiceTest, SubmitAfterShutdownIsUnavailable) {
+  QueryService service(&*index_, SmallService());
+  service.Shutdown();
+  QueryResult r =
+      service.Submit(ServiceQuery::Interval(IntervalQuery{0, 3, false})).get();
+  EXPECT_EQ(r.status.code(), Status::Code::kUnavailable);
+  QueryResult r2 =
+      service.TrySubmit(ServiceQuery::Interval(IntervalQuery{0, 3, false}))
+          .get();
+  EXPECT_EQ(r2.status.code(), Status::Code::kUnavailable);
+  service.Shutdown();  // idempotent
+}
+
+TEST_F(QueryServiceTest, ShutdownDrainsQueuedQueries) {
+  ServiceOptions options = SmallService();
+  options.num_workers = 1;
+  auto service = std::make_unique<QueryService>(&*index_, options);
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(
+        service->Submit(ServiceQuery::Interval(IntervalQuery{0, 10, false})));
+  }
+  service->Shutdown();  // must complete every admitted query first
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().status.ok());
+  }
+  EXPECT_EQ(service->Stats().completed, 10u);
+}
+
+TEST_F(QueryServiceTest, FacadeServeValidatesOptions) {
+  ServiceOptions bad = SmallService();
+  bad.num_workers = 0;
+  EXPECT_FALSE(Serve(&*index_, bad).ok());
+  bad = SmallService();
+  bad.queue_capacity = 0;
+  EXPECT_FALSE(Serve(&*index_, bad).ok());
+  bad = SmallService();
+  bad.cache_shards = 0;
+  EXPECT_FALSE(Serve(&*index_, bad).ok());
+  EXPECT_FALSE(Serve(nullptr, SmallService()).ok());
+
+  Result<std::unique_ptr<QueryService>> service = Serve(&*index_, SmallService());
+  ASSERT_TRUE(service.ok());
+  QueryResult r = service.value()
+                      ->Submit(ServiceQuery::Interval(IntervalQuery{1, 4, false}))
+                      .get();
+  EXPECT_TRUE(r.status.ok());
+}
+
+}  // namespace
+}  // namespace bix

@@ -171,6 +171,66 @@ TEST(BitmapCacheTest2, UncompressedFetchChargesNoDecode) {
   EXPECT_DOUBLE_EQ(cache.stats().decode_seconds, 0.0);
 }
 
+// Field-by-field roll-up of two fully populated blocks: the merge used
+// when per-worker stats are aggregated into service counters. Every
+// IoStats field is set to a distinct value so a counter dropped from Add()
+// fails here (and the static_assert in io_stats.h trips on added fields).
+TEST(IoStatsTest, AddMergesEveryFieldOfPopulatedBlocks) {
+  IoStats a;
+  a.scans = 10;
+  a.pool_hits = 4;
+  a.disk_reads = 6;
+  a.rescans = 2;
+  a.bytes_read = 1000;
+  a.io_seconds = 1.5;
+  a.decode_seconds = 0.5;
+  a.cpu_seconds = 0.25;
+  IoStats b;
+  b.scans = 3;
+  b.pool_hits = 1;
+  b.disk_reads = 2;
+  b.rescans = 1;
+  b.bytes_read = 250;
+  b.io_seconds = 0.75;
+  b.decode_seconds = 0.125;
+  b.cpu_seconds = 0.0625;
+  a.Add(b);
+  EXPECT_EQ(a.scans, 13u);
+  EXPECT_EQ(a.pool_hits, 5u);
+  EXPECT_EQ(a.disk_reads, 8u);
+  EXPECT_EQ(a.rescans, 3u);
+  EXPECT_EQ(a.bytes_read, 1250u);
+  EXPECT_DOUBLE_EQ(a.io_seconds, 2.25);
+  EXPECT_DOUBLE_EQ(a.decode_seconds, 0.625);
+  EXPECT_DOUBLE_EQ(a.cpu_seconds, 0.3125);
+  // b is untouched by the merge.
+  EXPECT_EQ(b.scans, 3u);
+  EXPECT_DOUBLE_EQ(b.io_seconds, 0.75);
+}
+
+// The BitmapCacheInterface contract: Fetch accounts into the caller's
+// block, so two callers over one cache keep private breakdowns whose Add
+// roll-up matches the cache's own cumulative view.
+TEST_F(BitmapCacheTest, FetchAccountsIntoCallerBlock) {
+  BitmapCache cache(&store_, 1 << 20);
+  IoStats worker_a, worker_b;
+  static_cast<BitmapCacheInterface&>(cache).Fetch({1, 0}, &worker_a);
+  static_cast<BitmapCacheInterface&>(cache).Fetch({1, 0}, &worker_b);
+  EXPECT_EQ(worker_a.scans, 1u);
+  EXPECT_EQ(worker_a.disk_reads, 1u);
+  EXPECT_EQ(worker_b.scans, 1u);
+  EXPECT_EQ(worker_b.pool_hits, 1u);  // a's read left the bitmap resident
+  IoStats total = worker_a;
+  total.Add(worker_b);
+  EXPECT_EQ(total.scans, 2u);
+  EXPECT_EQ(total.disk_reads, 1u);
+  EXPECT_EQ(total.pool_hits, 1u);
+  EXPECT_EQ(total.bytes_read, 125u);
+  // The internal cumulative block saw nothing (it belongs to the
+  // convenience single-owner Fetch overload only).
+  EXPECT_EQ(cache.stats().scans, 0u);
+}
+
 TEST(IoStatsTest, AddAccumulates) {
   IoStats a, b;
   a.scans = 1;
