@@ -121,8 +121,13 @@ bool DecodeInto(const std::vector<uint8_t>& in, uint64_t bit_count,
         BIX_CHECK_MSG(false, "BBC: truncated varint");
       }
     }
-    if (validate && bytes->size() + fill_len + literal_count > expected) {
-      return false;
+    if (validate) {
+      // Overflow-safe bound: fill_len comes straight from an untrusted
+      // varint and can be near 2^64, so it must never appear on the left
+      // of an addition. Checking against the remaining room also caps the
+      // allocation below at `expected` bytes total.
+      const uint64_t room = expected - bytes->size();
+      if (fill_len > room || literal_count > room - fill_len) return false;
     }
     bytes->insert(bytes->end(), fill_len, fill_bit ? 0xFF : 0x00);
     if (pos + literal_count > in.size()) {
@@ -143,17 +148,22 @@ bool DecodeInto(const std::vector<uint8_t>& in, uint64_t bit_count,
 }  // namespace
 
 Result<Bitvector> BbcDecode(const BbcEncoded& enc) {
+  return BbcDecode(enc.data, enc.bit_count);
+}
+
+Result<Bitvector> BbcDecode(const std::vector<uint8_t>& data,
+                            uint64_t bit_count) {
   std::vector<uint8_t> bytes;
-  if (!DecodeInto(enc.data, enc.bit_count, &bytes, /*validate=*/true)) {
+  if (!DecodeInto(data, bit_count, &bytes, /*validate=*/true)) {
     return Status::Corruption("malformed BBC atom stream");
   }
   // Validate zero padding in the final byte.
-  const uint64_t tail_bits = enc.bit_count & 7;
+  const uint64_t tail_bits = bit_count & 7;
   if (tail_bits != 0 && !bytes.empty() &&
       (bytes.back() & ~((1u << tail_bits) - 1)) != 0) {
     return Status::Corruption("nonzero padding bits in BBC stream");
   }
-  return BitvectorFromBytes(bytes, enc.bit_count);
+  return BitvectorFromBytes(bytes, bit_count);
 }
 
 Bitvector BbcDecodeUnchecked(const BbcEncoded& enc) {

@@ -47,8 +47,13 @@ struct BbcEncoded {
 BbcEncoded BbcEncode(const Bitvector& bv);
 
 // Decompresses. Returns Corruption if `enc.data` is not a well-formed atom
-// stream covering exactly CeilDiv(bit_count, 8) bytes.
+// stream covering exactly CeilDiv(bit_count, 8) bytes. Never reads out of
+// bounds or over-allocates on malformed input, so it is safe on
+// data-dependent (stored/network) bytes.
 Result<Bitvector> BbcDecode(const BbcEncoded& enc);
+// Same, borrowing the byte stream (the storage layer's blob bytes).
+Result<Bitvector> BbcDecode(const std::vector<uint8_t>& data,
+                            uint64_t bit_count);
 
 // Decode path used on the query hot path: skips validation and aborts on
 // corrupt input (stored streams were produced by BbcEncode, so corruption

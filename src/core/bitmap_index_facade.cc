@@ -49,6 +49,9 @@ Result<std::unique_ptr<QueryService>> Serve(const BitmapIndex* index,
   if (options.io_latency_scale < 0.0) {
     return Status::InvalidArgument("io_latency_scale must be >= 0");
   }
+  if (options.retry_backoff_seconds < 0.0) {
+    return Status::InvalidArgument("retry_backoff_seconds must be >= 0");
+  }
   return std::make_unique<QueryService>(index, options);
 }
 

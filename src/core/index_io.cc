@@ -3,11 +3,19 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/crc32c.h"
+
 namespace bix {
 namespace {
 
 constexpr char kMagic[4] = {'B', 'I', 'X', 'I'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionLegacy = 1;   // no checksums
+constexpr uint32_t kVersionCurrent = 2;  // header CRC + per-record CRCs
+
+// Writer/Reader keep a running CRC32C over the bytes that pass through, so
+// the checksum fields cost no extra buffering: reset the accumulator at a
+// region boundary, stream the region, then emit/compare the accumulated
+// value.
 
 class Writer {
  public:
@@ -15,15 +23,24 @@ class Writer {
   bool ok() const { return ok_; }
 
   void Bytes(const void* p, size_t n) {
-    if (ok_ && std::fwrite(p, 1, n, f_) != n) ok_ = false;
+    if (!ok_) return;
+    if (std::fwrite(p, 1, n, f_) != n) {
+      ok_ = false;
+      return;
+    }
+    crc_ = Crc32cExtend(crc_, p, n);
   }
   void U8(uint8_t v) { Bytes(&v, 1); }
   void U32(uint32_t v) { Bytes(&v, 4); }
   void U64(uint64_t v) { Bytes(&v, 8); }
 
+  void ResetCrc() { crc_ = 0; }
+  uint32_t crc() const { return crc_; }
+
  private:
   std::FILE* f_;
   bool ok_ = true;
+  uint32_t crc_ = 0;
 };
 
 class Reader {
@@ -32,7 +49,12 @@ class Reader {
   bool ok() const { return ok_; }
 
   void Bytes(void* p, size_t n) {
-    if (ok_ && std::fread(p, 1, n, f_) != n) ok_ = false;
+    if (!ok_) return;
+    if (std::fread(p, 1, n, f_) != n) {
+      ok_ = false;
+      return;
+    }
+    crc_ = Crc32cExtend(crc_, p, n);
   }
   uint8_t U8() {
     uint8_t v = 0;
@@ -50,21 +72,41 @@ class Reader {
     return v;
   }
 
+  void ResetCrc() { crc_ = 0; }
+  uint32_t crc() const { return crc_; }
+
  private:
   std::FILE* f_;
   bool ok_ = true;
+  uint32_t crc_ = 0;
 };
+
+// Size of the file on disk, or 0 on error. Used to reject byte_len fields
+// that a corrupted file could otherwise inflate into multi-gigabyte
+// allocations before the payload read fails.
+uint64_t FileSize(std::FILE* f) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) return 0;
+  const long end = std::ftell(f);
+  if (end < 0 || std::fseek(f, pos, SEEK_SET) != 0) return 0;
+  return static_cast<uint64_t>(end);
+}
 
 }  // namespace
 
-Status SaveIndex(const BitmapIndex& index, const std::string& path) {
+Status SaveIndexAtVersion(const BitmapIndex& index, const std::string& path,
+                          uint32_t version) {
+  if (version != kVersionLegacy && version != kVersionCurrent) {
+    return Status::NotSupported("unknown index file version to write");
+  }
+  const bool checksummed = version >= kVersionCurrent;
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::InvalidArgument("cannot open file for writing: " + path);
   }
   Writer w(f);
   w.Bytes(kMagic, 4);
-  w.U32(kVersion);
+  w.U32(version);
   w.U8(static_cast<uint8_t>(index.encoding_kind()));
   w.U8(index.compressed() ? 1 : 0);
   w.U32(index.decomposition().cardinality());
@@ -73,14 +115,17 @@ Status SaveIndex(const BitmapIndex& index, const std::string& path) {
   w.U32(static_cast<uint32_t>(bases.size()));
   for (uint32_t b : bases) w.U32(b);
   w.U64(index.BitmapCount());
+  if (checksummed) w.U32(w.crc());
   index.store().ForEachBlob(
       [&](const BitmapKey& key, const BitmapStore::Blob& blob) {
+        w.ResetCrc();
         w.U32(key.component);
         w.U32(key.slot);
         w.U8(blob.compressed ? 1 : 0);
         w.U64(blob.bit_count);
         w.U64(blob.bytes.size());
         w.Bytes(blob.bytes.data(), blob.bytes.size());
+        if (checksummed) w.U32(w.crc());
       });
   const bool write_ok = w.ok();
   const bool close_ok = std::fclose(f) == 0;
@@ -90,11 +135,16 @@ Status SaveIndex(const BitmapIndex& index, const std::string& path) {
   return Status::OK();
 }
 
-Result<BitmapIndex> LoadIndex(const std::string& path) {
+Status SaveIndex(const BitmapIndex& index, const std::string& path) {
+  return SaveIndexAtVersion(index, path, kVersionCurrent);
+}
+
+Result<BitmapIndex> LoadIndex(const std::string& path, IndexLoadInfo* info) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::InvalidArgument("cannot open file: " + path);
   }
+  const uint64_t file_size = FileSize(f);
   Reader r(f);
   char magic[4];
   r.Bytes(magic, 4);
@@ -102,9 +152,15 @@ Result<BitmapIndex> LoadIndex(const std::string& path) {
     std::fclose(f);
     return Status::Corruption("not a bix index file");
   }
-  if (r.U32() != kVersion) {
+  const uint32_t version = r.U32();
+  if (version != kVersionLegacy && version != kVersionCurrent) {
     std::fclose(f);
     return Status::NotSupported("unknown index file version");
+  }
+  const bool checksummed = version >= kVersionCurrent;
+  if (info != nullptr) {
+    info->version = version;
+    info->checksummed = checksummed;
   }
   const uint8_t encoding_raw = r.U8();
   if (encoding_raw > static_cast<uint8_t>(EncodingKind::kEiStar)) {
@@ -122,12 +178,23 @@ Result<BitmapIndex> LoadIndex(const std::string& path) {
   }
   std::vector<uint32_t> bases(n);
   for (uint32_t i = 0; i < n; ++i) bases[i] = r.U32();
+  const uint64_t bitmap_count = r.U64();
+  // Verify the header checksum before interpreting the header any further:
+  // a flipped bit in, say, a base or the cardinality must surface as
+  // Corruption, not as whatever Decomposition::Make thinks of the value.
+  if (checksummed) {
+    const uint32_t computed = r.crc();
+    const uint32_t stored = r.U32();
+    if (!r.ok() || computed != stored) {
+      std::fclose(f);
+      return Status::Corruption("index header checksum mismatch");
+    }
+  }
   Result<Decomposition> d = Decomposition::Make(cardinality, bases);
   if (!d.ok()) {
     std::fclose(f);
     return d.status();
   }
-  const uint64_t bitmap_count = r.U64();
   const uint64_t expected_bitmaps = TotalBitmaps(d.value(), encoding);
   if (!r.ok() || bitmap_count != expected_bitmaps) {
     std::fclose(f);
@@ -135,6 +202,7 @@ Result<BitmapIndex> LoadIndex(const std::string& path) {
   }
   BitmapStore store;
   for (uint64_t i = 0; i < bitmap_count; ++i) {
+    r.ResetCrc();
     BitmapKey key;
     key.component = r.U32();
     key.slot = r.U32();
@@ -142,7 +210,7 @@ Result<BitmapIndex> LoadIndex(const std::string& path) {
     blob.compressed = r.U8() != 0;
     blob.bit_count = r.U64();
     const uint64_t len = r.U64();
-    if (!r.ok() || len > (1ull << 40) || blob.bit_count != row_count) {
+    if (!r.ok() || len > file_size || blob.bit_count != row_count) {
       std::fclose(f);
       return Status::Corruption("bad bitmap header");
     }
@@ -151,6 +219,19 @@ Result<BitmapIndex> LoadIndex(const std::string& path) {
     if (!r.ok()) {
       std::fclose(f);
       return Status::Corruption("truncated bitmap payload");
+    }
+    if (checksummed) {
+      const uint32_t computed = r.crc();
+      const uint32_t stored = r.U32();
+      if (!r.ok() || computed != stored) {
+        std::fclose(f);
+        return Status::Corruption("bitmap record checksum mismatch");
+      }
+      // The record checksum just vouched for the payload, so stamp the
+      // blob with its payload-only CRC: the storage layer re-verifies it
+      // on every materialization, catching in-memory rot too.
+      blob.crc32c = Crc32c(blob.bytes.data(), blob.bytes.size());
+      blob.crc_valid = true;
     }
     if (store.Contains(key)) {
       std::fclose(f);

@@ -12,17 +12,44 @@ namespace bix {
 // stored form (verbatim bytes or BBC stream), so saving and loading neither
 // decompresses nor re-encodes anything.
 //
-// Format (all integers little-endian):
+// Format v2 (all integers little-endian):
 //   magic "BIXI" | version u32 | encoding u8 | compressed u8 |
 //   cardinality u32 | row_count u64 | n u32 | base[n] u32 (msb first) |
-//   bitmap_count u64 | bitmap_count x
+//   bitmap_count u64 | header_crc u32 | bitmap_count x
 //     { component u32 | slot u32 | compressed u8 | bit_count u64 |
-//       byte_len u64 | bytes }
+//       byte_len u64 | bytes | record_crc u32 }
+// header_crc is CRC32C over every header byte from the magic through
+// bitmap_count; record_crc covers the record's metadata fields and payload
+// bytes, so a flip anywhere in the record is caught at load time. The
+// loader also stamps each blob with its payload checksum, which the
+// storage layer re-verifies on every materialization.
+//
+// Format v1 is v2 without either checksum; v1 files still load, but their
+// blobs are flagged unverified (Blob::crc_valid == false) and the load
+// reports checksummed == false.
 Status SaveIndex(const BitmapIndex& index, const std::string& path);
 
-// Validates the header and the bitmap inventory against the configuration;
-// returns Corruption/InvalidArgument on malformed files.
-Result<BitmapIndex> LoadIndex(const std::string& path);
+// Writes the given format version (1 or 2). SaveIndex writes the current
+// version; this exists so tests and migration tooling can produce
+// legacy files.
+Status SaveIndexAtVersion(const BitmapIndex& index, const std::string& path,
+                          uint32_t version);
+
+// What LoadIndex found on disk.
+struct IndexLoadInfo {
+  uint32_t version = 0;
+  // True when the file carried checksums that were verified during the
+  // load (v2); false for legacy v1 files, whose bitmaps stay unverified.
+  bool checksummed = false;
+};
+
+// Validates the header and the bitmap inventory against the configuration,
+// and for v2 files verifies every checksum; returns a typed
+// Corruption/InvalidArgument/NotSupported status on malformed files
+// instead of aborting. `info`, when non-null, reports the file version and
+// whether it was checksummed.
+Result<BitmapIndex> LoadIndex(const std::string& path,
+                              IndexLoadInfo* info = nullptr);
 
 }  // namespace bix
 

@@ -149,23 +149,48 @@ void QueryExecutor::OrderForSharing(std::vector<const ExprPtr*>* order) {
 
 Bitvector QueryExecutor::EvaluateRewritten(
     const std::vector<ExprPtr>& exprs) {
+  // Trusted paths (benches, paper reproduction over freshly built
+  // indexes): a storage error here is an internal invariant violation, so
+  // value() keeps the historical abort-with-message contract.
+  return TryEvaluateRewritten(exprs).value();
+}
+
+Result<Bitvector> QueryExecutor::TryEvaluateRewritten(
+    const std::vector<ExprPtr>& exprs) {
   if (options_.cold_pool_per_query) cache_->DropPool();
   const uint64_t rows = index_->row_count();
   const auto t0 = std::chrono::steady_clock::now();
+  Status error;  // first storage failure, if any
+  auto charge_cpu = [this, t0] {
+    const auto t1 = std::chrono::steady_clock::now();
+    stats_.cpu_seconds += std::chrono::duration<double>(t1 - t0).count();
+  };
 
   Bitvector result(rows);
   if (options_.strategy == EvalStrategy::kQueryWise ||
       options_.strategy == EvalStrategy::kBufferAware) {
     // One constituent at a time; leaf memoization is per constituent, so
     // shared bitmaps hit the pool (or disk) again on later constituents.
+    // Fetch failures are latched into `error` (EvaluateExpr's fetcher
+    // cannot propagate a Status itself); the constituent's result is then
+    // discarded and remaining constituents are skipped.
     std::vector<const ExprPtr*> order;
     for (const ExprPtr& e : exprs) order.push_back(&e);
     if (options_.strategy == EvalStrategy::kBufferAware) {
       OrderForSharing(&order);
     }
+    auto fetch = [this, rows, &error](BitmapKey key) -> Bitvector {
+      if (!error.ok()) return Bitvector(rows);  // already failed; skip work
+      Result<Bitvector> r = cache_->TryFetch(key, &stats_);
+      if (!r.ok()) {
+        error = r.status();
+        return Bitvector(rows);
+      }
+      return std::move(r).value();
+    };
     for (const ExprPtr* e : order) {
-      Bitvector part = EvaluateExpr(
-          *e, rows, [this](BitmapKey key) { return cache_->Fetch(key, &stats_); });
+      Bitvector part = EvaluateExpr(*e, rows, fetch);
+      if (!error.ok()) break;
       result.OrWith(part);
     }
   } else {
@@ -188,21 +213,28 @@ Bitvector QueryExecutor::EvaluateRewritten(
     std::unordered_map<uint64_t, Bitvector> fetched;
     fetched.reserve(leaves.size());
     for (const BitmapKey& key : leaves) {
-      fetched.emplace(key.Packed(), cache_->Fetch(key, &stats_));
+      Result<Bitvector> r = cache_->TryFetch(key, &stats_);
+      if (!r.ok()) {
+        error = r.status();
+        break;
+      }
+      fetched.emplace(key.Packed(), std::move(r).value());
     }
-    for (const ExprPtr& e : exprs) {
-      Bitvector part =
-          EvaluateExpr(e, rows, [&fetched](BitmapKey key) {
-            auto it = fetched.find(key.Packed());
-            BIX_CHECK(it != fetched.end());
-            return it->second;
-          });
-      result.OrWith(part);
+    if (error.ok()) {
+      for (const ExprPtr& e : exprs) {
+        Bitvector part =
+            EvaluateExpr(e, rows, [&fetched](BitmapKey key) {
+              auto it = fetched.find(key.Packed());
+              BIX_CHECK(it != fetched.end());
+              return it->second;
+            });
+        result.OrWith(part);
+      }
     }
   }
 
-  const auto t1 = std::chrono::steady_clock::now();
-  stats_.cpu_seconds += std::chrono::duration<double>(t1 - t0).count();
+  charge_cpu();
+  if (!error.ok()) return error;
   return result;
 }
 

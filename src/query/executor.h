@@ -75,6 +75,12 @@ class QueryExecutor {
   // Lets callers that time the rewrite separately (e.g. the query service's
   // per-query metrics) drive the pipeline in two steps.
   Bitvector EvaluateRewritten(const std::vector<ExprPtr>& exprs);
+  // Fallible variant for the serving path: storage-layer failures during
+  // fetches (checksum mismatch -> Corruption, injected transient read
+  // errors -> Unavailable, unknown keys -> InvalidArgument) surface as a
+  // Status for *this* evaluation instead of aborting the process. Work
+  // already accounted into stats() before the failure stays accounted.
+  Result<Bitvector> TryEvaluateRewritten(const std::vector<ExprPtr>& exprs);
 
   // Rewrites without executing (for inspection, tests, cost analysis).
   ExprPtr Rewrite(IntervalQuery q) const;

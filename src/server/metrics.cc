@@ -49,15 +49,20 @@ double LatencyHistogram::Quantile(double q) const {
 }
 
 std::string ServiceStats::ToString() const {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "submitted=%llu rejected=%llu completed=%llu "
-                "hit_rate=%.3f p50=%.3fms p95=%.3fms p99=%.3fms",
+                "hit_rate=%.3f p50=%.3fms p95=%.3fms p99=%.3fms "
+                "retries=%llu corruptions=%llu quarantined=%llu "
+                "degraded=%llu",
                 static_cast<unsigned long long>(submitted),
                 static_cast<unsigned long long>(rejected),
                 static_cast<unsigned long long>(completed), CacheHitRate(),
-                latency.p50() * 1e3, latency.p95() * 1e3,
-                latency.p99() * 1e3);
+                latency.p50() * 1e3, latency.p95() * 1e3, latency.p99() * 1e3,
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(corruptions_detected),
+                static_cast<unsigned long long>(quarantined_bitmaps),
+                static_cast<unsigned long long>(degraded_queries));
   return std::string(buf);
 }
 

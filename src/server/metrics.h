@@ -58,7 +58,15 @@ class LatencyHistogram {
 struct ServiceStats {
   uint64_t submitted = 0;  // Submit/TrySubmit calls (incl. invalid ones)
   uint64_t rejected = 0;   // admission-control + shutdown rejections
-  uint64_t completed = 0;  // queries fully evaluated
+  uint64_t completed = 0;  // queries fully evaluated (incl. degraded ones)
+
+  // Failure-model counters (DESIGN.md section 10). A "degraded" query ran
+  // to completion but resolved with a non-OK status (storage corruption,
+  // retry budget exhausted); it is also counted in `completed`.
+  uint64_t retries = 0;               // fetch retries after Unavailable
+  uint64_t corruptions_detected = 0;  // checksum/decode failures surfaced
+  uint64_t quarantined_bitmaps = 0;   // distinct keys quarantined
+  uint64_t degraded_queries = 0;      // completed with a non-OK status
 
   IoStats io;  // roll-up of per-query IoStats blocks
   double queue_seconds_total = 0.0;

@@ -1,5 +1,7 @@
 #include "server/query_service.h"
 
+#include <atomic>
+#include <unordered_set>
 #include <utility>
 
 namespace bix {
@@ -19,15 +21,92 @@ std::future<QueryResult> ResolvedWith(Status status) {
 }
 }  // namespace
 
+// The service's degradation policy, layered over the shared sharded cache
+// as a BitmapCacheInterface so the per-worker executors need no special
+// handling:
+//  - Unavailable (transient read error, injected or real): retried in
+//    place up to max_retries times with exponential backoff; only then
+//    does the error reach the query.
+//  - Corruption (checksum mismatch / malformed stream): the key enters a
+//    quarantine set and every subsequent fetch of it — from any worker —
+//    fails fast with Corruption, without touching storage again. Retrying
+//    would re-read the same bad bytes; quarantine turns a hot corrupt
+//    bitmap into a cheap, deterministic per-query error.
+// Thread-safe; one instance shared by all workers.
+class QueryService::FaultPolicyCache : public BitmapCacheInterface {
+ public:
+  FaultPolicyCache(BitmapCacheInterface* inner, uint32_t max_retries,
+                   double backoff_seconds)
+      : inner_(inner),
+        max_retries_(max_retries),
+        backoff_seconds_(backoff_seconds) {}
+
+  Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (quarantine_.count(key.Packed()) > 0) {
+        return Status::Corruption("bitmap is quarantined (prior checksum "
+                                  "failure)");
+      }
+    }
+    double backoff = backoff_seconds_;
+    for (uint32_t attempt = 0;; ++attempt) {
+      Result<Bitvector> r = inner_->TryFetch(key, stats);
+      if (r.ok()) return r;
+      if (r.status().code() == Status::Code::kCorruption) {
+        std::lock_guard<std::mutex> lock(mu_);
+        quarantine_.insert(key.Packed());
+        ++corruptions_detected_;
+        return r;
+      }
+      if (!r.status().IsRetryable() || attempt >= max_retries_) return r;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff *= 2.0;
+      }
+    }
+  }
+
+  void DropPool() override { inner_->DropPool(); }
+
+  uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  uint64_t corruptions_detected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return corruptions_detected_;
+  }
+  uint64_t quarantined_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return quarantine_.size();
+  }
+
+ private:
+  BitmapCacheInterface* const inner_;
+  const uint32_t max_retries_;
+  const double backoff_seconds_;
+  std::atomic<uint64_t> retries_{0};
+  mutable std::mutex mu_;
+  std::unordered_set<uint64_t> quarantine_;  // guarded by mu_
+  uint64_t corruptions_detected_ = 0;        // guarded by mu_
+};
+
 QueryService::QueryService(const BitmapIndex* index, ServiceOptions options)
     : index_(index),
       options_(options),
       cache_(std::make_unique<ShardedBitmapCache>(
           &index->store(), options.buffer_pool_bytes, options.cache_shards,
           options.disk, options.io_latency_scale)),
+      policy_cache_(std::make_unique<FaultPolicyCache>(
+          cache_.get(), options.max_fetch_retries,
+          options.retry_backoff_seconds)),
       queue_(options.queue_capacity) {
   BIX_CHECK(index != nullptr);
   BIX_CHECK(options.num_workers > 0);
+  if (options_.fault_injector != nullptr) {
+    cache_->SetFaultInjector(options_.fault_injector);
+  }
   workers_.reserve(options_.num_workers);
   for (uint32_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -133,8 +212,15 @@ void QueryService::Shutdown() {
 }
 
 ServiceStats QueryService::Stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  ServiceStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot = stats_;
+  }
+  snapshot.retries = policy_cache_->retries();
+  snapshot.corruptions_detected = policy_cache_->corruptions_detected();
+  snapshot.quarantined_bitmaps = policy_cache_->quarantined_count();
+  return snapshot;
 }
 
 void QueryService::WorkerLoop(uint32_t worker_id) {
@@ -144,14 +230,14 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
   exec_options.disk = options_.disk;
   exec_options.strategy = options_.strategy;
   exec_options.cold_pool_per_query = false;  // the pool is shared and warm
-  QueryExecutor executor(index_, exec_options, cache_.get());
+  QueryExecutor executor(index_, exec_options, policy_cache_.get());
   while (true) {
     std::optional<Task> task = queue_.Pop();
     if (!task.has_value()) break;  // closed and drained: deterministic exit
     QueryResult result = Execute(&executor, *task);
     // Record before resolving the future, so a caller that waited on the
     // result is guaranteed to see its query in the service counters.
-    RecordCompletion(result.metrics);
+    RecordCompletion(result);
     task->promise.set_value(std::move(result));
   }
 }
@@ -170,20 +256,29 @@ QueryResult QueryService::Execute(QueryExecutor* executor, const Task& task) {
     exprs = executor->RewriteMembership(task.query.values);
   }
   const auto t1 = Clock::now();
-  result.rows = executor->EvaluateRewritten(exprs);
+  Result<Bitvector> rows = executor->TryEvaluateRewritten(exprs);
   const auto t2 = Clock::now();
 
   result.metrics.rewrite_seconds = SecondsBetween(t0, t1);
   result.metrics.eval_seconds = SecondsBetween(t1, t2);
   result.metrics.io = executor->stats();
-  result.status = Status::OK();
+  if (rows.ok()) {
+    result.rows = std::move(rows).value();
+    result.status = Status::OK();
+  } else {
+    // Degraded completion: the query ran (and its metrics stand) but
+    // resolves with the storage failure instead of rows.
+    result.status = rows.status();
+  }
   return result;
 }
 
-void QueryService::RecordCompletion(const QueryMetrics& metrics) {
+void QueryService::RecordCompletion(const QueryResult& result) {
+  const QueryMetrics& metrics = result.metrics;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.completed;
+    if (!result.status.ok()) ++stats_.degraded_queries;
     stats_.io.Add(metrics.io);
     stats_.queue_seconds_total += metrics.queue_seconds;
     stats_.rewrite_seconds_total += metrics.rewrite_seconds;

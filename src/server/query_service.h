@@ -43,9 +43,13 @@ struct ServiceQuery {
 };
 
 // The service's answer: resolved rows plus the per-query cost breakdown.
-// `status` is Unavailable when the query was rejected by admission control
-// or the service was shutting down, InvalidArgument for malformed queries;
-// `rows`/`metrics` are meaningful only when status.ok().
+// `status` is Unavailable when the query was rejected by admission control,
+// the service was shutting down, or a storage read stayed unavailable past
+// the retry budget; InvalidArgument for malformed queries; Corruption when
+// a bitmap this query needed failed its integrity check (or was already
+// quarantined by an earlier failure). `rows` is meaningful only when
+// status.ok(); `metrics` also covers degraded queries (the work done
+// before the failure).
 struct QueryResult {
   Status status;
   Bitvector rows;
@@ -65,6 +69,19 @@ struct ServiceOptions {
   // scaled by this factor, turning the DiskModel into actual latency.
   // Benches use this to measure worker scaling; leave 0 for tests.
   double io_latency_scale = 0.0;
+
+  // Degradation policy (DESIGN.md section 10). A fetch failing with
+  // Unavailable (transient read error) is retried up to max_fetch_retries
+  // times with exponential backoff starting at retry_backoff_seconds; a
+  // fetch failing its integrity check quarantines the key, and subsequent
+  // queries touching it fail fast with Corruption instead of re-reading
+  // known-bad storage.
+  uint32_t max_fetch_retries = 3;
+  double retry_backoff_seconds = 100e-6;
+  // Optional deterministic fault injection on the shared cache's read path
+  // (chaos tests, resilience benches). Not owned; must outlive the
+  // service. nullptr serves clean.
+  FaultInjector* fault_injector = nullptr;
 };
 
 // A concurrent query service over one immutable BitmapIndex: a bounded
@@ -74,6 +91,12 @@ struct ServiceOptions {
 // control bounds memory under overload, per-query metrics roll up into
 // service counters and latency histograms, and Shutdown drains
 // deterministically.
+//
+// Failure model: workers evaluate through the fallible TryFetch path
+// behind a shared degradation policy (bounded retry on Unavailable,
+// quarantine on Corruption), so a flipped bit or transient read error in
+// stored data fails *that query* with a typed Status — it never aborts the
+// process or poisons other queries' results.
 //
 // The index must be immutable while the service is running (no Append);
 // it is read concurrently without locks.
@@ -120,17 +143,23 @@ class QueryService {
     std::chrono::steady_clock::time_point enqueued;
   };
 
+  // The degradation policy wrapped around the shared cache: bounded
+  // retry-with-backoff on retryable errors plus the quarantine set.
+  // Defined in query_service.cc; shared by all workers.
+  class FaultPolicyCache;
+
   // Validation at the admission edge, so malformed queries fail with a
   // Status instead of aborting a worker.
   Status Validate(const ServiceQuery& query) const;
   std::future<QueryResult> SubmitInternal(ServiceQuery query, bool blocking);
   void WorkerLoop(uint32_t worker_id);
   QueryResult Execute(QueryExecutor* executor, const Task& task);
-  void RecordCompletion(const QueryMetrics& metrics);
+  void RecordCompletion(const QueryResult& result);
 
   const BitmapIndex* index_;
   const ServiceOptions options_;
   std::unique_ptr<ShardedBitmapCache> cache_;
+  std::unique_ptr<FaultPolicyCache> policy_cache_;
   BoundedWorkQueue<Task> queue_;
   std::vector<std::thread> workers_;
 

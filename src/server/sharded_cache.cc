@@ -22,13 +22,15 @@ ShardedBitmapCache::ShardedBitmapCache(const BitmapStore* store,
   }
 }
 
-Bitvector ShardedBitmapCache::Fetch(BitmapKey key, IoStats* stats) {
+Result<Bitvector> ShardedBitmapCache::TryFetch(BitmapKey key, IoStats* stats) {
   ++stats->scans;
   Shard& shard = ShardFor(key);
 
   // Hit path: take a reference to the decoded bitmap under the lock and
   // copy it outside (the shared_ptr keeps the entry's payload alive even if
   // it is evicted meanwhile; the copy is the caller's private buffer).
+  // Cached entries were integrity-checked when inserted, so hits need no
+  // re-verification and are never faulted (faults model the disk).
   std::shared_ptr<const Bitvector> cached;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -45,9 +47,12 @@ Bitvector ShardedBitmapCache::Fetch(BitmapKey key, IoStats* stats) {
   }
   if (cached) return *cached;
 
-  // Miss path. The store is immutable after build, so GetBlob/Materialize
-  // need no lock; only the accounting and the insert take the shard mutex.
-  const BitmapStore::Blob& blob = store_->GetBlob(key);
+  // Miss path. The store is immutable after build, so blob access and
+  // materialization need no lock; only the accounting and the insert take
+  // the shard mutex.
+  Result<const BitmapStore::Blob*> blob_r = store_->TryGetBlob(key);
+  if (!blob_r.ok()) return blob_r.status();
+  const BitmapStore::Blob& blob = *blob_r.value();
   const uint64_t stored_bytes = blob.bytes.size();
   ++stats->disk_reads;
   stats->bytes_read += stored_bytes;
@@ -67,7 +72,30 @@ Bitvector ShardedBitmapCache::Fetch(BitmapKey key, IoStats* stats) {
     std::this_thread::sleep_for(
         std::chrono::duration<double>((io_s + decode_s) * io_latency_scale_));
   }
-  auto bitmap = std::make_shared<const Bitvector>(store_->Materialize(key));
+  if (injector_ != nullptr) {
+    switch (injector_->OnRead(key)) {
+      case FaultInjector::Fault::kUnavailable:
+        return Status::Unavailable("injected transient read error");
+      case FaultInjector::Fault::kBitFlip: {
+        // A torn page: corrupt a copy of the stored bytes and run the same
+        // integrity-checked decode the clean path uses. The shard never
+        // sees the result, so cached state stays verified.
+        BitmapStore::Blob corrupt = blob;
+        injector_->CorruptPayload(key, &corrupt.bytes);
+        return TryMaterializeBlob(corrupt);
+      }
+      case FaultInjector::Fault::kLatencySpike:
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            injector_->latency_spike_seconds()));
+        break;
+      case FaultInjector::Fault::kNone:
+        break;
+    }
+  }
+  Result<Bitvector> decoded = TryMaterializeBlob(blob);
+  if (!decoded.ok()) return decoded.status();
+  auto bitmap =
+      std::make_shared<const Bitvector>(std::move(decoded).value());
   Bitvector result = *bitmap;
   {
     std::lock_guard<std::mutex> lock(shard.mu);

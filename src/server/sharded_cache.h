@@ -53,9 +53,18 @@ class ShardedBitmapCache : public BitmapCacheInterface {
   ShardedBitmapCache& operator=(const ShardedBitmapCache&) = delete;
 
   // BitmapCacheInterface. Thread-safe; `stats` must be private to the
-  // calling thread (or otherwise synchronized by the caller).
-  Bitvector Fetch(BitmapKey key, IoStats* stats) override;
+  // calling thread (or otherwise synchronized by the caller). A miss runs
+  // the integrity-checked materialization (blob checksum + validating
+  // decode): corrupt stored bytes surface as Corruption for this fetch
+  // only and are never inserted into a shard, so cached hits are always
+  // verified bitmaps.
+  Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats) override;
   void DropPool() override;
+
+  // Plugs deterministic fault injection into the miss (disk read) path.
+  // Not owned; must outlive the cache. Set before serving starts — the
+  // pointer itself is unsynchronized.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
   uint64_t pool_bytes() const { return pool_bytes_; }
   uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
@@ -97,6 +106,7 @@ class ShardedBitmapCache : public BitmapCacheInterface {
   const uint64_t shard_pool_bytes_;  // per-shard budget
   const DiskModel disk_;
   const double io_latency_scale_;
+  FaultInjector* injector_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

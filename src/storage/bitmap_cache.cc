@@ -1,10 +1,15 @@
 #include "storage/bitmap_cache.h"
 
+#include <chrono>
+#include <thread>
+
 namespace bix {
 
-Bitvector BitmapCache::Fetch(BitmapKey key, IoStats* stats) {
+Result<Bitvector> BitmapCache::TryFetch(BitmapKey key, IoStats* stats) {
   ++stats->scans;
-  const BitmapStore::Blob& blob = store_->GetBlob(key);
+  Result<const BitmapStore::Blob*> blob_r = store_->TryGetBlob(key);
+  if (!blob_r.ok()) return blob_r.status();
+  const BitmapStore::Blob& blob = *blob_r.value();
   const uint64_t bytes = blob.bytes.size();
   // Decompression is paid on every fetch (the pool caches the stored form).
   if (blob.compressed) stats->decode_seconds += disk_.DecodeSeconds(bytes);
@@ -17,11 +22,33 @@ Bitvector BitmapCache::Fetch(BitmapKey key, IoStats* stats) {
     stats->bytes_read += bytes;
     stats->io_seconds += disk_.ReadSeconds(bytes);
     if (!read_before_.insert(key.Packed()).second) ++stats->rescans;
+    // Faults model the disk, so they strike only this (simulated) read;
+    // pool hits above are served from memory and stay clean.
+    if (injector_ != nullptr) {
+      switch (injector_->OnRead(key)) {
+        case FaultInjector::Fault::kUnavailable:
+          return Status::Unavailable("injected transient read error");
+        case FaultInjector::Fault::kBitFlip: {
+          // A torn page: corrupt a copy of the stored bytes and run the
+          // same integrity-checked decode the clean path uses. Nothing is
+          // cached — the pool never holds known-bad bytes.
+          BitmapStore::Blob corrupt = blob;
+          injector_->CorruptPayload(key, &corrupt.bytes);
+          return TryMaterializeBlob(corrupt);
+        }
+        case FaultInjector::Fault::kLatencySpike:
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              injector_->latency_spike_seconds()));
+          break;
+        case FaultInjector::Fault::kNone:
+          break;
+      }
+    }
     Insert(key, bytes);
   }
   // Decode CPU (BBC decompression for compressed indexes) is measured by
   // the executor's end-to-end timer, not here, to avoid double counting.
-  return store_->Materialize(key);
+  return TryMaterializeBlob(blob);
 }
 
 void BitmapCache::DropPool() {

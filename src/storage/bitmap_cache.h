@@ -8,6 +8,7 @@
 
 #include "storage/bitmap_store.h"
 #include "storage/disk_model.h"
+#include "storage/fault_injector.h"
 #include "storage/io_stats.h"
 
 namespace bix {
@@ -24,8 +25,18 @@ class BitmapCacheInterface {
   virtual ~BitmapCacheInterface() = default;
 
   // One bitmap scan: accounts I/O into *stats, updates the pool, and
-  // returns the decoded bitmap.
-  virtual Bitvector Fetch(BitmapKey key, IoStats* stats) = 0;
+  // returns the decoded bitmap — or a typed error instead of aborting on
+  // data-dependent failures: InvalidArgument for an unknown key,
+  // Corruption for a checksum mismatch or malformed stored stream,
+  // Unavailable for an injected transient read error. Nothing is cached on
+  // failure, so a transient error leaves the pool clean for a retry.
+  virtual Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats) = 0;
+
+  // Abort-on-error convenience for trusted paths (benches, the paper
+  // reproduction pipeline, tests over freshly built indexes).
+  Bitvector Fetch(BitmapKey key, IoStats* stats) {
+    return TryFetch(key, stats).value();
+  }
 
   // Drops all cached pages and the has-been-read history.
   virtual void DropPool() = 0;
@@ -53,12 +64,19 @@ class BitmapCache : public BitmapCacheInterface {
   BitmapCache(const BitmapCache&) = delete;
   BitmapCache& operator=(const BitmapCache&) = delete;
 
-  // BitmapCacheInterface: accounts the scan into *stats.
-  Bitvector Fetch(BitmapKey key, IoStats* stats) override;
+  // BitmapCacheInterface: accounts the scan into *stats. Materialization
+  // is integrity-checked (blob checksum + validating decode), so corrupt
+  // stored bytes surface as Corruption for this fetch only.
+  Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats) override;
+  using BitmapCacheInterface::Fetch;
 
   // Convenience for single-owner callers: accounts into the internal
   // cumulative stats block.
   Bitvector Fetch(BitmapKey key) { return Fetch(key, &stats_); }
+
+  // Plugs deterministic fault injection into the miss (disk read) path.
+  // Not owned; must outlive the cache. Pass nullptr to disable.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
   // Lets the executor charge measured CPU time into the same stats block.
   void AddCpuSeconds(double s) { stats_.cpu_seconds += s; }
@@ -79,6 +97,7 @@ class BitmapCache : public BitmapCacheInterface {
   const BitmapStore* store_;
   uint64_t pool_bytes_;
   DiskModel disk_;
+  FaultInjector* injector_ = nullptr;
   IoStats stats_;
 
   // LRU bookkeeping: most-recently-used at the front.

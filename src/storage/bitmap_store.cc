@@ -1,8 +1,25 @@
 #include "storage/bitmap_store.h"
 
+#include <string>
+
 #include "compress/bytes.h"
+#include "util/crc32c.h"
+#include "util/math.h"
 
 namespace bix {
+namespace {
+
+void StampCrc(BitmapStore::Blob* blob) {
+  blob->crc32c = Crc32c(blob->bytes.data(), blob->bytes.size());
+  blob->crc_valid = true;
+}
+
+std::string KeyString(BitmapKey key) {
+  return "component=" + std::to_string(key.component) +
+         " slot=" + std::to_string(key.slot);
+}
+
+}  // namespace
 
 void BitmapStore::PutUncompressed(BitmapKey key, const Bitvector& bv) {
   BIX_CHECK_MSG(!Contains(key), "duplicate bitmap key");
@@ -10,6 +27,7 @@ void BitmapStore::PutUncompressed(BitmapKey key, const Bitvector& bv) {
   blob.compressed = false;
   blob.bit_count = bv.size();
   blob.bytes = BitvectorToBytes(bv);
+  StampCrc(&blob);
   total_bytes_ += blob.bytes.size();
   blobs_.emplace(key, std::move(blob));
 }
@@ -21,6 +39,7 @@ void BitmapStore::PutCompressed(BitmapKey key, const Bitvector& bv) {
   blob.compressed = true;
   blob.bit_count = enc.bit_count;
   blob.bytes = std::move(enc.data);
+  StampCrc(&blob);
   total_bytes_ += blob.bytes.size();
   blobs_.emplace(key, std::move(blob));
 }
@@ -38,6 +57,7 @@ void BitmapStore::Replace(BitmapKey key, const Bitvector& bv) {
     blob.bit_count = bv.size();
     blob.bytes = BitvectorToBytes(bv);
   }
+  StampCrc(&blob);
   total_bytes_ += blob.bytes.size();
 }
 
@@ -45,8 +65,16 @@ uint64_t BitmapStore::StoredBytes(BitmapKey key) const {
   return GetBlob(key).bytes.size();
 }
 
+Result<uint64_t> BitmapStore::TryStoredBytes(BitmapKey key) const {
+  Result<const Blob*> blob = TryGetBlob(key);
+  if (!blob.ok()) return blob.status();
+  return blob.value()->bytes.size();
+}
+
 void BitmapStore::PutBlob(BitmapKey key, Blob blob) {
   BIX_CHECK_MSG(!Contains(key), "duplicate bitmap key");
+  // The blob's own crc32c/crc_valid are preserved as given: the index
+  // loader marks v1 blobs unverified and v2 blobs verified.
   total_bytes_ += blob.bytes.size();
   blobs_.emplace(key, std::move(blob));
 }
@@ -57,12 +85,50 @@ const BitmapStore::Blob& BitmapStore::GetBlob(BitmapKey key) const {
   return it->second;
 }
 
+Result<const BitmapStore::Blob*> BitmapStore::TryGetBlob(BitmapKey key) const {
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    return Status::InvalidArgument("unknown bitmap key (" + KeyString(key) +
+                                   ")");
+  }
+  return &it->second;
+}
+
 Bitvector BitmapStore::Materialize(BitmapKey key) const {
   const Blob& blob = GetBlob(key);
   if (!blob.compressed) {
     return BitvectorFromBytes(blob.bytes, blob.bit_count);
   }
   return BbcDecodeUnchecked(blob.bytes, blob.bit_count);
+}
+
+Result<Bitvector> BitmapStore::TryMaterialize(BitmapKey key) const {
+  Result<const Blob*> blob = TryGetBlob(key);
+  if (!blob.ok()) return blob.status();
+  return TryMaterializeBlob(*blob.value());
+}
+
+Result<Bitvector> TryMaterializeBlob(const BitmapStore::Blob& blob) {
+  if (blob.crc_valid &&
+      Crc32c(blob.bytes.data(), blob.bytes.size()) != blob.crc32c) {
+    return Status::Corruption("bitmap blob checksum mismatch");
+  }
+  if (blob.compressed) {
+    return BbcDecode(blob.bytes, blob.bit_count);
+  }
+  // Verbatim blobs: structural validation mirrors what BbcDecode enforces
+  // for compressed ones (exact byte count, clear padding bits), so an
+  // unchecksummed v1 blob still cannot abort or break Bitvector
+  // invariants.
+  if (blob.bytes.size() != CeilDiv(blob.bit_count, 8)) {
+    return Status::Corruption("verbatim bitmap byte count mismatch");
+  }
+  const uint64_t tail_bits = blob.bit_count & 7;
+  if (tail_bits != 0 && !blob.bytes.empty() &&
+      (blob.bytes.back() & ~((1u << tail_bits) - 1)) != 0) {
+    return Status::Corruption("nonzero padding bits in verbatim bitmap");
+  }
+  return BitvectorFromBytes(blob.bytes, blob.bit_count);
 }
 
 }  // namespace bix

@@ -7,6 +7,7 @@
 
 #include "bitvector/bitvector.h"
 #include "compress/bbc.h"
+#include "util/status.h"
 
 namespace bix {
 
@@ -58,21 +59,41 @@ class BitmapStore {
 
   bool Contains(BitmapKey key) const { return blobs_.count(key) > 0; }
   uint64_t StoredBytes(BitmapKey key) const;
+  // Typed-error variant for data-dependent keys (the serving path):
+  // InvalidArgument instead of a BIX_CHECK abort when the key is unknown.
+  Result<uint64_t> TryStoredBytes(BitmapKey key) const;
   // Total stored size of the index — the paper's space metric.
   uint64_t TotalStoredBytes() const { return total_bytes_; }
   uint64_t BitmapCount() const { return blobs_.size(); }
 
   // Materializes the bitmap (decoding if compressed). This is the CPU work
-  // charged to a scan; I/O accounting is BitmapCache's job.
+  // charged to a scan; I/O accounting is BitmapCache's job. Aborts on a
+  // missing key or corrupt stored bytes — trusted build/bench paths only;
+  // the serving path uses TryMaterialize.
   Bitvector Materialize(BitmapKey key) const;
+  // Integrity-checked materialization: verifies the blob checksum (when
+  // present) and uses the validating decoders, so an unknown key surfaces
+  // as InvalidArgument and corrupt stored bytes as Corruption — never an
+  // abort on data-dependent input.
+  Result<Bitvector> TryMaterialize(BitmapKey key) const;
 
   // Raw stored payload, for the cache's byte accounting and serialization.
   struct Blob {
     bool compressed = false;
     uint64_t bit_count = 0;
     std::vector<uint8_t> bytes;
+    // CRC32C of `bytes`, stamped by the Put* paths and verified on every
+    // integrity-checked materialization. `crc_valid` is false only for
+    // blobs deserialized from a v1 index file (no stored checksums): those
+    // decode with structural validation but no integrity guarantee and are
+    // flagged "unverified" by the loader.
+    uint32_t crc32c = 0;
+    bool crc_valid = false;
   };
   const Blob& GetBlob(BitmapKey key) const;
+  // Typed-error lookup: InvalidArgument on a missing key (the returned
+  // pointer is owned by the store and valid until the store is mutated).
+  Result<const Blob*> TryGetBlob(BitmapKey key) const;
   // Inserts an already-encoded payload verbatim (index deserialization).
   void PutBlob(BitmapKey key, Blob blob);
   // Iteration for serialization.
@@ -85,6 +106,13 @@ class BitmapStore {
   std::unordered_map<BitmapKey, Blob, BitmapKeyHash> blobs_;
   uint64_t total_bytes_ = 0;
 };
+
+// Integrity-checked decode of one blob (checksum when present, then the
+// validating decoder). A free function so callers holding a blob copy —
+// e.g. the fault-injected read path, which corrupts a *copy* of the stored
+// bytes to model a torn page — run exactly the verification the store
+// itself applies in TryMaterialize.
+Result<Bitvector> TryMaterializeBlob(const BitmapStore::Blob& blob);
 
 }  // namespace bix
 

@@ -1,0 +1,87 @@
+#include "storage/fault_injector.h"
+
+namespace bix {
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Uniform double in [0, 1) from (seed, key, attempt) — the whole fault
+// schedule is this one hash.
+double UniformDraw(uint64_t seed, uint64_t packed_key, uint64_t attempt) {
+  uint64_t h = SplitMix64(seed ^ SplitMix64(packed_key ^ SplitMix64(attempt)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultInjectorOptions options)
+    : options_(options) {
+  BIX_CHECK_MSG(options.unavailable_prob >= 0.0 &&
+                    options.bit_flip_prob >= 0.0 &&
+                    options.latency_spike_prob >= 0.0 &&
+                    options.unavailable_prob + options.bit_flip_prob +
+                            options.latency_spike_prob <=
+                        1.0,
+                "fault probabilities must be >= 0 and sum to <= 1");
+}
+
+FaultInjector::Fault FaultInjector::OnRead(BitmapKey key) {
+  uint64_t attempt;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attempt = attempts_[key.Packed()]++;
+    ++counters_.reads;
+  }
+  Fault fault = Fault::kNone;
+  if (attempt < options_.unavailable_first_attempts) {
+    fault = Fault::kUnavailable;
+  } else {
+    const double u = UniformDraw(options_.seed, key.Packed(), attempt);
+    double edge = options_.unavailable_prob;
+    if (u < edge) {
+      fault = Fault::kUnavailable;
+    } else if (u < (edge += options_.bit_flip_prob)) {
+      fault = Fault::kBitFlip;
+    } else if (u < (edge += options_.latency_spike_prob)) {
+      fault = Fault::kLatencySpike;
+    }
+  }
+  if (fault != Fault::kNone) {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (fault) {
+      case Fault::kUnavailable:
+        ++counters_.unavailable;
+        break;
+      case Fault::kBitFlip:
+        ++counters_.bit_flips;
+        break;
+      case Fault::kLatencySpike:
+        ++counters_.latency_spikes;
+        break;
+      case Fault::kNone:
+        break;
+    }
+  }
+  return fault;
+}
+
+void FaultInjector::CorruptPayload(BitmapKey key,
+                                   std::vector<uint8_t>* bytes) const {
+  if (bytes->empty()) return;
+  const uint64_t bit =
+      SplitMix64(options_.seed ^ 0xB17F11Bull ^ SplitMix64(key.Packed())) %
+      (bytes->size() * 8);
+  (*bytes)[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+}
+
+FaultInjector::Counters FaultInjector::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace bix

@@ -1,0 +1,78 @@
+#ifndef BIX_STORAGE_FAULT_INJECTOR_H_
+#define BIX_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/bitmap_store.h"
+
+namespace bix {
+
+// Deterministic, seeded fault injection for the storage read path. The
+// caches consult the injector on every (simulated) disk read and translate
+// its verdict into the failure the serving stack must survive:
+//
+//   kUnavailable   a transient read error (Status::Unavailable, retryable)
+//   kBitFlip       one bit of the read payload is flipped — a torn/corrupt
+//                  page; the blob checksum turns it into Status::Corruption
+//   kLatencySpike  the read sleeps an extra latency_spike_seconds
+//
+// Decisions are a pure function of (seed, key, per-key attempt number), so
+// a fixed seed replays the same per-key fault sequence regardless of how
+// worker threads interleave, and a *retry* of the same key sees a fresh
+// draw (attempt numbers advance) instead of deterministically refailing.
+//
+// Thread-safe; shared by all workers of a service.
+struct FaultInjectorOptions {
+  uint64_t seed = 0;
+  // Per-read-attempt probabilities; their sum must be <= 1.
+  double unavailable_prob = 0.0;
+  double bit_flip_prob = 0.0;
+  double latency_spike_prob = 0.0;
+  double latency_spike_seconds = 0.0;
+  // Deterministic alternative to unavailable_prob: the first N read
+  // attempts of *every* key fail Unavailable before the probabilistic
+  // draws apply. Lets tests pin down retry behaviour without flakiness
+  // (e.g. N=2 with 3 retries: every cold fetch fails twice, then
+  // succeeds).
+  uint32_t unavailable_first_attempts = 0;
+};
+
+class FaultInjector {
+ public:
+  enum class Fault : uint8_t { kNone, kUnavailable, kBitFlip, kLatencySpike };
+
+  explicit FaultInjector(FaultInjectorOptions options);
+
+  // Verdict for the next read attempt of `key` (advances the key's attempt
+  // counter and the counters below).
+  Fault OnRead(BitmapKey key);
+
+  // Flips one deterministically chosen bit of `bytes` (no-op when empty).
+  void CorruptPayload(BitmapKey key, std::vector<uint8_t>* bytes) const;
+
+  double latency_spike_seconds() const {
+    return options_.latency_spike_seconds;
+  }
+
+  struct Counters {
+    uint64_t reads = 0;           // OnRead calls
+    uint64_t unavailable = 0;     // injected transient errors
+    uint64_t bit_flips = 0;       // injected corruptions
+    uint64_t latency_spikes = 0;  // injected slow reads
+  };
+  Counters counters() const;
+
+ private:
+  const FaultInjectorOptions options_;
+  mutable std::mutex mu_;
+  // Per-key read-attempt numbers (guarded by mu_).
+  std::unordered_map<uint64_t, uint64_t> attempts_;
+  Counters counters_;  // guarded by mu_
+};
+
+}  // namespace bix
+
+#endif  // BIX_STORAGE_FAULT_INJECTOR_H_

@@ -1,0 +1,67 @@
+#include "util/crc32c.h"
+
+namespace bix {
+namespace {
+
+// Reflected CRC32C polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+// Slice-by-8 lookup tables: t[0] is the classic byte-at-a-time table,
+// t[s][b] extends a byte through s additional zero bytes, letting the main
+// loop fold 8 input bytes per iteration with 8 independent loads.
+struct Tables {
+  uint32_t t[8][256];
+};
+
+Tables MakeTables() {
+  Tables tb;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? kPoly ^ (c >> 1) : c >> 1;
+    }
+    tb.t[0][i] = c;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tb.t[0][i];
+    for (int s = 1; s < 8; ++s) {
+      c = tb.t[0][c & 0xFF] ^ (c >> 8);
+      tb.t[s][i] = c;
+    }
+  }
+  return tb;
+}
+
+const Tables& GetTables() {
+  static const Tables tb = MakeTables();
+  return tb;
+}
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const Tables& tb = GetTables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  while (n >= 8) {
+    const uint32_t lo = c ^ LoadLe32(p);
+    const uint32_t hi = LoadLe32(p + 4);
+    c = tb.t[7][lo & 0xFF] ^ tb.t[6][(lo >> 8) & 0xFF] ^
+        tb.t[5][(lo >> 16) & 0xFF] ^ tb.t[4][lo >> 24] ^ tb.t[3][hi & 0xFF] ^
+        tb.t[2][(hi >> 8) & 0xFF] ^ tb.t[1][(hi >> 16) & 0xFF] ^
+        tb.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = tb.t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace bix

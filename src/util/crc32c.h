@@ -1,0 +1,29 @@
+#ifndef BIX_UTIL_CRC32C_H_
+#define BIX_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bix {
+
+// CRC32C (Castagnoli polynomial, reflected 0x82F63B78) — the checksum the
+// storage layer stamps on every stored bitmap blob and on index-file
+// headers/records. Software slice-by-8 implementation: endianness- and
+// alignment-safe, ~1 byte/cycle, no special instructions required.
+//
+// `Crc32c(p, n)` checksums one buffer; `Crc32cExtend(crc, p, n)` continues
+// a running checksum so multi-field records can be covered without
+// concatenating them into one buffer:
+//
+//   uint32_t crc = Crc32c(header, header_len);
+//   crc = Crc32cExtend(crc, payload, payload_len);
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace bix
+
+#endif  // BIX_UTIL_CRC32C_H_

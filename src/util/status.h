@@ -44,6 +44,10 @@ class Status {
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
+  // True for transient errors where retrying the same operation can
+  // succeed (overload, injected read faults). Corruption and validation
+  // failures are permanent: retrying re-reads the same bad bytes.
+  bool IsRetryable() const { return code_ == Code::kUnavailable; }
   const std::string& message() const { return message_; }
 
   // Human-readable rendering, e.g. "InvalidArgument: cardinality must be

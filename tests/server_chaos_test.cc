@@ -1,0 +1,288 @@
+// Chaos tests for the query service's failure model: a fault injector on
+// the shared cache's read path throws transient errors, bit flips, and
+// latency spikes at 8 concurrent workers. The contract under test is the
+// tentpole property -- every query either returns rows bit-identical to
+// the fault-free run or resolves with a clean typed error; the process
+// never crashes and no corrupt payload is ever served or cached. CI also
+// builds this test with -DBIX_SANITIZE=thread and address,undefined.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/bitmap_index_facade.h"
+#include "server/query_service.h"
+#include "storage/fault_injector.h"
+#include "util/rng.h"
+#include "workload/column_gen.h"
+
+namespace bix {
+namespace {
+
+struct ChaosSetup {
+  Column column;
+  std::optional<BitmapIndex> index;
+  std::vector<ServiceQuery> queries;
+
+  explicit ChaosSetup(EncodingKind encoding, bool compressed,
+                      uint32_t num_queries) {
+    ColumnSpec spec;
+    spec.rows = 20'000;
+    spec.cardinality = 64;
+    spec.zipf_z = 1.0;
+    spec.seed = 11;
+    column = GenerateZipfColumn(spec);
+    IndexConfig config;
+    config.encoding = encoding;
+    config.compressed = compressed;
+    index.emplace(BuildIndex(column, config).value());
+
+    Rng rng(4711);
+    queries.reserve(num_queries);
+    for (uint32_t i = 0; i < num_queries; ++i) {
+      if (rng.Bernoulli(0.5)) {
+        const uint32_t lo =
+            static_cast<uint32_t>(rng.UniformInt(0, spec.cardinality - 1));
+        const uint32_t hi =
+            static_cast<uint32_t>(rng.UniformInt(lo, spec.cardinality - 1));
+        queries.push_back(ServiceQuery::Interval(IntervalQuery{lo, hi, false}));
+      } else {
+        const uint32_t k = static_cast<uint32_t>(rng.UniformInt(1, 6));
+        std::vector<uint32_t> values;
+        for (uint32_t j = 0; j < k; ++j) {
+          values.push_back(
+              static_cast<uint32_t>(rng.UniformInt(0, spec.cardinality - 1)));
+        }
+        queries.push_back(ServiceQuery::Membership(std::move(values)));
+      }
+    }
+  }
+
+  std::vector<Bitvector> ReferenceResults() const {
+    QueryExecutor executor(&*index, ExecutorOptions{});
+    std::vector<Bitvector> results;
+    results.reserve(queries.size());
+    for (const ServiceQuery& q : queries) {
+      results.push_back(q.kind == ServiceQuery::Kind::kInterval
+                            ? executor.EvaluateInterval(q.interval)
+                            : executor.EvaluateMembership(q.values));
+    }
+    return results;
+  }
+};
+
+// The capstone: 8 workers, all three fault classes live at once, pool
+// small enough that eviction keeps re-reading (and so re-faulting) hot
+// bitmaps. Every result must be bit-identical to the clean run or a typed
+// Unavailable/Corruption error.
+TEST(ServerChaosTest, MixedFaultsNeverCrashOrCorruptResults) {
+  ChaosSetup setup(EncodingKind::kInterval, /*compressed=*/false,
+                   /*num_queries=*/600);
+  const std::vector<Bitvector> expected = setup.ReferenceResults();
+
+  FaultInjectorOptions fault_opts;
+  fault_opts.seed = 1999;
+  fault_opts.unavailable_prob = 0.05;
+  fault_opts.bit_flip_prob = 0.01;
+  fault_opts.latency_spike_prob = 0.02;
+  fault_opts.latency_spike_seconds = 50e-6;
+  FaultInjector injector(fault_opts);
+
+  ServiceOptions options;
+  options.num_workers = 8;
+  options.queue_capacity = 64;
+  options.cache_shards = 8;
+  options.buffer_pool_bytes = 24 * 1024;  // forces eviction churn
+  options.max_fetch_retries = 2;
+  options.retry_backoff_seconds = 10e-6;
+  options.fault_injector = &injector;
+  QueryService service(&*setup.index, options);
+
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(setup.queries.size());
+  for (const ServiceQuery& q : setup.queries) {
+    futures.push_back(service.Submit(q));
+  }
+  uint64_t ok = 0, unavailable = 0, corruption = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    QueryResult r = futures[i].get();
+    if (r.status.ok()) {
+      ++ok;
+      ASSERT_EQ(r.rows, expected[i]) << "silent corruption at query " << i;
+    } else if (r.status.code() == Status::Code::kUnavailable) {
+      ++unavailable;  // retry budget exhausted: clean degradation
+    } else if (r.status.code() == Status::Code::kCorruption) {
+      ++corruption;  // flipped bit caught by the checksum or quarantine
+    } else {
+      FAIL() << "unexpected status at query " << i << ": "
+             << r.status.ToString();
+    }
+  }
+  service.Drain();
+
+  // A loose floor on successes: quarantine deliberately amplifies each
+  // corrupted hot bitmap across every later query touching it, and the
+  // hit/miss interleaving shifts the exact counts between runs, so this
+  // only guards against wholesale degradation. The injector demonstrably
+  // fired: faults were injected, some were absorbed by retries.
+  EXPECT_GT(ok, setup.queries.size() / 10);
+  const FaultInjector::Counters fc = injector.counters();
+  EXPECT_GT(fc.unavailable, 0u);
+  EXPECT_GT(fc.bit_flips, 0u);
+  EXPECT_GT(fc.latency_spikes, 0u);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, setup.queries.size());
+  EXPECT_EQ(stats.degraded_queries, unavailable + corruption);
+  EXPECT_GT(stats.retries, 0u);
+  if (corruption > 0) {
+    EXPECT_GT(stats.corruptions_detected, 0u);
+    EXPECT_GT(stats.quarantined_bitmaps, 0u);
+  }
+  EXPECT_LE(stats.quarantined_bitmaps, stats.corruptions_detected);
+  // The stats line renders the failure counters without truncation.
+  EXPECT_NE(stats.ToString().find("degraded="), std::string::npos);
+}
+
+// Same chaos mix over a BBC-compressed index: bit flips now hit encoded
+// streams, exercising the validating decoder (not just the checksum) under
+// concurrency.
+TEST(ServerChaosTest, CompressedIndexSurvivesMixedFaults) {
+  ChaosSetup setup(EncodingKind::kEquality, /*compressed=*/true,
+                   /*num_queries=*/300);
+  const std::vector<Bitvector> expected = setup.ReferenceResults();
+
+  FaultInjectorOptions fault_opts;
+  fault_opts.seed = 77;
+  fault_opts.unavailable_prob = 0.04;
+  fault_opts.bit_flip_prob = 0.04;
+  FaultInjector injector(fault_opts);
+
+  ServiceOptions options;
+  options.num_workers = 8;
+  options.queue_capacity = 32;
+  options.cache_shards = 4;
+  options.buffer_pool_bytes = 16 * 1024;
+  options.max_fetch_retries = 2;
+  options.retry_backoff_seconds = 10e-6;
+  options.fault_injector = &injector;
+  QueryService service(&*setup.index, options);
+
+  std::vector<QueryResult> results = service.ExecuteBatch(setup.queries);
+  ASSERT_EQ(results.size(), expected.size());
+  uint64_t ok = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (results[i].status.ok()) {
+      ++ok;
+      ASSERT_EQ(results[i].rows, expected[i]) << "mismatch at query " << i;
+    } else {
+      const Status::Code code = results[i].status.code();
+      ASSERT_TRUE(code == Status::Code::kUnavailable ||
+                  code == Status::Code::kCorruption)
+          << results[i].status.ToString();
+    }
+  }
+  EXPECT_GT(ok, 0u);
+}
+
+// Deterministic retry absorption: every cold read fails twice before
+// succeeding, and the retry budget covers both failures -- so every query
+// succeeds, no query degrades, and the retry counter tallies the absorbed
+// faults exactly where probabilistic injection could flake.
+TEST(ServerChaosTest, RetriesAbsorbTransientUnavailability) {
+  ChaosSetup setup(EncodingKind::kInterval, /*compressed=*/false,
+                   /*num_queries=*/100);
+  const std::vector<Bitvector> expected = setup.ReferenceResults();
+
+  FaultInjectorOptions fault_opts;
+  fault_opts.unavailable_first_attempts = 2;
+  FaultInjector injector(fault_opts);
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.buffer_pool_bytes = 1 << 20;  // everything stays resident
+  options.max_fetch_retries = 3;        // > unavailable_first_attempts
+  options.retry_backoff_seconds = 1e-6;
+  options.fault_injector = &injector;
+  QueryService service(&*setup.index, options);
+
+  std::vector<QueryResult> results = service.ExecuteBatch(setup.queries);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].status.ok()) << results[i].status.ToString();
+    ASSERT_EQ(results[i].rows, expected[i]) << "mismatch at query " << i;
+  }
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.degraded_queries, 0u);
+  // Since every query succeeded, every injected Unavailable was absorbed
+  // by exactly one retry.
+  EXPECT_EQ(stats.retries, injector.counters().unavailable);
+  EXPECT_GE(stats.retries, 2u);  // at least the first cold key failed twice
+  EXPECT_EQ(stats.corruptions_detected, 0u);
+}
+
+// Retry exhaustion: more deterministic failures than the budget covers.
+// Every query must degrade with Unavailable -- and still complete.
+TEST(ServerChaosTest, RetryBudgetExhaustionDegradesCleanly) {
+  ChaosSetup setup(EncodingKind::kInterval, /*compressed=*/false,
+                   /*num_queries=*/50);
+
+  FaultInjectorOptions fault_opts;
+  fault_opts.unavailable_first_attempts = 1000;  // effectively always
+  FaultInjector injector(fault_opts);
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.max_fetch_retries = 2;
+  options.retry_backoff_seconds = 1e-6;
+  options.fault_injector = &injector;
+  QueryService service(&*setup.index, options);
+
+  std::vector<QueryResult> results = service.ExecuteBatch(setup.queries);
+  for (const QueryResult& r : results) {
+    ASSERT_FALSE(r.status.ok());
+    EXPECT_EQ(r.status.code(), Status::Code::kUnavailable);
+  }
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(results.size()));
+  EXPECT_EQ(stats.degraded_queries, static_cast<uint64_t>(results.size()));
+  // Each failed fetch burned the full budget.
+  EXPECT_GT(stats.retries, 0u);
+}
+
+// Quarantine: with every read corrupting, the first query touching a
+// bitmap detects the flip via checksum; later queries touching the same
+// bitmap fail fast from quarantine without another storage read.
+TEST(ServerChaosTest, QuarantineFailsFastAfterChecksumFailure) {
+  ChaosSetup setup(EncodingKind::kInterval, /*compressed=*/false,
+                   /*num_queries=*/0);
+
+  FaultInjectorOptions fault_opts;
+  fault_opts.bit_flip_prob = 1.0;
+  FaultInjector injector(fault_opts);
+
+  ServiceOptions options;
+  options.num_workers = 1;  // serialize to make read counts exact
+  options.fault_injector = &injector;
+  QueryService service(&*setup.index, options);
+
+  const ServiceQuery q = ServiceQuery::Interval(IntervalQuery{3, 3, false});
+  QueryResult first = service.Submit(q).get();
+  ASSERT_FALSE(first.status.ok());
+  EXPECT_EQ(first.status.code(), Status::Code::kCorruption);
+  const uint64_t reads_after_first = injector.counters().reads;
+  EXPECT_GT(reads_after_first, 0u);
+
+  QueryResult second = service.Submit(q).get();
+  ASSERT_FALSE(second.status.ok());
+  EXPECT_EQ(second.status.code(), Status::Code::kCorruption);
+  // Fail-fast: the quarantined bitmap was not re-read from storage.
+  EXPECT_EQ(injector.counters().reads, reads_after_first);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.degraded_queries, 2u);
+  EXPECT_EQ(stats.quarantined_bitmaps, 1u);
+  EXPECT_EQ(stats.corruptions_detected, 1u);
+}
+
+}  // namespace
+}  // namespace bix

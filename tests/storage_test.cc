@@ -2,6 +2,7 @@
 
 #include "storage/bitmap_cache.h"
 #include "storage/bitmap_store.h"
+#include "storage/fault_injector.h"
 #include "util/rng.h"
 
 namespace bix {
@@ -45,6 +46,161 @@ TEST(BitmapStoreTest, KeysAreComponentScoped) {
   store.PutUncompressed({2, 5}, b);
   EXPECT_EQ(store.Materialize({1, 5}), a);
   EXPECT_EQ(store.Materialize({2, 5}), b);
+}
+
+TEST(BitmapStoreTest, TryVariantsReportMissingKeysAsTypedErrors) {
+  BitmapStore store;
+  Bitvector bv = MakeBitmap(800, 3);
+  store.PutUncompressed({1, 0}, bv);
+
+  EXPECT_EQ(store.TryStoredBytes({1, 0}).value(), store.StoredBytes({1, 0}));
+  EXPECT_EQ(store.TryMaterialize({1, 0}).value(), bv);
+  EXPECT_EQ(store.TryGetBlob({1, 0}).value(), &store.GetBlob({1, 0}));
+
+  for (BitmapKey missing : {BitmapKey{1, 1}, BitmapKey{2, 0}}) {
+    Result<uint64_t> sb = store.TryStoredBytes(missing);
+    ASSERT_FALSE(sb.ok());
+    EXPECT_EQ(sb.status().code(), Status::Code::kInvalidArgument);
+    EXPECT_FALSE(store.TryMaterialize(missing).ok());
+    EXPECT_FALSE(store.TryGetBlob(missing).ok());
+  }
+  // The error names the offending key.
+  EXPECT_NE(store.TryGetBlob({3, 7}).status().ToString().find("component=3"),
+            std::string::npos);
+}
+
+TEST(BitmapStoreTest, TryMaterializeDetectsBitRot) {
+  BitmapStore store;
+  store.PutUncompressed({1, 0}, MakeBitmap(1000, 4));
+  // Model post-stamp rot: re-insert a copy of the blob with one payload
+  // byte flipped but the original checksum, as a torn page would leave it.
+  BitmapStore::Blob rotten = store.GetBlob({1, 0});
+  rotten.bytes[17] ^= 0x10;
+  store.PutBlob({1, 1}, std::move(rotten));
+
+  EXPECT_TRUE(store.TryMaterialize({1, 0}).ok());
+  Result<Bitvector> r = store.TryMaterialize({1, 1});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+}
+
+TEST(BitmapStoreTest, TryMaterializeValidatesUnverifiedBlobs) {
+  // Blobs without a checksum (v1 index files) still go through the
+  // validating decoders: garbage can fail, but it cannot abort.
+  BitmapStore store;
+  BitmapStore::Blob garbage;
+  garbage.compressed = true;
+  garbage.bit_count = 1000;
+  garbage.bytes = {0x7F, 0x01, 0x02};  // malformed BBC atom stream
+  store.PutBlob({1, 0}, std::move(garbage));
+  BitmapStore::Blob short_verbatim;
+  short_verbatim.compressed = false;
+  short_verbatim.bit_count = 1000;
+  short_verbatim.bytes.assign(100, 0);  // needs 125 bytes
+  store.PutBlob({1, 1}, std::move(short_verbatim));
+
+  for (uint32_t slot : {0u, 1u}) {
+    Result<Bitvector> r = store.TryMaterialize({1, slot});
+    ASSERT_FALSE(r.ok()) << slot;
+    EXPECT_EQ(r.status().code(), Status::Code::kCorruption) << slot;
+  }
+}
+
+TEST(BitmapStoreTest, ReplaceKeepsTotalBytesConsistent) {
+  BitmapStore store;
+  Bitvector sparse(50'000);
+  sparse.Set(12);
+  store.PutCompressed({1, 0}, sparse);
+  store.PutUncompressed({1, 1}, MakeBitmap(1000, 5));
+
+  // Replace the compressed bitmap with a much denser one (stored size
+  // grows) and the uncompressed one with a same-size bitmap.
+  store.Replace({1, 0}, MakeBitmap(50'000, 6, 0.5));
+  store.Replace({1, 1}, MakeBitmap(1000, 7));
+  EXPECT_EQ(store.TotalStoredBytes(),
+            store.StoredBytes({1, 0}) + store.StoredBytes({1, 1}));
+
+  // Shrink it back; the accounting must follow both directions.
+  store.Replace({1, 0}, sparse);
+  EXPECT_EQ(store.TotalStoredBytes(),
+            store.StoredBytes({1, 0}) + store.StoredBytes({1, 1}));
+  // Replaced blobs are re-stamped: materialization still verifies.
+  EXPECT_EQ(store.TryMaterialize({1, 0}).value(), sparse);
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysSameFaultSequence) {
+  FaultInjectorOptions opts;
+  opts.seed = 42;
+  opts.unavailable_prob = 0.2;
+  opts.bit_flip_prob = 0.1;
+  opts.latency_spike_prob = 0.1;
+  FaultInjector a(opts), b(opts);
+  for (uint32_t slot = 0; slot < 8; ++slot) {
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      EXPECT_EQ(a.OnRead({1, slot}), b.OnRead({1, slot})) << slot;
+    }
+  }
+  // And the mix is non-trivial: some faults of each class fired.
+  FaultInjector::Counters c = a.counters();
+  EXPECT_EQ(c.reads, 400u);
+  EXPECT_GT(c.unavailable, 0u);
+  EXPECT_GT(c.bit_flips, 0u);
+  EXPECT_GT(c.latency_spikes, 0u);
+  EXPECT_LT(c.unavailable + c.bit_flips + c.latency_spikes, c.reads);
+}
+
+TEST(FaultInjectorTest, PerKeySequenceIsInterleavingIndependent) {
+  // Interleaving reads of other keys must not perturb a key's own fault
+  // sequence -- the property that makes chaos runs replayable.
+  FaultInjectorOptions opts;
+  opts.seed = 7;
+  opts.unavailable_prob = 0.3;
+  FaultInjector alone(opts), interleaved(opts);
+  std::vector<FaultInjector::Fault> seq_alone, seq_mixed;
+  for (int i = 0; i < 40; ++i) seq_alone.push_back(alone.OnRead({1, 0}));
+  for (int i = 0; i < 40; ++i) {
+    interleaved.OnRead({2, static_cast<uint32_t>(i)});
+    seq_mixed.push_back(interleaved.OnRead({1, 0}));
+    interleaved.OnRead({3, 5});
+  }
+  EXPECT_EQ(seq_alone, seq_mixed);
+}
+
+TEST(FaultInjectorTest, FirstAttemptsFailDeterministically) {
+  FaultInjectorOptions opts;
+  opts.unavailable_first_attempts = 2;
+  FaultInjector inj(opts);
+  EXPECT_EQ(inj.OnRead({1, 0}), FaultInjector::Fault::kUnavailable);
+  EXPECT_EQ(inj.OnRead({1, 0}), FaultInjector::Fault::kUnavailable);
+  EXPECT_EQ(inj.OnRead({1, 0}), FaultInjector::Fault::kNone);
+  // Every key gets its own attempt counter.
+  EXPECT_EQ(inj.OnRead({1, 1}), FaultInjector::Fault::kUnavailable);
+}
+
+TEST(FaultInjectorTest, CorruptPayloadFlipsExactlyOneBitDeterministically) {
+  FaultInjectorOptions opts;
+  opts.seed = 9;
+  FaultInjector inj(opts);
+  std::vector<uint8_t> original(64, 0xA5);
+  std::vector<uint8_t> first = original;
+  inj.CorruptPayload({1, 3}, &first);
+  int changed_bits = 0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    uint8_t diff = static_cast<uint8_t>(first[i] ^ original[i]);
+    while (diff != 0) {
+      changed_bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(changed_bits, 1);
+  // Deterministic: the same key flips the same bit again.
+  std::vector<uint8_t> second = original;
+  inj.CorruptPayload({1, 3}, &second);
+  EXPECT_EQ(first, second);
+  // Empty payloads are a no-op, not an abort.
+  std::vector<uint8_t> empty;
+  inj.CorruptPayload({1, 3}, &empty);
+  EXPECT_TRUE(empty.empty());
 }
 
 TEST(DiskModelTest, ReadSecondsIsSeekPlusTransfer) {
@@ -145,6 +301,58 @@ TEST_F(BitmapCacheTest, StatsAccountingInvariant) {
   EXPECT_EQ(s.scans, s.pool_hits + s.disk_reads);
   EXPECT_LE(s.rescans, s.disk_reads);
   EXPECT_EQ(s.bytes_read, s.disk_reads * 125u);
+}
+
+TEST_F(BitmapCacheTest, InjectedUnavailableSurfacesAndRecovers) {
+  FaultInjectorOptions opts;
+  opts.unavailable_first_attempts = 1;
+  FaultInjector inj(opts);
+  BitmapCache cache(&store_, 1 << 20);
+  cache.SetFaultInjector(&inj);
+  IoStats stats;
+  Result<Bitvector> first = cache.TryFetch({1, 0}, &stats);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), Status::Code::kUnavailable);
+  EXPECT_TRUE(first.status().IsRetryable());
+  // The retry (attempt 2) succeeds and returns the true bitmap.
+  Result<Bitvector> second = cache.TryFetch({1, 0}, &stats);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), MakeBitmap(1000, 0));
+  // A later fetch is a pool hit: hits bypass the injector entirely.
+  EXPECT_TRUE(cache.TryFetch({1, 0}, &stats).ok());
+  EXPECT_EQ(inj.counters().reads, 2u);
+}
+
+TEST_F(BitmapCacheTest, InjectedBitFlipIsCorruptionAndNeverCached) {
+  FaultInjectorOptions opts;
+  opts.bit_flip_prob = 1.0;
+  FaultInjector inj(opts);
+  BitmapCache cache(&store_, 1 << 20);
+  cache.SetFaultInjector(&inj);
+  IoStats stats;
+  for (int i = 0; i < 3; ++i) {
+    Result<Bitvector> r = cache.TryFetch({1, 0}, &stats);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), Status::Code::kCorruption);
+  }
+  // The corrupted payload never entered the pool, and the store itself is
+  // untouched (the flip hits a copy of the read).
+  EXPECT_EQ(cache.pool_bytes_used(), 0u);
+  EXPECT_TRUE(store_.TryMaterialize({1, 0}).ok());
+}
+
+TEST_F(BitmapCacheTest, LatencySpikesDoNotAffectResults) {
+  FaultInjectorOptions opts;
+  opts.latency_spike_prob = 1.0;
+  opts.latency_spike_seconds = 0.0;  // keep the test instant
+  FaultInjector inj(opts);
+  BitmapCache cache(&store_, 1 << 20);
+  cache.SetFaultInjector(&inj);
+  IoStats stats;
+  Result<Bitvector> r = cache.TryFetch({1, 1}, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), MakeBitmap(1000, 1));
+  EXPECT_EQ(inj.counters().latency_spikes, 1u);
 }
 
 TEST(BitmapCacheTest2, CompressedFetchChargesDecodeEveryTime) {
