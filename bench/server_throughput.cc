@@ -8,11 +8,20 @@
 // scaling at work, since a single core can overlap simulated I/O but not
 // real CPU).
 //
+// A second table sweeps *offered load* open-loop (arrivals on a fixed
+// schedule, decoupled from completions) at multiples of the measured
+// closed-loop capacity, comparing goodput — queries answered OK within a
+// fixed latency budget, per second — with the deadline + brownout-shedding
+// stack on vs off. The point of section 11: past saturation, a service
+// that sheds hopeless work holds its goodput, while one that queues
+// everything collapses into useless late answers.
+//
 //   server_throughput [--rows=N] [--cardinality=C] [--seed=S] [--quick]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "bench_support.h"
@@ -80,6 +89,96 @@ RunResult RunOnce(const BitmapIndex& index,
   return r;
 }
 
+struct GoodputResult {
+  double goodput_qps = 0.0;  // OK answers within the budget, per second
+  double ok_fraction = 0.0;  // of all offered queries
+  uint64_t shed = 0;         // shed in queue (deadline/brownout)
+  uint64_t rejected = 0;     // admission-control rejections
+};
+
+// Open-loop run: `count` queries arrive on a fixed schedule at
+// `offered_qps` regardless of completions (TrySubmit, so overload hits
+// admission control instead of queueing unboundedly). `budget_seconds` is
+// the per-query latency SLO; with `use_deadlines` each query carries it as
+// a real deadline and the brownout breaker is armed, without, the service
+// runs blind and the SLO is only applied after the fact when scoring.
+GoodputResult RunOpenLoop(const BitmapIndex& index,
+                          const std::vector<ServiceQuery>& pool,
+                          uint32_t count, double offered_qps,
+                          double budget_seconds, bool use_deadlines) {
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 128;
+  options.cache_shards = 8;
+  options.buffer_pool_bytes = 256 * 1024;
+  options.io_latency_scale = 0.25;
+  options.brownout.enabled = use_deadlines;
+  QueryService service(&index, options);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::this_thread::sleep_until(
+        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(static_cast<double>(i) /
+                                               offered_qps)));
+    ServiceQuery q = pool[i % pool.size()];
+    if (use_deadlines) q.WithTimeout(budget_seconds);
+    futures.push_back(service.TrySubmit(std::move(q)));
+  }
+  uint64_t ok_within = 0;
+  for (auto& f : futures) {
+    const QueryResult r = f.get();
+    if (r.status.ok() && r.metrics.total_seconds() <= budget_seconds) {
+      ++ok_within;
+    }
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ServiceStats stats = service.Stats();
+  GoodputResult g;
+  g.goodput_qps = static_cast<double>(ok_within) / wall;
+  g.ok_fraction = static_cast<double>(ok_within) / static_cast<double>(count);
+  g.shed = stats.shed_in_queue;
+  g.rejected = stats.rejected_overload;
+  return g;
+}
+
+void RunGoodputSweep(const BenchArgs& args, const Column& column,
+                     uint32_t cardinality) {
+  IndexConfig config;
+  config.encoding = EncodingKind::kInterval;
+  const BitmapIndex index = BuildIndex(column, config).value();
+  const std::vector<ServiceQuery> pool =
+      ZipfIntervalQueries(cardinality, 64, args.seed + 2);
+
+  // Closed-loop capacity at 4 workers anchors the offered-load multiples.
+  const double capacity = RunOnce(index, pool, 4).qps;
+  const double budget = 25e-3;
+  const uint32_t count = args.quick ? 120 : 400;
+
+  std::printf("\n# goodput vs offered load: capacity=%.0f q/s (closed-loop, "
+              "4 workers), budget=%.0fms, %u open-loop queries per cell\n",
+              capacity, budget * 1e3, count);
+  TablePrinter table({"offered/capacity", "mode", "goodput_q/s",
+                      "ok_within_budget", "shed", "rejected"});
+  for (double mult : {0.5, 1.0, 2.0, 4.0}) {
+    const double offered = capacity * mult;
+    for (bool use_deadlines : {false, true}) {
+      const GoodputResult g =
+          RunOpenLoop(index, pool, count, offered, budget, use_deadlines);
+      table.AddRow({FormatDouble(mult, 1),
+                    use_deadlines ? "deadline+shed" : "no-deadline",
+                    FormatDouble(g.goodput_qps, 1),
+                    FormatDouble(g.ok_fraction, 3), std::to_string(g.shed),
+                    std::to_string(g.rejected)});
+    }
+  }
+  table.Print();
+}
+
 void Run(const BenchArgs& args) {
   ColumnSpec spec;
   spec.rows = args.quick ? 50'000 : args.rows / 5;  // default 200k rows
@@ -122,6 +221,8 @@ void Run(const BenchArgs& args) {
     }
   }
   table.Print();
+
+  RunGoodputSweep(args, column, spec.cardinality);
 }
 
 }  // namespace

@@ -52,6 +52,25 @@ Result<std::unique_ptr<QueryService>> Serve(const BitmapIndex* index,
   if (options.retry_backoff_seconds < 0.0) {
     return Status::InvalidArgument("retry_backoff_seconds must be >= 0");
   }
+  if (options.brownout.enabled) {
+    const BrownoutOptions& b = options.brownout;
+    if (b.window == 0 || b.min_samples == 0 || b.min_samples > b.window) {
+      return Status::InvalidArgument(
+          "brownout window/min_samples must satisfy 0 < min_samples <= window");
+    }
+    if (!(b.open_threshold > 0.0 && b.open_threshold <= 1.0)) {
+      return Status::InvalidArgument("brownout open_threshold must be in (0, 1]");
+    }
+    if (b.half_open_probes == 0) {
+      return Status::InvalidArgument("brownout half_open_probes must be >= 1");
+    }
+    if (b.shed_fraction < 0.0 || b.shed_fraction > 1.0) {
+      return Status::InvalidArgument("brownout shed_fraction must be in [0, 1]");
+    }
+    if (b.open_seconds < 0.0) {
+      return Status::InvalidArgument("brownout open_seconds must be >= 0");
+    }
+  }
   return std::make_unique<QueryService>(index, options);
 }
 

@@ -34,9 +34,15 @@ ExprPtr QueryExecutor::Rewrite(IntervalQuery q) const {
 }
 
 std::vector<ExprPtr> QueryExecutor::RewriteMembership(
-    const std::vector<uint32_t>& values) const {
+    const std::vector<uint32_t>& values, const CancelToken* cancel) const {
+  ClockInterface* clock =
+      options_.clock != nullptr ? options_.clock : RealClock::Get();
   std::vector<ExprPtr> exprs;
   for (const IntervalQuery& q : MembershipToIntervals(values)) {
+    // Rewrite-loop budget check: an oversized membership rewrite stops
+    // between constituents; the evaluation entry check surfaces the typed
+    // status for the (partial) expression list.
+    if (cancel != nullptr && !cancel->CheckAt(clock->Now()).ok()) break;
     exprs.push_back(Rewrite(q));
   }
   return exprs;
@@ -156,15 +162,26 @@ Bitvector QueryExecutor::EvaluateRewritten(
 }
 
 Result<Bitvector> QueryExecutor::TryEvaluateRewritten(
-    const std::vector<ExprPtr>& exprs) {
+    const std::vector<ExprPtr>& exprs, const CancelToken* cancel) {
   if (options_.cold_pool_per_query) cache_->DropPool();
+  ClockInterface* clock =
+      options_.clock != nullptr ? options_.clock : RealClock::Get();
   const uint64_t rows = index_->row_count();
   const auto t0 = std::chrono::steady_clock::now();
-  Status error;  // first storage failure, if any
+  Status error;  // first storage failure or budget expiry, if any
   auto charge_cpu = [this, t0] {
     const auto t1 = std::chrono::steady_clock::now();
     stats_.cpu_seconds += std::chrono::duration<double>(t1 - t0).count();
   };
+  // Entry check: a query whose budget expired while queued (or during the
+  // rewrite) resolves typed before fetching anything.
+  if (cancel != nullptr) {
+    Status budget = cancel->CheckAt(clock->Now());
+    if (!budget.ok()) {
+      charge_cpu();
+      return budget;
+    }
+  }
 
   Bitvector result(rows);
   if (options_.strategy == EvalStrategy::kQueryWise ||
@@ -173,15 +190,17 @@ Result<Bitvector> QueryExecutor::TryEvaluateRewritten(
     // shared bitmaps hit the pool (or disk) again on later constituents.
     // Fetch failures are latched into `error` (EvaluateExpr's fetcher
     // cannot propagate a Status itself); the constituent's result is then
-    // discarded and remaining constituents are skipped.
+    // discarded and remaining constituents are skipped. The token is
+    // checked per fetch, so a deadline hit mid-constituent stops the
+    // remaining fetches too.
     std::vector<const ExprPtr*> order;
     for (const ExprPtr& e : exprs) order.push_back(&e);
     if (options_.strategy == EvalStrategy::kBufferAware) {
       OrderForSharing(&order);
     }
-    auto fetch = [this, rows, &error](BitmapKey key) -> Bitvector {
+    auto fetch = [this, rows, &error, cancel](BitmapKey key) -> Bitvector {
       if (!error.ok()) return Bitvector(rows);  // already failed; skip work
-      Result<Bitvector> r = cache_->TryFetch(key, &stats_);
+      Result<Bitvector> r = cache_->TryFetch(key, &stats_, cancel);
       if (!r.ok()) {
         error = r.status();
         return Bitvector(rows);
@@ -213,7 +232,9 @@ Result<Bitvector> QueryExecutor::TryEvaluateRewritten(
     std::unordered_map<uint64_t, Bitvector> fetched;
     fetched.reserve(leaves.size());
     for (const BitmapKey& key : leaves) {
-      Result<Bitvector> r = cache_->TryFetch(key, &stats_);
+      // Per-fetch budget check (TryFetch re-checks internally; this keeps
+      // the loop's exit typed even for caches that do not).
+      Result<Bitvector> r = cache_->TryFetch(key, &stats_, cancel);
       if (!r.ok()) {
         error = r.status();
         break;

@@ -9,6 +9,8 @@
 #include "query/query.h"
 #include "storage/bitmap_cache.h"
 #include "storage/disk_model.h"
+#include "util/cancel_token.h"
+#include "util/clock.h"
 
 namespace bix {
 
@@ -41,6 +43,10 @@ struct ExecutorOptions {
   // paper's flushed file-system buffer (each query starts cold). Must be
   // false when the executor borrows a shared cache.
   bool cold_pool_per_query = true;
+  // Time source for deadline checks during evaluation (nullptr => real
+  // steady clock). The query service passes its own clock so virtual-time
+  // tests see consistent deadlines end to end.
+  ClockInterface* clock = nullptr;
 };
 
 // Evaluates interval and membership queries against a BitmapIndex through
@@ -80,12 +86,22 @@ class QueryExecutor {
   // errors -> Unavailable, unknown keys -> InvalidArgument) surface as a
   // Status for *this* evaluation instead of aborting the process. Work
   // already accounted into stats() before the failure stays accounted.
-  Result<Bitvector> TryEvaluateRewritten(const std::vector<ExprPtr>& exprs);
+  //
+  // `cancel` (nullable) is checked before every bitmap fetch in all three
+  // strategies, so a query past its deadline (or cancelled mid-flight)
+  // stops evaluating within one fetch and resolves DeadlineExceeded /
+  // Cancelled — with the partial IoStats it accumulated still in stats().
+  Result<Bitvector> TryEvaluateRewritten(const std::vector<ExprPtr>& exprs,
+                                         const CancelToken* cancel = nullptr);
 
   // Rewrites without executing (for inspection, tests, cost analysis).
+  // `cancel` stops the membership rewrite loop between constituents once
+  // the budget is gone (the partial rewrite is returned; the evaluation
+  // entry check turns it into the typed status).
   ExprPtr Rewrite(IntervalQuery q) const;
   std::vector<ExprPtr> RewriteMembership(
-      const std::vector<uint32_t>& values) const;
+      const std::vector<uint32_t>& values,
+      const CancelToken* cancel = nullptr) const;
 
   // Query plan summary: the rewritten constituents and the modeled cost of
   // a cold evaluation (all distinct bitmaps read once).

@@ -1,0 +1,114 @@
+#include "server/brownout.h"
+
+#include <chrono>
+
+#include "util/check.h"
+
+namespace bix {
+
+BrownoutBreaker::BrownoutBreaker(BrownoutOptions options)
+    : options_(options), outcomes_(options.window > 0 ? options.window : 1) {
+  BIX_CHECK(options.window > 0);
+  BIX_CHECK(options.min_samples > 0);
+  BIX_CHECK(options.min_samples <= options.window);
+  BIX_CHECK(options.open_threshold > 0.0 && options.open_threshold <= 1.0);
+  BIX_CHECK(options.half_open_probes > 0);
+  BIX_CHECK(options.shed_fraction >= 0.0 && options.shed_fraction <= 1.0);
+}
+
+void BrownoutBreaker::ResetWindowLocked() {
+  next_ = 0;
+  samples_ = 0;
+  failures_ = 0;
+}
+
+bool BrownoutBreaker::OpenLocked(TimePoint now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  ++opens_;
+  probe_successes_ = 0;
+  ResetWindowLocked();
+  return true;
+}
+
+void BrownoutBreaker::MaybeEnterHalfOpen(TimePoint now) {
+  if (state_ != State::kOpen) return;
+  const double dwell =
+      std::chrono::duration<double>(now - opened_at_).count();
+  if (dwell >= options_.open_seconds) {
+    state_ = State::kHalfOpen;
+    probe_successes_ = 0;
+  }
+}
+
+bool BrownoutBreaker::RecordOutcome(bool failure, TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MaybeEnterHalfOpen(now);
+  switch (state_) {
+    case State::kOpen:
+      // Queries admitted before the transition still drain; their
+      // outcomes neither extend nor shorten the dwell.
+      return false;
+    case State::kHalfOpen:
+      if (failure) return OpenLocked(now);  // reopen: a fresh dwell
+      if (++probe_successes_ >= options_.half_open_probes) {
+        open_seconds_total_ +=
+            std::chrono::duration<double>(now - opened_at_).count();
+        state_ = State::kClosed;
+        ResetWindowLocked();
+      }
+      return false;
+    case State::kClosed: {
+      const uint8_t bit = failure ? 1 : 0;
+      if (samples_ < outcomes_.size()) {
+        ++samples_;
+      } else {
+        failures_ -= outcomes_[next_];  // evict the oldest outcome
+      }
+      outcomes_[next_] = bit;
+      failures_ += bit;
+      next_ = (next_ + 1) % static_cast<uint32_t>(outcomes_.size());
+      if (samples_ >= options_.min_samples &&
+          static_cast<double>(failures_) >=
+              options_.open_threshold * static_cast<double>(samples_)) {
+        return OpenLocked(now);
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+BrownoutBreaker::State BrownoutBreaker::Poll(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MaybeEnterHalfOpen(now);
+  return state_;
+}
+
+BrownoutBreaker::State BrownoutBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint32_t BrownoutBreaker::EffectiveRetries(uint32_t configured) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kClosed) return configured;
+  return options_.degraded_retries < configured ? options_.degraded_retries
+                                                : configured;
+}
+
+uint64_t BrownoutBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opens_;
+}
+
+double BrownoutBreaker::OpenSecondsTotal(TimePoint now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = open_seconds_total_;
+  if (state_ != State::kClosed) {
+    total += std::chrono::duration<double>(now - opened_at_).count();
+  }
+  return total;
+}
+
+}  // namespace bix

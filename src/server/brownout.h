@@ -1,0 +1,98 @@
+#ifndef BIX_SERVER_BROWNOUT_H_
+#define BIX_SERVER_BROWNOUT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace bix {
+
+// Tuning for the query service's adaptive overload controller (a circuit
+// breaker running a *brownout*, not a blackout: while open the service
+// keeps serving, but with the fetch-retry budget cut to degraded_retries
+// and the queued backlog shed). See DESIGN.md section 11.
+struct BrownoutOptions {
+  bool enabled = true;
+  // Rolling outcome window: the breaker opens when, with at least
+  // min_samples outcomes recorded since the last transition, the fraction
+  // of failures (retryable fetch failures + deadline misses) reaches
+  // open_threshold.
+  uint32_t window = 128;
+  uint32_t min_samples = 32;
+  double open_threshold = 0.5;
+  // Dwell time in the open state before half-open probing starts.
+  double open_seconds = 0.1;
+  // Consecutive half-open successes required to close; one half-open
+  // failure reopens (a fresh dwell).
+  uint32_t half_open_probes = 8;
+  // max_fetch_retries substitute while open/half-open: under overload,
+  // retry amplification is the enemy, so the budget drops (0 = fail fast).
+  uint32_t degraded_retries = 0;
+  // Fraction of the queued backlog shed when the breaker opens (entries
+  // with the least remaining deadline first).
+  double shed_fraction = 0.5;
+};
+
+// The breaker state machine, shared by all workers of a QueryService.
+// Time flows in via the caller's ClockInterface time_points, so the cycle
+// is deterministic under a VirtualClock and a seeded FaultInjector.
+//
+//   closed --[failure fraction >= threshold]--> open
+//   open   --[open_seconds elapsed]----------> half-open
+//   half-open --[half_open_probes successes]--> closed   (window reset)
+//   half-open --[any failure]-----------------> open     (new dwell, +1 open)
+//
+// Outcomes recorded while open are ignored (queries admitted before the
+// transition still drain; their failures must not extend the dwell).
+// Thread-safe.
+class BrownoutBreaker {
+ public:
+  enum class State : uint8_t { kClosed, kOpen, kHalfOpen };
+  using TimePoint = ClockInterface::TimePoint;
+
+  explicit BrownoutBreaker(BrownoutOptions options);
+
+  // Records a completed query's outcome. Returns true iff this outcome
+  // just opened (or reopened) the breaker — the caller then sheds the
+  // queue. Also performs the open -> half-open transition when `now` is
+  // past the dwell, so a completion stream alone drives the full cycle.
+  bool RecordOutcome(bool failure, TimePoint now);
+
+  // Dequeue-time poll: advances open -> half-open when the dwell has
+  // elapsed and returns the current state.
+  State Poll(TimePoint now);
+
+  State state() const;
+  // The retry budget workers should use right now.
+  uint32_t EffectiveRetries(uint32_t configured) const;
+
+  uint64_t opens() const;
+  // Cumulative seconds spent non-closed (open + half-open), including the
+  // current episode measured up to `now`.
+  double OpenSecondsTotal(TimePoint now) const;
+
+ private:
+  // All private helpers assume mu_ is held.
+  void MaybeEnterHalfOpen(TimePoint now);
+  bool OpenLocked(TimePoint now);
+  void ResetWindowLocked();
+
+  const BrownoutOptions options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  TimePoint opened_at_{};        // start of the current non-closed episode
+  uint64_t opens_ = 0;           // closed/half-open -> open transitions
+  double open_seconds_total_ = 0.0;  // completed episodes only
+  uint32_t probe_successes_ = 0;     // consecutive, half-open only
+  // Rolling outcome ring (1 = failure), valid for the first `samples_`.
+  std::vector<uint8_t> outcomes_;
+  uint32_t next_ = 0;
+  uint32_t samples_ = 0;
+  uint32_t failures_ = 0;
+};
+
+}  // namespace bix
+
+#endif  // BIX_SERVER_BROWNOUT_H_

@@ -49,20 +49,28 @@ double LatencyHistogram::Quantile(double q) const {
 }
 
 std::string ServiceStats::ToString() const {
-  char buf[384];
-  std::snprintf(buf, sizeof(buf),
-                "submitted=%llu rejected=%llu completed=%llu "
-                "hit_rate=%.3f p50=%.3fms p95=%.3fms p99=%.3fms "
-                "retries=%llu corruptions=%llu quarantined=%llu "
-                "degraded=%llu",
-                static_cast<unsigned long long>(submitted),
-                static_cast<unsigned long long>(rejected),
-                static_cast<unsigned long long>(completed), CacheHitRate(),
-                latency.p50() * 1e3, latency.p95() * 1e3, latency.p99() * 1e3,
-                static_cast<unsigned long long>(retries),
-                static_cast<unsigned long long>(corruptions_detected),
-                static_cast<unsigned long long>(quarantined_bitmaps),
-                static_cast<unsigned long long>(degraded_queries));
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "submitted=%llu rejected_invalid=%llu rejected_overload=%llu "
+      "completed=%llu hit_rate=%.3f p50=%.3fms p95=%.3fms p99=%.3fms "
+      "retries=%llu corruptions=%llu quarantined=%llu degraded=%llu "
+      "deadline_exceeded=%llu cancelled=%llu shed_in_queue=%llu "
+      "breaker_opens=%llu breaker_open_s=%.3f breaker_state=%u",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(rejected_invalid),
+      static_cast<unsigned long long>(rejected_overload),
+      static_cast<unsigned long long>(completed), CacheHitRate(),
+      latency.p50() * 1e3, latency.p95() * 1e3, latency.p99() * 1e3,
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(corruptions_detected),
+      static_cast<unsigned long long>(quarantined_bitmaps),
+      static_cast<unsigned long long>(degraded_queries),
+      static_cast<unsigned long long>(deadline_exceeded),
+      static_cast<unsigned long long>(cancelled),
+      static_cast<unsigned long long>(shed_in_queue),
+      static_cast<unsigned long long>(breaker_opens), breaker_open_seconds,
+      breaker_state);
   return std::string(buf);
 }
 

@@ -57,7 +57,11 @@ class LatencyHistogram {
 // QueryService::Stats(). All counters are cumulative since service start.
 struct ServiceStats {
   uint64_t submitted = 0;  // Submit/TrySubmit calls (incl. invalid ones)
-  uint64_t rejected = 0;   // admission-control + shutdown rejections
+  // Admission-edge rejections, split so the brownout breaker's inputs stay
+  // unambiguous: a malformed query says nothing about load, a full queue
+  // says everything.
+  uint64_t rejected_invalid = 0;   // validation failures (bad bounds, empty)
+  uint64_t rejected_overload = 0;  // queue full / service shut down
   uint64_t completed = 0;  // queries fully evaluated (incl. degraded ones)
 
   // Failure-model counters (DESIGN.md section 10). A "degraded" query ran
@@ -67,6 +71,21 @@ struct ServiceStats {
   uint64_t corruptions_detected = 0;  // checksum/decode failures surfaced
   uint64_t quarantined_bitmaps = 0;   // distinct keys quarantined
   uint64_t degraded_queries = 0;      // completed with a non-OK status
+
+  // Time-and-overload counters (DESIGN.md section 11).
+  uint64_t deadline_exceeded = 0;  // resolved kDeadlineExceeded (any stage)
+  uint64_t cancelled = 0;          // resolved kCancelled (any stage)
+  // Queue-side sheds: tasks resolved *without executing* — deadline already
+  // expired at dequeue, cancelled while queued, or dropped by the brownout
+  // breaker when it opened.
+  uint64_t shed_in_queue = 0;
+  uint64_t breaker_opens = 0;          // closed/half-open -> open transitions
+  double breaker_open_seconds = 0.0;   // cumulative time not closed
+  uint32_t breaker_state = 0;          // 0 closed, 1 open, 2 half-open
+
+  uint64_t rejected_total() const {
+    return rejected_invalid + rejected_overload;
+  }
 
   IoStats io;  // roll-up of per-query IoStats blocks
   double queue_seconds_total = 0.0;

@@ -1,6 +1,8 @@
 #include "server/query_service.h"
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <unordered_set>
 #include <utility>
 
@@ -25,23 +27,34 @@ std::future<QueryResult> ResolvedWith(Status status) {
 // as a BitmapCacheInterface so the per-worker executors need no special
 // handling:
 //  - Unavailable (transient read error, injected or real): retried in
-//    place up to max_retries times with exponential backoff; only then
-//    does the error reach the query.
+//    place up to the retry budget with exponential backoff; only then
+//    does the error reach the query. The budget is the configured
+//    max_retries while the brownout breaker is closed and the degraded
+//    budget while it is open/half-open (retry amplification is what turns
+//    a latency storm into a pile-up, so overload cuts it first).
 //  - Corruption (checksum mismatch / malformed stream): the key enters a
 //    quarantine set and every subsequent fetch of it — from any worker —
 //    fails fast with Corruption, without touching storage again. Retrying
 //    would re-read the same bad bytes; quarantine turns a hot corrupt
 //    bitmap into a cheap, deterministic per-query error.
+//  - Deadline/cancellation: the query's CancelToken is checked before
+//    every attempt and interrupts the backoff sleep (ClockInterface::
+//    SleepFor is cancellable), so a query past its budget stops retrying
+//    within one attempt and resolves with the token's typed status.
 // Thread-safe; one instance shared by all workers.
 class QueryService::FaultPolicyCache : public BitmapCacheInterface {
  public:
   FaultPolicyCache(BitmapCacheInterface* inner, uint32_t max_retries,
-                   double backoff_seconds)
+                   double backoff_seconds, ClockInterface* clock,
+                   const BrownoutBreaker* breaker)
       : inner_(inner),
         max_retries_(max_retries),
-        backoff_seconds_(backoff_seconds) {}
+        backoff_seconds_(backoff_seconds),
+        clock_(clock),
+        breaker_(breaker) {}
 
-  Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats) override {
+  Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats,
+                             const CancelToken* cancel) override {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (quarantine_.count(key.Packed()) > 0) {
@@ -51,7 +64,11 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
     }
     double backoff = backoff_seconds_;
     for (uint32_t attempt = 0;; ++attempt) {
-      Result<Bitvector> r = inner_->TryFetch(key, stats);
+      if (cancel != nullptr) {
+        Status budget = cancel->CheckAt(clock_->Now());
+        if (!budget.ok()) return budget;
+      }
+      Result<Bitvector> r = inner_->TryFetch(key, stats, cancel);
       if (r.ok()) return r;
       if (r.status().code() == Status::Code::kCorruption) {
         std::lock_guard<std::mutex> lock(mu_);
@@ -59,14 +76,20 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
         ++corruptions_detected_;
         return r;
       }
-      if (!r.status().IsRetryable() || attempt >= max_retries_) return r;
+      // Re-read the budget every attempt: a breaker opening mid-storm
+      // cuts retry loops already in flight, not just future ones.
+      const uint32_t retry_budget = breaker_ != nullptr
+                                        ? breaker_->EffectiveRetries(max_retries_)
+                                        : max_retries_;
+      if (!r.status().IsRetryable() || attempt >= retry_budget) return r;
       retries_.fetch_add(1, std::memory_order_relaxed);
       if (backoff > 0.0) {
-        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        clock_->SleepFor(backoff, cancel);
         backoff *= 2.0;
       }
     }
   }
+  using BitmapCacheInterface::TryFetch;
 
   void DropPool() override { inner_->DropPool(); }
 
@@ -86,6 +109,8 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
   BitmapCacheInterface* const inner_;
   const uint32_t max_retries_;
   const double backoff_seconds_;
+  ClockInterface* const clock_;
+  const BrownoutBreaker* const breaker_;  // null when brownout disabled
   std::atomic<uint64_t> retries_{0};
   mutable std::mutex mu_;
   std::unordered_set<uint64_t> quarantine_;  // guarded by mu_
@@ -95,12 +120,16 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
 QueryService::QueryService(const BitmapIndex* index, ServiceOptions options)
     : index_(index),
       options_(options),
+      clock_(options.clock != nullptr ? options.clock : RealClock::Get()),
       cache_(std::make_unique<ShardedBitmapCache>(
           &index->store(), options.buffer_pool_bytes, options.cache_shards,
-          options.disk, options.io_latency_scale)),
+          options.disk, options.io_latency_scale, clock_)),
+      breaker_(options.brownout.enabled
+                   ? std::make_unique<BrownoutBreaker>(options.brownout)
+                   : nullptr),
       policy_cache_(std::make_unique<FaultPolicyCache>(
           cache_.get(), options.max_fetch_retries,
-          options.retry_backoff_seconds)),
+          options.retry_backoff_seconds, clock_, breaker_.get())),
       queue_(options.queue_capacity) {
   BIX_CHECK(index != nullptr);
   BIX_CHECK(options.num_workers > 0);
@@ -146,13 +175,13 @@ std::future<QueryResult> QueryService::SubmitInternal(ServiceQuery query,
   Status valid = Validate(query);
   if (!valid.ok()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.rejected;
+    ++stats_.rejected_invalid;
     return ResolvedWith(std::move(valid));
   }
 
   Task task;
   task.query = std::move(query);
-  task.enqueued = std::chrono::steady_clock::now();
+  task.enqueued = clock_->Now();
   std::future<QueryResult> future = task.promise.get_future();
   {
     // Count the query as pending before pushing so Drain can never observe
@@ -160,18 +189,48 @@ std::future<QueryResult> QueryService::SubmitInternal(ServiceQuery query,
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++pending_;
   }
-  const bool accepted = blocking ? queue_.Push(std::move(task))
-                                 : queue_.TryPush(std::move(task));
+  // A deadline bounds the admission wait too: blocking backpressure may
+  // park the caller only until the query's own budget runs out. (The
+  // deadline is in the service clock's domain; the admission wait itself
+  // uses the real condition-variable clock, which coincides except under
+  // a test VirtualClock — where queues never fill for long anyway.)
+  const CancelToken* token = task.query.cancel.get();
+  bool accepted = false;
+  bool admission_expired = false;
+  if (blocking && token != nullptr && token->has_deadline()) {
+    switch (queue_.PushUntil(std::move(task), token->deadline())) {
+      case BoundedWorkQueue<Task>::PushOutcome::kAccepted:
+        accepted = true;
+        break;
+      case BoundedWorkQueue<Task>::PushOutcome::kTimedOut:
+        admission_expired = true;
+        break;
+      case BoundedWorkQueue<Task>::PushOutcome::kClosed:
+        break;
+    }
+  } else {
+    accepted = blocking ? queue_.Push(std::move(task))
+                        : queue_.TryPush(std::move(task));
+  }
   if (!accepted) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.rejected;
+      if (admission_expired) {
+        ++stats_.deadline_exceeded;
+      } else {
+        ++stats_.rejected_overload;
+      }
       --pending_;
     }
     drained_cv_.notify_all();
     QueryResult result;
-    result.status = Status::Unavailable(
-        queue_.closed() ? "service is shut down" : "queue is full");
+    if (admission_expired) {
+      result.status = Status::DeadlineExceeded(
+          "deadline expired while waiting for admission");
+    } else {
+      result.status = Status::Unavailable(
+          queue_.closed() ? "service is shut down" : "queue is full");
+    }
     task.promise.set_value(std::move(result));
   }
   return future;
@@ -202,13 +261,23 @@ void QueryService::Drain() {
 }
 
 void QueryService::Shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(lifecycle_mu_);
-    if (shut_down_) return;
-    shut_down_ = true;
+  std::unique_lock<std::mutex> lock(lifecycle_mu_);
+  if (lifecycle_ == Lifecycle::kDone) return;
+  if (lifecycle_ == Lifecycle::kShuttingDown) {
+    // Another caller is joining the workers; Shutdown is a barrier, so
+    // wait for that join to finish instead of returning early.
+    shutdown_done_cv_.wait(lock,
+                           [this] { return lifecycle_ == Lifecycle::kDone; });
+    return;
   }
+  lifecycle_ = Lifecycle::kShuttingDown;
+  lock.unlock();
   queue_.Close();  // workers drain the remaining queue, then exit
   for (std::thread& w : workers_) w.join();
+  lock.lock();
+  lifecycle_ = Lifecycle::kDone;
+  lock.unlock();
+  shutdown_done_cv_.notify_all();
 }
 
 ServiceStats QueryService::Stats() const {
@@ -220,6 +289,11 @@ ServiceStats QueryService::Stats() const {
   snapshot.retries = policy_cache_->retries();
   snapshot.corruptions_detected = policy_cache_->corruptions_detected();
   snapshot.quarantined_bitmaps = policy_cache_->quarantined_count();
+  if (breaker_ != nullptr) {
+    snapshot.breaker_opens = breaker_->opens();
+    snapshot.breaker_open_seconds = breaker_->OpenSecondsTotal(clock_->Now());
+    snapshot.breaker_state = static_cast<uint32_t>(breaker_->state());
+  }
   return snapshot;
 }
 
@@ -230,10 +304,30 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
   exec_options.disk = options_.disk;
   exec_options.strategy = options_.strategy;
   exec_options.cold_pool_per_query = false;  // the pool is shared and warm
+  exec_options.clock = clock_;
   QueryExecutor executor(index_, exec_options, policy_cache_.get());
   while (true) {
     std::optional<Task> task = queue_.Pop();
     if (!task.has_value()) break;  // closed and drained: deterministic exit
+    const ClockInterface::TimePoint now = clock_->Now();
+    if (breaker_ != nullptr) breaker_->Poll(now);
+    // Queue-side shedding: a task whose budget already ran out while
+    // queued resolves typed without executing — under overload, work that
+    // can no longer meet its deadline is pure waste.
+    const CancelToken* token = task->query.cancel.get();
+    if (token != nullptr) {
+      Status budget = token->CheckAt(now);
+      if (!budget.ok()) {
+        const bool deadline_miss =
+            budget.code() == Status::Code::kDeadlineExceeded;
+        ResolveShed(&*task, std::move(budget));
+        if (breaker_ != nullptr && deadline_miss &&
+            breaker_->RecordOutcome(/*failure=*/true, now)) {
+          ShedForBrownout();
+        }
+        continue;
+      }
+    }
     QueryResult result = Execute(&executor, *task);
     // Record before resolving the future, so a caller that waited on the
     // result is guaranteed to see its query in the service counters.
@@ -245,7 +339,8 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
 QueryResult QueryService::Execute(QueryExecutor* executor, const Task& task) {
   using Clock = std::chrono::steady_clock;
   QueryResult result;
-  result.metrics.queue_seconds = SecondsBetween(task.enqueued, Clock::now());
+  result.metrics.queue_seconds = SecondsBetween(task.enqueued, clock_->Now());
+  const CancelToken* cancel = task.query.cancel.get();
 
   executor->ResetStats();
   const auto t0 = Clock::now();
@@ -253,10 +348,10 @@ QueryResult QueryService::Execute(QueryExecutor* executor, const Task& task) {
   if (task.query.kind == ServiceQuery::Kind::kInterval) {
     exprs.push_back(executor->Rewrite(task.query.interval));
   } else {
-    exprs = executor->RewriteMembership(task.query.values);
+    exprs = executor->RewriteMembership(task.query.values, cancel);
   }
   const auto t1 = Clock::now();
-  Result<Bitvector> rows = executor->TryEvaluateRewritten(exprs);
+  Result<Bitvector> rows = executor->TryEvaluateRewritten(exprs, cancel);
   const auto t2 = Clock::now();
 
   result.metrics.rewrite_seconds = SecondsBetween(t0, t1);
@@ -267,7 +362,9 @@ QueryResult QueryService::Execute(QueryExecutor* executor, const Task& task) {
     result.status = Status::OK();
   } else {
     // Degraded completion: the query ran (and its metrics stand) but
-    // resolves with the storage failure instead of rows.
+    // resolves with the storage failure — or its expired/cancelled budget
+    // — instead of rows. The partial IoStats of the work done before the
+    // cutoff stays recorded.
     result.status = rows.status();
   }
   return result;
@@ -279,6 +376,10 @@ void QueryService::RecordCompletion(const QueryResult& result) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.completed;
     if (!result.status.ok()) ++stats_.degraded_queries;
+    if (result.status.code() == Status::Code::kDeadlineExceeded) {
+      ++stats_.deadline_exceeded;
+    }
+    if (result.status.code() == Status::Code::kCancelled) ++stats_.cancelled;
     stats_.io.Add(metrics.io);
     stats_.queue_seconds_total += metrics.queue_seconds;
     stats_.rewrite_seconds_total += metrics.rewrite_seconds;
@@ -287,6 +388,67 @@ void QueryService::RecordCompletion(const QueryResult& result) {
     --pending_;
   }
   drained_cv_.notify_all();
+  if (breaker_ != nullptr) {
+    // Overload signals only: retryable fetch failures (the storm the
+    // breaker exists to damp) and deadline misses. Corruption, validation
+    // and cancellation say nothing about load.
+    const bool failure =
+        result.status.code() == Status::Code::kUnavailable ||
+        result.status.code() == Status::Code::kDeadlineExceeded;
+    if (breaker_->RecordOutcome(failure, clock_->Now())) ShedForBrownout();
+  }
+}
+
+void QueryService::ResolveShed(Task* task, Status status) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shed_in_queue;
+    if (status.code() == Status::Code::kDeadlineExceeded) {
+      ++stats_.deadline_exceeded;
+    }
+    if (status.code() == Status::Code::kCancelled) ++stats_.cancelled;
+    --pending_;
+  }
+  drained_cv_.notify_all();
+  QueryResult result;
+  result.status = std::move(status);
+  result.metrics.queue_seconds =
+      SecondsBetween(task->enqueued, clock_->Now());
+  task->promise.set_value(std::move(result));
+}
+
+void QueryService::ShedForBrownout() {
+  const ClockInterface::TimePoint now = clock_->Now();
+  const size_t backlog = queue_.size();
+  const size_t target = static_cast<size_t>(std::ceil(
+      static_cast<double>(backlog) * options_.brownout.shed_fraction));
+  if (target == 0) return;
+  // Least remaining deadline first: those entries are the least likely to
+  // finish in time, so shedding them converts certain deadline misses into
+  // immediate, retryable rejections. Unbounded queries have infinite slack
+  // and go last.
+  std::vector<Task> shed = queue_.ShedLowestScored(
+      target, [now](const Task& t) {
+        const CancelToken* token = t.query.cancel.get();
+        if (token == nullptr || !token->has_deadline()) {
+          return std::numeric_limits<double>::infinity();
+        }
+        return token->RemainingSeconds(now);
+      });
+  if (shed.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.shed_in_queue += shed.size();
+    pending_ -= shed.size();
+  }
+  drained_cv_.notify_all();
+  for (Task& task : shed) {
+    QueryResult result;
+    result.status =
+        Status::Unavailable("shed by overload breaker (brownout)");
+    result.metrics.queue_seconds = SecondsBetween(task.enqueued, now);
+    task.promise.set_value(std::move(result));
+  }
 }
 
 }  // namespace bix

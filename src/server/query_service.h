@@ -12,21 +12,33 @@
 
 #include "index/bitmap_index.h"
 #include "query/executor.h"
+#include "server/brownout.h"
 #include "server/metrics.h"
 #include "server/sharded_cache.h"
 #include "server/work_queue.h"
+#include "util/cancel_token.h"
+#include "util/clock.h"
 #include "util/status.h"
 
 namespace bix {
 
 // One query as submitted to the service: either an interval query
-// "lo <= A <= hi" or a membership query "A in {values}".
+// "lo <= A <= hi" or a membership query "A in {values}", optionally
+// carrying a deadline/cancellation budget.
 struct ServiceQuery {
   enum class Kind : uint8_t { kInterval, kMembership };
 
   Kind kind = Kind::kInterval;
   IntervalQuery interval;
   std::vector<uint32_t> values;  // membership only
+  // Deadline + cooperative cancel handle (nullable = unbounded). The
+  // service checks it while the query waits for admission, at dequeue
+  // (queue-side shedding), and before every bitmap fetch during
+  // evaluation; the client keeps its copy of the shared_ptr to Cancel() a
+  // queued or running query. Deadlines must be time_points of the
+  // service's clock (real steady_clock unless ServiceOptions::clock says
+  // otherwise).
+  std::shared_ptr<CancelToken> cancel;
 
   static ServiceQuery Interval(IntervalQuery q) {
     ServiceQuery sq;
@@ -40,16 +52,28 @@ struct ServiceQuery {
     sq.values = std::move(values);
     return sq;
   }
+
+  ServiceQuery& WithCancel(std::shared_ptr<CancelToken> token) {
+    cancel = std::move(token);
+    return *this;
+  }
+  // Convenience: a fresh token expiring `seconds` from now on the real
+  // steady clock.
+  ServiceQuery& WithTimeout(double seconds) {
+    return WithCancel(CancelToken::WithTimeout(seconds));
+  }
 };
 
 // The service's answer: resolved rows plus the per-query cost breakdown.
 // `status` is Unavailable when the query was rejected by admission control,
-// the service was shutting down, or a storage read stayed unavailable past
-// the retry budget; InvalidArgument for malformed queries; Corruption when
-// a bitmap this query needed failed its integrity check (or was already
-// quarantined by an earlier failure). `rows` is meaningful only when
-// status.ok(); `metrics` also covers degraded queries (the work done
-// before the failure).
+// the service was shutting down, shed by the overload breaker, or a storage
+// read stayed unavailable past the retry budget; InvalidArgument for
+// malformed queries; Corruption when a bitmap this query needed failed its
+// integrity check (or was already quarantined by an earlier failure);
+// DeadlineExceeded when the query's time budget ran out (while queued, at
+// admission, or mid-evaluation); Cancelled when the caller cancelled it.
+// `rows` is meaningful only when status.ok(); `metrics` also covers
+// degraded queries (the work done before the failure).
 struct QueryResult {
   Status status;
   Bitvector rows;
@@ -82,6 +106,20 @@ struct ServiceOptions {
   // (chaos tests, resilience benches). Not owned; must outlive the
   // service. nullptr serves clean.
   FaultInjector* fault_injector = nullptr;
+
+  // Time model (DESIGN.md section 11). `clock` is the single time source
+  // for queue timestamps, deadline checks, retry backoff, modeled I/O
+  // latency, and the breaker dwell — nullptr means the real steady clock;
+  // tests pass a VirtualClock so chaos/deadline suites run in simulated
+  // time. Not owned; must outlive the service.
+  ClockInterface* clock = nullptr;
+  // Adaptive overload control: when the rolling fraction of retryable
+  // fetch failures or deadline misses crosses brownout.open_threshold, the
+  // service temporarily cuts the retry budget and sheds the queued entries
+  // with the least remaining deadline, reopening via half-open probes.
+  // Enabled by default; set brownout.enabled = false for the exact
+  // unthrottled degradation accounting of section 10.
+  BrownoutOptions brownout;
 };
 
 // A concurrent query service over one immutable BitmapIndex: a bounded
@@ -110,7 +148,10 @@ class QueryService {
 
   // Blocking admission (backpressure): waits for queue space. The future
   // resolves when a worker finishes the query. After Shutdown, resolves
-  // immediately with Unavailable.
+  // immediately with Unavailable. A query carrying a deadline waits for
+  // admission at most until that deadline (then resolves
+  // DeadlineExceeded), so blocking admission can never park a caller
+  // forever behind a full queue.
   std::future<QueryResult> Submit(ServiceQuery query);
 
   // Non-blocking admission control: when the queue is full (or the service
@@ -127,7 +168,9 @@ class QueryService {
   void Drain();
 
   // Deterministic shutdown: stops admitting, lets workers finish every
-  // already-queued query, joins all workers. Idempotent.
+  // already-queued query, joins all workers. Idempotent AND a barrier for
+  // every caller: concurrent callers all block until the workers are
+  // joined, not just the one that got there first.
   void Shutdown();
 
   // Point-in-time aggregate counters (thread-safe).
@@ -155,10 +198,18 @@ class QueryService {
   void WorkerLoop(uint32_t worker_id);
   QueryResult Execute(QueryExecutor* executor, const Task& task);
   void RecordCompletion(const QueryResult& result);
+  // Resolves a dequeued-but-not-executed task with `status` (queue-side
+  // shedding: expired/cancelled at dequeue).
+  void ResolveShed(Task* task, Status status);
+  // Sheds the lowest-remaining-deadline fraction of the queue when the
+  // breaker opens; shed tasks resolve Unavailable without executing.
+  void ShedForBrownout();
 
   const BitmapIndex* index_;
   const ServiceOptions options_;
+  ClockInterface* const clock_;
   std::unique_ptr<ShardedBitmapCache> cache_;
+  std::unique_ptr<BrownoutBreaker> breaker_;  // null when brownout disabled
   std::unique_ptr<FaultPolicyCache> policy_cache_;
   BoundedWorkQueue<Task> queue_;
   std::vector<std::thread> workers_;
@@ -170,8 +221,14 @@ class QueryService {
   uint64_t pending_ = 0;
   std::condition_variable drained_cv_;
 
+  // Shutdown is a barrier: the first caller joins the workers, every
+  // concurrent or later caller waits on shutdown_done_cv_ until the join
+  // has completed (returning early would let a caller observe a service
+  // whose workers are still running).
   std::mutex lifecycle_mu_;
-  bool shut_down_ = false;
+  enum class Lifecycle : uint8_t { kRunning, kShuttingDown, kDone };
+  Lifecycle lifecycle_ = Lifecycle::kRunning;
+  std::condition_variable shutdown_done_cv_;
 };
 
 }  // namespace bix

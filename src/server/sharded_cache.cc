@@ -1,19 +1,18 @@
 #include "server/sharded_cache.h"
 
-#include <chrono>
-#include <thread>
-
 namespace bix {
 
 ShardedBitmapCache::ShardedBitmapCache(const BitmapStore* store,
                                        uint64_t pool_bytes,
                                        uint32_t num_shards, DiskModel disk,
-                                       double io_latency_scale)
+                                       double io_latency_scale,
+                                       ClockInterface* clock)
     : store_(store),
       pool_bytes_(pool_bytes),
       shard_pool_bytes_(num_shards == 0 ? 0 : pool_bytes / num_shards),
       disk_(disk),
-      io_latency_scale_(io_latency_scale) {
+      io_latency_scale_(io_latency_scale),
+      clock_(clock != nullptr ? clock : RealClock::Get()) {
   BIX_CHECK(store != nullptr);
   BIX_CHECK(num_shards > 0);
   shards_.reserve(num_shards);
@@ -22,7 +21,14 @@ ShardedBitmapCache::ShardedBitmapCache(const BitmapStore* store,
   }
 }
 
-Result<Bitvector> ShardedBitmapCache::TryFetch(BitmapKey key, IoStats* stats) {
+Result<Bitvector> ShardedBitmapCache::TryFetch(BitmapKey key, IoStats* stats,
+                                               const CancelToken* cancel) {
+  // Fetch-granularity budget check: a query past its deadline (or
+  // cancelled) stops here, before paying for a hit copy or a modeled read.
+  if (cancel != nullptr) {
+    Status budget = cancel->CheckAt(clock_->Now());
+    if (!budget.ok()) return budget;
+  }
   ++stats->scans;
   Shard& shard = ShardFor(key);
 
@@ -69,8 +75,7 @@ Result<Bitvector> ShardedBitmapCache::TryFetch(BitmapKey key, IoStats* stats) {
     if (!shard.read_before.insert(key.Packed()).second) ++stats->rescans;
   }
   if (io_latency_scale_ > 0.0) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>((io_s + decode_s) * io_latency_scale_));
+    clock_->SleepFor((io_s + decode_s) * io_latency_scale_, cancel);
   }
   if (injector_ != nullptr) {
     switch (injector_->OnRead(key)) {
@@ -85,8 +90,7 @@ Result<Bitvector> ShardedBitmapCache::TryFetch(BitmapKey key, IoStats* stats) {
         return TryMaterializeBlob(corrupt);
       }
       case FaultInjector::Fault::kLatencySpike:
-        std::this_thread::sleep_for(std::chrono::duration<double>(
-            injector_->latency_spike_seconds()));
+        clock_->SleepFor(injector_->latency_spike_seconds(), cancel);
         break;
       case FaultInjector::Fault::kNone:
         break;

@@ -13,6 +13,7 @@
 #include "storage/bitmap_store.h"
 #include "storage/disk_model.h"
 #include "storage/io_stats.h"
+#include "util/clock.h"
 
 namespace bix {
 
@@ -45,9 +46,14 @@ namespace bix {
 // exactly like two concurrent misses against a real buffer pool).
 class ShardedBitmapCache : public BitmapCacheInterface {
  public:
+  // `clock` (nullable => RealClock) provides the modeled-latency and
+  // injected-latency-spike sleeps, so tests on a VirtualClock simulate
+  // slow reads in zero wall-clock time; sleeps are cancellable by the
+  // fetching query's CancelToken.
   ShardedBitmapCache(const BitmapStore* store, uint64_t pool_bytes,
                      uint32_t num_shards, DiskModel disk = DiskModel{},
-                     double io_latency_scale = 0.0);
+                     double io_latency_scale = 0.0,
+                     ClockInterface* clock = nullptr);
 
   ShardedBitmapCache(const ShardedBitmapCache&) = delete;
   ShardedBitmapCache& operator=(const ShardedBitmapCache&) = delete;
@@ -57,8 +63,12 @@ class ShardedBitmapCache : public BitmapCacheInterface {
   // the integrity-checked materialization (blob checksum + validating
   // decode): corrupt stored bytes surface as Corruption for this fetch
   // only and are never inserted into a shard, so cached hits are always
-  // verified bitmaps.
-  Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats) override;
+  // verified bitmaps. An expired/cancelled `cancel` token fails the fetch
+  // up front with the token's typed status (deadline checks happen at
+  // fetch granularity).
+  Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats,
+                             const CancelToken* cancel) override;
+  using BitmapCacheInterface::TryFetch;
   void DropPool() override;
 
   // Plugs deterministic fault injection into the miss (disk read) path.
@@ -106,6 +116,7 @@ class ShardedBitmapCache : public BitmapCacheInterface {
   const uint64_t shard_pool_bytes_;  // per-shard budget
   const DiskModel disk_;
   const double io_latency_scale_;
+  ClockInterface* const clock_;
   FaultInjector* injector_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
 };

@@ -1,12 +1,16 @@
 #ifndef BIX_SERVER_WORK_QUEUE_H_
 #define BIX_SERVER_WORK_QUEUE_H_
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "util/check.h"
 
@@ -56,6 +60,29 @@ class BoundedWorkQueue {
     return true;
   }
 
+  enum class PushOutcome { kAccepted, kClosed, kTimedOut };
+
+  // Blocking admission with an absolute deadline: waits for a free slot at
+  // most until `deadline`, so a producer with a query deadline can never
+  // be parked forever behind a full queue. An already-expired deadline
+  // still admits when there is space (the expiry is then handled at
+  // dequeue, the shedding point); it only refuses to *wait*. The item is
+  // left intact unless kAccepted.
+  PushOutcome PushUntil(T&& item,
+                        std::chrono::steady_clock::time_point deadline) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      const bool ready = producer_cv_.wait_until(
+          lock, deadline,
+          [this] { return closed_ || items_.size() < capacity_; });
+      if (!ready) return PushOutcome::kTimedOut;
+      if (closed_) return PushOutcome::kClosed;
+      items_.push_back(std::move(item));
+    }
+    consumer_cv_.notify_one();
+    return PushOutcome::kAccepted;
+  }
+
   // Blocks until an item is available or the queue is closed and empty
   // (then returns nullopt, telling the worker to exit).
   std::optional<T> Pop() {
@@ -69,6 +96,40 @@ class BoundedWorkQueue {
     }
     producer_cv_.notify_one();
     return item;
+  }
+
+  // Overload shedding: removes up to `max_items` queued entries, choosing
+  // the ones with the *smallest* score first (the service scores by
+  // remaining deadline, so the entries least likely to finish in time are
+  // shed before entries with slack). Returns the removed items so the
+  // caller can resolve their promises with a typed status. `score` is
+  // called under the queue lock and must be cheap and non-blocking.
+  template <typename ScoreFn>
+  std::vector<T> ShedLowestScored(size_t max_items, ScoreFn score) {
+    std::vector<T> shed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const size_t n = items_.size();
+      if (max_items == 0 || n == 0) return shed;
+      std::vector<std::pair<double, size_t>> scored;
+      scored.reserve(n);
+      for (size_t i = 0; i < n; ++i) scored.push_back({score(items_[i]), i});
+      const size_t count = max_items < n ? max_items : n;
+      std::partial_sort(scored.begin(), scored.begin() + count, scored.end());
+      // Remove by index, highest first, so earlier removals don't shift
+      // the indices still to be removed.
+      std::vector<size_t> victims;
+      victims.reserve(count);
+      for (size_t i = 0; i < count; ++i) victims.push_back(scored[i].second);
+      std::sort(victims.begin(), victims.end(), std::greater<size_t>());
+      shed.reserve(count);
+      for (size_t idx : victims) {
+        shed.push_back(std::move(items_[idx]));
+        items_.erase(items_.begin() + static_cast<ptrdiff_t>(idx));
+      }
+    }
+    producer_cv_.notify_all();  // freed capacity
+    return shed;
   }
 
   // Rejects all future pushes and wakes blocked producers/consumers.

@@ -5,7 +5,12 @@
 
 namespace bix {
 
-Result<Bitvector> BitmapCache::TryFetch(BitmapKey key, IoStats* stats) {
+Result<Bitvector> BitmapCache::TryFetch(BitmapKey key, IoStats* stats,
+                                        const CancelToken* cancel) {
+  if (cancel != nullptr) {
+    Status budget = cancel->Check();
+    if (!budget.ok()) return budget;
+  }
   ++stats->scans;
   Result<const BitmapStore::Blob*> blob_r = store_->TryGetBlob(key);
   if (!blob_r.ok()) return blob_r.status();

@@ -10,6 +10,7 @@
 #include "storage/disk_model.h"
 #include "storage/fault_injector.h"
 #include "storage/io_stats.h"
+#include "util/cancel_token.h"
 
 namespace bix {
 
@@ -30,7 +31,16 @@ class BitmapCacheInterface {
   // Corruption for a checksum mismatch or malformed stored stream,
   // Unavailable for an injected transient read error. Nothing is cached on
   // failure, so a transient error leaves the pool clean for a retry.
-  virtual Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats) = 0;
+  //
+  // `cancel` (nullable) is the query's deadline/cancellation budget,
+  // checked before the fetch does any work: an expired or cancelled query
+  // gets DeadlineExceeded/Cancelled back instead of paying for another
+  // read — the fetch is the serving stack's cancellation granularity.
+  virtual Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats,
+                                     const CancelToken* cancel) = 0;
+  Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats) {
+    return TryFetch(key, stats, nullptr);
+  }
 
   // Abort-on-error convenience for trusted paths (benches, the paper
   // reproduction pipeline, tests over freshly built indexes).
@@ -67,7 +77,9 @@ class BitmapCache : public BitmapCacheInterface {
   // BitmapCacheInterface: accounts the scan into *stats. Materialization
   // is integrity-checked (blob checksum + validating decode), so corrupt
   // stored bytes surface as Corruption for this fetch only.
-  Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats) override;
+  Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats,
+                             const CancelToken* cancel) override;
+  using BitmapCacheInterface::TryFetch;
   using BitmapCacheInterface::Fetch;
 
   // Convenience for single-owner callers: accounts into the internal

@@ -1,0 +1,110 @@
+#ifndef BIX_UTIL_CANCEL_TOKEN_H_
+#define BIX_UTIL_CANCEL_TOKEN_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <memory>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace bix {
+
+// A query's time-and-cancellation budget: an optional absolute deadline
+// (fixed at construction) plus a cooperative cancel flag that any thread
+// may raise. The token is *checked* cooperatively — the serving stack
+// consults it at bitmap-fetch granularity (work queue dequeue, every cache
+// fetch, every retry/backoff step), so an expired or cancelled query stops
+// doing work within one fetch of the event instead of running to
+// completion.
+//
+// Deadlines are time_points in the domain of whichever ClockInterface the
+// checking code uses (util/clock.h): real steady_clock in production,
+// virtual time in tests. Construct the deadline from the same clock's
+// Now().
+//
+// Thread-safe. Shared between the submitting client (which may Cancel())
+// and the worker evaluating the query via std::shared_ptr.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  explicit CancelToken(Clock::time_point deadline)
+      : has_deadline_(true), deadline_(deadline) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // A cancellable token with no deadline.
+  static std::shared_ptr<CancelToken> Manual() {
+    return std::make_shared<CancelToken>();
+  }
+  static std::shared_ptr<CancelToken> WithDeadline(Clock::time_point deadline) {
+    return std::make_shared<CancelToken>(deadline);
+  }
+  // Deadline relative to the *real* steady clock. Tests driving a
+  // VirtualClock should use WithDeadline(clock->Now() + budget) instead.
+  static std::shared_ptr<CancelToken> WithTimeout(double seconds) {
+    return std::make_shared<CancelToken>(
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds)));
+  }
+
+  // Raises the cancel flag (idempotent) and wakes any cancellable sleep
+  // currently blocked in WaitForCancel (e.g. a retry backoff).
+  void Cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cancelled_.store(true, std::memory_order_release);
+    }
+    cv_.notify_all();
+  }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  bool ExpiredAt(Clock::time_point now) const {
+    return has_deadline_ && now >= deadline_;
+  }
+  double RemainingSeconds(Clock::time_point now) const {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(deadline_ - now).count();
+  }
+
+  // The token's verdict at `now`: OK while live, Cancelled once the flag
+  // is raised, DeadlineExceeded once past the deadline. Cancellation wins
+  // ties — it is explicit caller intent.
+  Status CheckAt(Clock::time_point now) const {
+    if (cancelled()) return Status::Cancelled("query was cancelled");
+    if (ExpiredAt(now)) return Status::DeadlineExceeded("query deadline exceeded");
+    return Status::OK();
+  }
+  // Convenience against the real steady clock.
+  Status Check() const { return CheckAt(Clock::now()); }
+
+  // Blocks for up to `seconds` of *real* time, returning early (true) as
+  // soon as the token is cancelled. RealClock::SleepFor routes retry
+  // backoffs through this so a Cancel() interrupts the sleep instead of
+  // waiting it out.
+  bool WaitForCancel(double seconds) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                        [this] { return cancelled(); });
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  const bool has_deadline_ = false;
+  const Clock::time_point deadline_{};
+  // Only for waking cancellable sleeps; the flag itself is the atomic.
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_UTIL_CANCEL_TOKEN_H_

@@ -1,0 +1,29 @@
+#include "util/clock.h"
+
+#include <thread>
+
+namespace bix {
+
+RealClock* RealClock::Get() {
+  static RealClock instance;
+  return &instance;
+}
+
+void RealClock::SleepFor(double seconds, const CancelToken* cancel) {
+  if (seconds <= 0.0) return;
+  if (cancel == nullptr) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    return;
+  }
+  // Sleeping past the deadline is wasted time: the very next token check
+  // fails anyway, so cap the wait at the remaining budget.
+  double wait = seconds;
+  if (cancel->has_deadline()) {
+    const double remaining = cancel->RemainingSeconds(Now());
+    if (remaining <= 0.0) return;
+    if (remaining < wait) wait = remaining;
+  }
+  cancel->WaitForCancel(wait);
+}
+
+}  // namespace bix

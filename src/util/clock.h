@@ -1,0 +1,91 @@
+#ifndef BIX_UTIL_CLOCK_H_
+#define BIX_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <mutex>
+
+#include "util/cancel_token.h"
+
+namespace bix {
+
+// Time source + sleep hook for everything in the serving stack that reads
+// a clock or waits (deadline checks, retry backoff, modeled I/O latency,
+// the brownout breaker's open timer). Production uses the RealClock
+// singleton; tests substitute a VirtualClock so chaos and deadline suites
+// run in simulated time — no real sleep_for, no timing flakiness.
+//
+// All time_points are in std::chrono::steady_clock's representation;
+// VirtualClock simply starts at an arbitrary epoch and advances only via
+// SleepFor/Advance. CancelToken deadlines must be built from the same
+// clock's Now().
+class ClockInterface {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  virtual ~ClockInterface() = default;
+
+  virtual TimePoint Now() const = 0;
+
+  // Blocks (or simulates blocking) for up to `seconds`. Returns early when
+  // `cancel` is (or becomes) cancelled, so backoff sleeps never outlive the
+  // query that scheduled them. `cancel` may be nullptr.
+  virtual void SleepFor(double seconds, const CancelToken* cancel) = 0;
+  void SleepFor(double seconds) { SleepFor(seconds, nullptr); }
+};
+
+// Wall-clock implementation over std::chrono::steady_clock. Stateless;
+// use the shared singleton.
+class RealClock : public ClockInterface {
+ public:
+  static RealClock* Get();
+
+  TimePoint Now() const override { return std::chrono::steady_clock::now(); }
+  void SleepFor(double seconds, const CancelToken* cancel) override;
+  using ClockInterface::SleepFor;
+};
+
+// Deterministic test clock: Now() returns a manually advanced time_point
+// and SleepFor advances it instantly (zero wall-clock), honouring
+// cancellation. Thread-safe; workers sharing one VirtualClock serialize
+// their advances, so single-worker tests see a fully deterministic
+// timeline.
+class VirtualClock : public ClockInterface {
+ public:
+  VirtualClock() = default;
+
+  TimePoint Now() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+  }
+
+  // A cancelled token's sleep is a no-op (the sleeper wakes "immediately"),
+  // mirroring RealClock's early return; otherwise virtual time jumps by the
+  // full duration.
+  void SleepFor(double seconds, const CancelToken* cancel) override {
+    if (cancel != nullptr && cancel->cancelled()) return;
+    Advance(seconds);
+  }
+  using ClockInterface::SleepFor;
+
+  void Advance(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ += std::chrono::duration_cast<TimePoint::duration>(
+        std::chrono::duration<double>(seconds));
+    slept_seconds_ += seconds;
+  }
+
+  // Total simulated time spent in SleepFor/Advance (assertion hook).
+  double slept_seconds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return slept_seconds_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  TimePoint now_{};  // arbitrary fixed epoch
+  double slept_seconds_ = 0.0;
+};
+
+}  // namespace bix
+
+#endif  // BIX_UTIL_CLOCK_H_

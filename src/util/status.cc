@@ -16,6 +16,10 @@ std::string Status::ToString() const {
       return "NotSupported: " + message_;
     case Code::kUnavailable:
       return "Unavailable: " + message_;
+    case Code::kDeadlineExceeded:
+      return "DeadlineExceeded: " + message_;
+    case Code::kCancelled:
+      return "Cancelled: " + message_;
   }
   return "Unknown";
 }

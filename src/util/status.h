@@ -20,7 +20,9 @@ class Status {
     kOutOfRange,
     kCorruption,
     kNotSupported,
-    kUnavailable,  // transient overload/shutdown; the caller may retry
+    kUnavailable,       // transient overload/shutdown; the caller may retry
+    kDeadlineExceeded,  // the operation's time budget ran out
+    kCancelled,         // the caller cooperatively cancelled the operation
   };
 
   Status() : code_(Code::kOk) {}
@@ -41,12 +43,22 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(Code::kUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
   // True for transient errors where retrying the same operation can
   // succeed (overload, injected read faults). Corruption and validation
   // failures are permanent: retrying re-reads the same bad bytes.
+  // DeadlineExceeded and Cancelled are deliberately NOT retryable: the
+  // query's time budget is spent (retrying under the same deadline fails
+  // again immediately) and a cancellation is caller intent, so the retry
+  // loop must stop instead of burning more attempts.
   bool IsRetryable() const { return code_ == Code::kUnavailable; }
   const std::string& message() const { return message_; }
 

@@ -102,7 +102,7 @@ TEST(ServerStressTest, EightWorkersBitIdenticalToSingleThread) {
   service.Drain();
   ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.completed, setup.queries.size());
-  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.rejected_total(), 0u);
   EXPECT_EQ(stats.io.scans, stats.io.pool_hits + stats.io.disk_reads);
   EXPECT_GT(stats.io.pool_hits, 0u);  // workers actually shared the cache
   EXPECT_EQ(stats.latency.count(), setup.queries.size());
@@ -163,7 +163,7 @@ TEST(ServerStressTest, AdmissionControlRejectsWhenQueueIsFull) {
   EXPECT_GT(rejected, 0u);  // and shed load instead of queueing 32 deep
   ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.submitted, 32u);
-  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.rejected_overload, rejected);
   EXPECT_EQ(stats.completed, ok);
 }
 

@@ -297,7 +297,7 @@ TEST_F(QueryServiceTest, ServiceStatsRollUpPerQueryBlocks) {
   ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.submitted, 3u);
   EXPECT_EQ(stats.completed, 3u);
-  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.rejected_total(), 0u);
   EXPECT_EQ(stats.io.scans, scans);  // field-by-field roll-up
   EXPECT_EQ(stats.latency.count(), 3u);
   // The repeated interval query hits bitmaps its first run fetched.
@@ -319,7 +319,7 @@ TEST_F(QueryServiceTest, InvalidQueriesAreRejectedWithStatus) {
   EXPECT_EQ(empty.status.code(), Status::Code::kInvalidArgument);
   ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.submitted, 3u);
-  EXPECT_EQ(stats.rejected, 3u);
+  EXPECT_EQ(stats.rejected_invalid, 3u);
   EXPECT_EQ(stats.completed, 0u);
 }
 
@@ -352,6 +352,32 @@ TEST_F(QueryServiceTest, ShutdownDrainsQueuedQueries) {
   EXPECT_EQ(service->Stats().completed, 10u);
 }
 
+TEST_F(QueryServiceTest, ConcurrentShutdownIsABarrierForEveryCaller) {
+  // Regression: Shutdown used to return immediately for the second caller
+  // while the first was still joining workers, so the loser of the race
+  // could observe a "shut down" service with queries still completing.
+  // Both callers must block until the drain has finished.
+  ServiceOptions options = SmallService();
+  options.num_workers = 1;  // keep a real backlog for Shutdown to drain
+  options.queue_capacity = 32;
+  QueryService service(&*index_, options);
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(
+        service.Submit(ServiceQuery::Interval(IntervalQuery{0, 10, false})));
+  }
+  std::vector<std::thread> callers;
+  for (int i = 0; i < 2; ++i) {
+    callers.emplace_back([&service] {
+      service.Shutdown();
+      // The barrier property: whoever returns, the drain is complete.
+      EXPECT_EQ(service.Stats().completed, 20u);
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (auto& f : futures) EXPECT_TRUE(f.get().status.ok());
+}
+
 TEST_F(QueryServiceTest, FacadeServeValidatesOptions) {
   ServiceOptions bad = SmallService();
   bad.num_workers = 0;
@@ -362,6 +388,14 @@ TEST_F(QueryServiceTest, FacadeServeValidatesOptions) {
   bad = SmallService();
   bad.cache_shards = 0;
   EXPECT_FALSE(Serve(&*index_, bad).ok());
+  bad = SmallService();
+  bad.brownout.open_threshold = 1.5;  // breaker would BIX_CHECK-abort
+  EXPECT_FALSE(Serve(&*index_, bad).ok());
+  bad = SmallService();
+  bad.brownout.min_samples = bad.brownout.window + 1;
+  EXPECT_FALSE(Serve(&*index_, bad).ok());
+  bad.brownout.enabled = false;  // disabled: breaker config is ignored
+  EXPECT_TRUE(Serve(&*index_, bad).ok());
   EXPECT_FALSE(Serve(nullptr, SmallService()).ok());
 
   Result<std::unique_ptr<QueryService>> service = Serve(&*index_, SmallService());

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "util/cancel_token.h"
+#include "util/clock.h"
 #include "util/crc32c.h"
 #include "util/math.h"
 #include "util/rng.h"
@@ -33,6 +38,8 @@ TEST(StatusTest, AllErrorCodesRender) {
   EXPECT_EQ(Status::Corruption("y").ToString(), "Corruption: y");
   EXPECT_EQ(Status::NotSupported("z").ToString(), "NotSupported: z");
   EXPECT_EQ(Status::Unavailable("u").ToString(), "Unavailable: u");
+  EXPECT_EQ(Status::DeadlineExceeded("d").ToString(), "DeadlineExceeded: d");
+  EXPECT_EQ(Status::Cancelled("c").ToString(), "Cancelled: c");
 }
 
 TEST(StatusTest, OnlyUnavailableIsRetryable) {
@@ -42,6 +49,10 @@ TEST(StatusTest, OnlyUnavailableIsRetryable) {
   EXPECT_FALSE(Status::OutOfRange("x").IsRetryable());
   EXPECT_FALSE(Status::Corruption("y").IsRetryable());
   EXPECT_FALSE(Status::NotSupported("z").IsRetryable());
+  // An exhausted time budget or an explicit cancel must terminate retry
+  // loops, not feed them: retrying cannot un-expire a deadline.
+  EXPECT_FALSE(Status::DeadlineExceeded("d").IsRetryable());
+  EXPECT_FALSE(Status::Cancelled("c").IsRetryable());
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -156,6 +167,82 @@ TEST(RngTest, UniformDoubleInUnitInterval) {
     EXPECT_GE(v, 0.0);
     EXPECT_LT(v, 1.0);
   }
+}
+
+TEST(CancelTokenTest, ManualTokenNeverExpiresUntilCancelled) {
+  auto token = CancelToken::Manual();
+  EXPECT_FALSE(token->has_deadline());
+  EXPECT_FALSE(token->cancelled());
+  EXPECT_TRUE(token->Check().ok());
+  const auto now = std::chrono::steady_clock::now();
+  EXPECT_FALSE(token->ExpiredAt(now + std::chrono::hours(1000)));
+  EXPECT_TRUE(std::isinf(token->RemainingSeconds(now)));
+
+  token->Cancel();
+  EXPECT_TRUE(token->cancelled());
+  EXPECT_EQ(token->Check().code(), Status::Code::kCancelled);
+  token->Cancel();  // idempotent
+  EXPECT_EQ(token->Check().code(), Status::Code::kCancelled);
+}
+
+TEST(CancelTokenTest, DeadlineVerdictFlipsExactlyAtDeadline) {
+  const CancelToken::Clock::time_point t0{};
+  const auto deadline = t0 + std::chrono::milliseconds(10);
+  auto token = CancelToken::WithDeadline(deadline);
+  EXPECT_TRUE(token->has_deadline());
+  EXPECT_TRUE(token->CheckAt(t0).ok());
+  EXPECT_FALSE(token->ExpiredAt(deadline - std::chrono::nanoseconds(1)));
+  EXPECT_TRUE(token->ExpiredAt(deadline));  // inclusive: now >= deadline
+  EXPECT_EQ(token->CheckAt(deadline).code(), Status::Code::kDeadlineExceeded);
+  EXPECT_NEAR(token->RemainingSeconds(t0), 10e-3, 1e-12);
+  EXPECT_LT(token->RemainingSeconds(deadline + std::chrono::milliseconds(5)),
+            0.0);
+  // Cancellation wins ties with an expired deadline (explicit intent).
+  token->Cancel();
+  EXPECT_EQ(token->CheckAt(deadline).code(), Status::Code::kCancelled);
+}
+
+TEST(CancelTokenTest, WaitForCancelWakesOnCancel) {
+  auto token = CancelToken::Manual();
+  // Expired wait without a cancel: runs the full (tiny) duration.
+  EXPECT_FALSE(token->WaitForCancel(1e-3));
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token->Cancel();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(token->WaitForCancel(30.0));  // returns long before 30s
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(10));
+  canceller.join();
+  // Already-cancelled: returns immediately.
+  EXPECT_TRUE(token->WaitForCancel(30.0));
+}
+
+TEST(VirtualClockTest, AdvancesOnlyOnDemand) {
+  VirtualClock clock;
+  const auto t0 = clock.Now();
+  EXPECT_EQ(clock.Now(), t0);  // no background flow of time
+  clock.SleepFor(1.5);
+  EXPECT_EQ(std::chrono::duration<double>(clock.Now() - t0).count(), 1.5);
+  clock.Advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.slept_seconds(), 2.0);
+
+  // A cancelled token's sleep is a no-op — simulated time must not jump
+  // past the cancellation.
+  auto token = CancelToken::Manual();
+  token->Cancel();
+  const auto before = clock.Now();
+  clock.SleepFor(100.0, token.get());
+  EXPECT_EQ(clock.Now(), before);
+}
+
+TEST(RealClockTest, SleepForHonoursCancellation) {
+  RealClock* clock = RealClock::Get();
+  auto token = CancelToken::Manual();
+  token->Cancel();
+  const auto t0 = clock->Now();
+  clock->SleepFor(30.0, token.get());  // pre-cancelled: returns immediately
+  EXPECT_LT(std::chrono::duration<double>(clock->Now() - t0).count(), 5.0);
 }
 
 }  // namespace
