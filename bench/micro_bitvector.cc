@@ -78,6 +78,129 @@ void BM_Count(benchmark::State& state) {
 }
 BENCHMARK(BM_Count)->Arg(1 << 20);
 
+// Fused k-ary kernels vs the naive copy-then-fold composition. The naive
+// variant is exactly what the evaluator used to do: copy the first operand,
+// then one full pass (load+store) per remaining operand. The fused kernel
+// makes a single pass reading all k operands per word.
+void BM_AndManyNaive(benchmark::State& state) {
+  const uint64_t bits = state.range(0);
+  const size_t k = state.range(1);
+  std::vector<Bitvector> ops;
+  for (size_t i = 0; i < k; ++i) ops.push_back(MakeRandom(bits, 0.5, i + 1));
+  for (auto _ : state) {
+    Bitvector r = ops[0];
+    for (size_t i = 1; i < k; ++i) r.AndWith(ops[i]);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(state.iterations() * (bits / 8) * k);
+}
+BENCHMARK(BM_AndManyNaive)
+    ->Args({1 << 20, 2})->Args({1 << 20, 4})->Args({1 << 20, 8})
+    ->Args({6 << 20, 4});
+
+void BM_AndManyFused(benchmark::State& state) {
+  const uint64_t bits = state.range(0);
+  const size_t k = state.range(1);
+  std::vector<Bitvector> ops;
+  for (size_t i = 0; i < k; ++i) ops.push_back(MakeRandom(bits, 0.5, i + 1));
+  std::vector<const Bitvector*> ptrs;
+  for (const Bitvector& op : ops) ptrs.push_back(&op);
+  Bitvector out;
+  for (auto _ : state) {
+    Bitvector::AndManyInto(ptrs, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * (bits / 8) * k);
+}
+BENCHMARK(BM_AndManyFused)
+    ->Args({1 << 20, 2})->Args({1 << 20, 4})->Args({1 << 20, 8})
+    ->Args({6 << 20, 4});
+
+void BM_OrManyNaive(benchmark::State& state) {
+  const uint64_t bits = state.range(0);
+  const size_t k = state.range(1);
+  std::vector<Bitvector> ops;
+  for (size_t i = 0; i < k; ++i) ops.push_back(MakeRandom(bits, 0.1, i + 1));
+  for (auto _ : state) {
+    Bitvector r = ops[0];
+    for (size_t i = 1; i < k; ++i) r.OrWith(ops[i]);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(state.iterations() * (bits / 8) * k);
+}
+BENCHMARK(BM_OrManyNaive)->Args({1 << 20, 4})->Args({1 << 20, 8});
+
+void BM_OrManyFused(benchmark::State& state) {
+  const uint64_t bits = state.range(0);
+  const size_t k = state.range(1);
+  std::vector<Bitvector> ops;
+  for (size_t i = 0; i < k; ++i) ops.push_back(MakeRandom(bits, 0.1, i + 1));
+  std::vector<const Bitvector*> ptrs;
+  for (const Bitvector& op : ops) ptrs.push_back(&op);
+  Bitvector out;
+  for (auto _ : state) {
+    Bitvector::OrManyInto(ptrs, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * (bits / 8) * k);
+}
+BENCHMARK(BM_OrManyFused)->Args({1 << 20, 4})->Args({1 << 20, 8});
+
+// a AND NOT b: the two-pass Not-then-And vs the fused single pass.
+void BM_AndNotNaive(benchmark::State& state) {
+  const uint64_t bits = state.range(0);
+  Bitvector a = MakeRandom(bits, 0.5, 1);
+  Bitvector b = MakeRandom(bits, 0.5, 2);
+  for (auto _ : state) {
+    Bitvector nb = b;
+    nb.NotSelf();
+    Bitvector r = a;
+    r.AndWith(nb);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(state.iterations() * (bits / 8) * 2);
+}
+BENCHMARK(BM_AndNotNaive)->Arg(1 << 20);
+
+void BM_AndNotFused(benchmark::State& state) {
+  const uint64_t bits = state.range(0);
+  Bitvector a = MakeRandom(bits, 0.5, 1);
+  Bitvector b = MakeRandom(bits, 0.5, 2);
+  for (auto _ : state) {
+    Bitvector r = a;
+    r.AndNotWith(b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(state.iterations() * (bits / 8) * 2);
+}
+BENCHMARK(BM_AndNotFused)->Arg(1 << 20);
+
+// COUNT(a AND b): separate And-then-Count passes vs the fused popcount.
+void BM_AndCountNaive(benchmark::State& state) {
+  const uint64_t bits = state.range(0);
+  Bitvector a = MakeRandom(bits, 0.5, 1);
+  Bitvector b = MakeRandom(bits, 0.5, 2);
+  for (auto _ : state) {
+    Bitvector r = a;
+    r.AndWith(b);
+    benchmark::DoNotOptimize(r.Count());
+  }
+  state.SetBytesProcessed(state.iterations() * (bits / 8) * 2);
+}
+BENCHMARK(BM_AndCountNaive)->Arg(1 << 20);
+
+void BM_AndCountFused(benchmark::State& state) {
+  const uint64_t bits = state.range(0);
+  Bitvector a = MakeRandom(bits, 0.5, 1);
+  Bitvector b = MakeRandom(bits, 0.5, 2);
+  for (auto _ : state) {
+    Bitvector r = a;
+    benchmark::DoNotOptimize(r.AndWithCount(b));
+  }
+  state.SetBytesProcessed(state.iterations() * (bits / 8) * 2);
+}
+BENCHMARK(BM_AndCountFused)->Arg(1 << 20);
+
 void BM_SetBits(benchmark::State& state) {
   const uint64_t bits = 1 << 20;
   Rng rng(3);

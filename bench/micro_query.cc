@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "query/executor.h"
+#include "server/sharded_cache.h"
 #include "workload/column_gen.h"
 
 namespace bix {
@@ -30,6 +31,27 @@ struct Fixture {
   }
 };
 
+// Reports bitmap bytes copied per iteration via the global copy-stat
+// tripwire — the zero-copy pipeline's headline number. Call right before
+// the timed loop and again after it.
+class CopyCounter {
+ public:
+  explicit CopyCounter(benchmark::State& state) : state_(state) {
+    BitvectorCopyStats::Reset();
+  }
+  ~CopyCounter() {
+    state_.counters["copy_bytes_per_query"] = benchmark::Counter(
+        static_cast<double>(BitvectorCopyStats::bytes()) /
+        static_cast<double>(state_.iterations() ? state_.iterations() : 1));
+    state_.counters["copies_per_query"] = benchmark::Counter(
+        static_cast<double>(BitvectorCopyStats::copies()) /
+        static_cast<double>(state_.iterations() ? state_.iterations() : 1));
+  }
+
+ private:
+  benchmark::State& state_;
+};
+
 void BM_IntervalQuery(benchmark::State& state) {
   Fixture& fx = Fixture::Get();
   BitmapIndex& index = *fx.indexes[state.range(0)];
@@ -37,6 +59,7 @@ void BM_IntervalQuery(benchmark::State& state) {
   opts.cold_pool_per_query = false;  // measure CPU, not the cost model
   QueryExecutor exec(&index, opts);
   uint32_t lo = 10;
+  CopyCounter copies(state);
   for (auto _ : state) {
     Bitvector r = exec.EvaluateInterval({lo, lo + 17});
     benchmark::DoNotOptimize(r);
@@ -54,6 +77,7 @@ void BM_MembershipQuery(benchmark::State& state) {
   opts.cold_pool_per_query = false;
   QueryExecutor exec(&index, opts);
   const std::vector<uint32_t> values = {6, 19, 20, 21, 22, 35};
+  CopyCounter copies(state);
   for (auto _ : state) {
     Bitvector r = exec.EvaluateMembership(values);
     benchmark::DoNotOptimize(r);
@@ -62,6 +86,50 @@ void BM_MembershipQuery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MembershipQuery)->DenseRange(0, 6);
+
+// The serving path's steady state: all leaves resident in the shared
+// decoded cache, component-wise evaluation over borrowed handles. This is
+// the configuration the zero-copy rewrite targets — copy_bytes_per_query
+// reports 0 on the equality path and stays flat as k grows.
+void BM_CachedMembership(benchmark::State& state) {
+  Fixture& fx = Fixture::Get();
+  BitmapIndex& index = *fx.indexes[state.range(0)];
+  ShardedBitmapCache cache(&index.store(), 64ull << 20, 8);
+  ExecutorOptions opts;
+  opts.cold_pool_per_query = false;
+  QueryExecutor exec(&index, opts, &cache);
+  const std::vector<uint32_t> values = {6, 19, 20, 21, 22, 35};
+  auto exprs = exec.RewriteMembership(values);
+  exec.EvaluateRewritten(exprs);  // warm the cache
+  CopyCounter copies(state);
+  for (auto _ : state) {
+    Bitvector r = exec.EvaluateRewritten(exprs);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(EncodingKindName(AllEncodingKinds()[state.range(0)]));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CachedMembership)->DenseRange(0, 6);
+
+// COUNT(*) without materializing the result bitmap.
+void BM_CachedMembershipCount(benchmark::State& state) {
+  Fixture& fx = Fixture::Get();
+  BitmapIndex& index = *fx.indexes[state.range(0)];
+  ShardedBitmapCache cache(&index.store(), 64ull << 20, 8);
+  ExecutorOptions opts;
+  opts.cold_pool_per_query = false;
+  QueryExecutor exec(&index, opts, &cache);
+  const std::vector<uint32_t> values = {6, 19, 20, 21, 22, 35};
+  auto exprs = exec.RewriteMembership(values);
+  exec.EvaluateRewritten(exprs);  // warm the cache
+  CopyCounter copies(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.EvaluateCountRewritten(exprs));
+  }
+  state.SetLabel(EncodingKindName(AllEncodingKinds()[state.range(0)]));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CachedMembershipCount)->DenseRange(0, 6);
 
 void BM_RewriteOnly(benchmark::State& state) {
   Fixture& fx = Fixture::Get();

@@ -1,11 +1,40 @@
 #include "bitvector/bitvector.h"
 
+#include <algorithm>
+
 namespace bix {
+
+std::atomic<uint64_t> BitvectorCopyStats::copies_{0};
+std::atomic<uint64_t> BitvectorCopyStats::bytes_{0};
+
+uint64_t BitvectorCopyStats::copies() {
+  return copies_.load(std::memory_order_relaxed);
+}
+
+uint64_t BitvectorCopyStats::bytes() {
+  return bytes_.load(std::memory_order_relaxed);
+}
+
+void BitvectorCopyStats::Reset() {
+  copies_.store(0, std::memory_order_relaxed);
+  bytes_.store(0, std::memory_order_relaxed);
+}
+
+void BitvectorCopyStats::Record(uint64_t byte_count) {
+  copies_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(byte_count, std::memory_order_relaxed);
+}
 
 Bitvector Bitvector::FromPositions(uint64_t size,
                                    const std::vector<uint64_t>& positions) {
   Bitvector bv(size);
-  for (uint64_t p : positions) bv.Set(p);
+  for (uint64_t p : positions) {
+    // Positions are often data-dependent (RID lists, decoded payloads), so
+    // the bound must hold in Release builds: Set's BIX_DCHECK compiles away
+    // there and an oversized position would write out of bounds.
+    BIX_CHECK_MSG(p < size, "FromPositions position out of range");
+    bv.Set(p);
+  }
   return bv;
 }
 
@@ -28,6 +57,13 @@ uint64_t Bitvector::Count() const {
   return total;
 }
 
+bool Bitvector::AllZero() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
 void Bitvector::AndWith(const Bitvector& other) {
   BIX_CHECK(size_ == other.size_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
@@ -43,9 +79,126 @@ void Bitvector::XorWith(const Bitvector& other) {
   for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
 }
 
+void Bitvector::AndNotWith(const Bitvector& other) {
+  BIX_CHECK(size_ == other.size_);
+  // other's trailing padding is zero, so ~other has trailing ones — and-ing
+  // them in cannot set bits past size_.
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+uint64_t Bitvector::AndWithCount(const Bitvector& other) {
+  BIX_CHECK(size_ == other.size_);
+  uint64_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    const uint64_t w = words_[i] & other.words_[i];
+    words_[i] = w;
+    total += static_cast<uint64_t>(__builtin_popcountll(w));
+  }
+  return total;
+}
+
 void Bitvector::NotSelf() {
   for (uint64_t& w : words_) w = ~w;
   ClearTrailingBits();
+}
+
+void Bitvector::NotInto(const Bitvector& src, Bitvector* out) {
+  BIX_CHECK(out != nullptr);
+  // Writing the complement into a (possibly fresh) destination rather than
+  // copy-then-NotSelf: the evaluator uses this to negate a borrowed cache
+  // handle without a payload copy. out == &src degrades to NotSelf.
+  out->Resize(src.size_);
+  for (size_t i = 0; i < src.words_.size(); ++i) {
+    out->words_[i] = ~src.words_[i];
+  }
+  out->ClearTrailingBits();
+}
+
+uint64_t Bitvector::AndCount(const Bitvector& a, const Bitvector& b) {
+  BIX_CHECK(a.size_ == b.size_);
+  uint64_t total = 0;
+  for (size_t i = 0; i < a.words_.size(); ++i) {
+    total +=
+        static_cast<uint64_t>(__builtin_popcountll(a.words_[i] & b.words_[i]));
+  }
+  return total;
+}
+
+namespace {
+
+// Shared shape checks for the fused kernels: equal operand sizes, and the
+// output resized to match (a same-size resize of an aliasing output is a
+// no-op, so aliasing stays safe).
+void PrepareFusedOut(const std::vector<const Bitvector*>& operands,
+                     Bitvector* out) {
+  BIX_CHECK(!operands.empty());
+  BIX_CHECK(out != nullptr);
+  const uint64_t size = operands[0]->size();
+  for (const Bitvector* op : operands) BIX_CHECK(op->size() == size);
+  out->Resize(size);
+}
+
+}  // namespace
+
+namespace {
+
+// The fused kernels fold k operands block by block through an L1-resident
+// accumulator. A per-word inner loop over k indirect operand pointers
+// defeats auto-vectorization; per-operand passes over a 4 KiB stack block
+// keep the simple two-pointer loop shape the vectorizer handles, while the
+// block granularity keeps DRAM traffic at one read of each operand plus
+// one write of the output (the win over the k-pass naive fold once the
+// working set spills the cache). The accumulator is flushed to `out` only
+// after every operand's block has been read, so the output may alias any
+// operand.
+constexpr size_t kFuseBlockWords = 512;  // 4 KiB
+
+template <typename Fold>
+void FuseBlocked(const std::vector<const Bitvector*>& operands,
+                 std::vector<uint64_t>* out_words, Fold fold) {
+  const size_t k = operands.size();
+  const size_t nw = out_words->size();
+  uint64_t block[kFuseBlockWords];
+  for (size_t base = 0; base < nw; base += kFuseBlockWords) {
+    const size_t n = std::min(kFuseBlockWords, nw - base);
+    const uint64_t* src0 = operands[0]->words().data() + base;
+    for (size_t w = 0; w < n; ++w) block[w] = src0[w];
+    for (size_t i = 1; i < k; ++i) {
+      const uint64_t* src = operands[i]->words().data() + base;
+      fold(block, src, n);
+    }
+    uint64_t* dst = out_words->data() + base;
+    for (size_t w = 0; w < n; ++w) dst[w] = block[w];
+  }
+}
+
+}  // namespace
+
+void Bitvector::AndManyInto(const std::vector<const Bitvector*>& operands,
+                            Bitvector* out) {
+  PrepareFusedOut(operands, out);
+  FuseBlocked(operands, &out->words_,
+              [](uint64_t* acc, const uint64_t* src, size_t n) {
+                for (size_t w = 0; w < n; ++w) acc[w] &= src[w];
+              });
+}
+
+void Bitvector::OrManyInto(const std::vector<const Bitvector*>& operands,
+                           Bitvector* out) {
+  PrepareFusedOut(operands, out);
+  FuseBlocked(operands, &out->words_,
+              [](uint64_t* acc, const uint64_t* src, size_t n) {
+                for (size_t w = 0; w < n; ++w) acc[w] |= src[w];
+              });
+}
+
+void Bitvector::XorManyInto(const std::vector<const Bitvector*>& operands,
+                            Bitvector* out) {
+  PrepareFusedOut(operands, out);
+  FuseBlocked(operands, &out->words_,
+              [](uint64_t* acc, const uint64_t* src, size_t n) {
+                for (size_t w = 0; w < n; ++w) acc[w] ^= src[w];
+              });
 }
 
 Bitvector Bitvector::And(const Bitvector& a, const Bitvector& b) {

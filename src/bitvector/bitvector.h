@@ -1,12 +1,34 @@
 #ifndef BIX_BITVECTOR_BITVECTOR_H_
 #define BIX_BITVECTOR_BITVECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "util/check.h"
 
 namespace bix {
+
+// Global copy accounting for the zero-copy evaluation pipeline: every copy
+// construction/assignment of a Bitvector bumps these counters (relaxed
+// atomics — one add per copy, noise next to the memcpy it measures). The
+// tripwire tests pin the evaluator's copy count so an accidental by-value
+// fetch cannot silently return, and bench/micro_query reports bytes copied
+// per query from the same counters.
+class BitvectorCopyStats {
+ public:
+  // Number of copy constructions/assignments since Reset().
+  static uint64_t copies();
+  // Total payload bytes those copies transferred.
+  static uint64_t bytes();
+  static void Reset();
+
+ private:
+  friend class Bitvector;
+  static void Record(uint64_t byte_count);
+  static std::atomic<uint64_t> copies_;
+  static std::atomic<uint64_t> bytes_;
+};
 
 // An uncompressed (verbatim) bitmap over the records of a relation: bit i
 // corresponds to record i (paper, Section 1). Storage is a dense array of
@@ -22,12 +44,24 @@ class Bitvector {
   // Creates a bitmap of `size` bits, all zero.
   explicit Bitvector(uint64_t size) : size_(size), words_(WordCount(size)) {}
 
-  Bitvector(const Bitvector&) = default;
-  Bitvector& operator=(const Bitvector&) = default;
+  // Copies are counted (see BitvectorCopyStats); moves are free.
+  Bitvector(const Bitvector& o) : size_(o.size_), words_(o.words_) {
+    BitvectorCopyStats::Record(o.byte_size());
+  }
+  Bitvector& operator=(const Bitvector& o) {
+    if (this != &o) {
+      size_ = o.size_;
+      words_ = o.words_;
+      BitvectorCopyStats::Record(o.byte_size());
+    }
+    return *this;
+  }
   Bitvector(Bitvector&&) = default;
   Bitvector& operator=(Bitvector&&) = default;
 
-  // Builds a bitmap with exactly the given bit positions set.
+  // Builds a bitmap with exactly the given bit positions set. Every
+  // position must be < size (BIX_CHECK — positions are often data-dependent,
+  // so the guard must hold in Release builds too).
   static Bitvector FromPositions(uint64_t size,
                                  const std::vector<uint64_t>& positions);
   // All-ones bitmap of `size` bits.
@@ -54,6 +88,9 @@ class Bitvector {
 
   // Number of set bits.
   uint64_t Count() const;
+  // True when no bit is set (early-outs on the first nonzero word; the
+  // evaluator uses it to short-circuit AND chains).
+  bool AllZero() const;
 
   // Grows or shrinks to `new_size` bits; new bits are zero, truncated bits
   // are discarded (trailing padding stays clear).
@@ -63,8 +100,35 @@ class Bitvector {
   void AndWith(const Bitvector& other);
   void OrWith(const Bitvector& other);
   void XorWith(const Bitvector& other);
+  // this &= ~other (one pass; the naive spelling Not + And costs two).
+  void AndNotWith(const Bitvector& other);
+  // this &= other, returning the popcount of the result from the same pass
+  // over the words (COUNT queries fold the count into the last combine
+  // instead of re-reading the result).
+  uint64_t AndWithCount(const Bitvector& other);
   // In-place complement; trailing bits beyond size() stay zero.
   void NotSelf();
+  // *out = ~src without copying src first (out is resized to match and may
+  // alias src). This is how NOT over a borrowed cache handle stays
+  // zero-copy: the complement is written straight into fresh scratch.
+  static void NotInto(const Bitvector& src, Bitvector* out);
+  // popcount(a & b) without materializing the conjunction anywhere — the
+  // count-only path for two borrowed handles.
+  static uint64_t AndCount(const Bitvector& a, const Bitvector& b);
+
+  // Fused k-ary kernels: *out = op(*operands[0], ..., *operands[k-1]) in a
+  // single pass over the words — each word is read from all k operands and
+  // written once, instead of k separate load/op/store passes over the whole
+  // accumulator (the paper's combine step is bandwidth-bound, so pass count
+  // is what the fused form buys back). All operands must share one size;
+  // `out` is resized to match and may alias one of the operands (each word
+  // is fully read before it is written).
+  static void AndManyInto(const std::vector<const Bitvector*>& operands,
+                          Bitvector* out);
+  static void OrManyInto(const std::vector<const Bitvector*>& operands,
+                         Bitvector* out);
+  static void XorManyInto(const std::vector<const Bitvector*>& operands,
+                          Bitvector* out);
 
   // Value-returning counterparts.
   static Bitvector And(const Bitvector& a, const Bitvector& b);

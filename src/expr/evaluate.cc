@@ -1,70 +1,172 @@
 #include "expr/evaluate.h"
 
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "util/check.h"
 
 namespace bix {
 namespace {
 
+// A node's value during evaluation: a borrowed shared handle (leaf/memo —
+// immutable, owned by the cache) or an owned scratch buffer the evaluator
+// may mutate and reuse as a fused-kernel destination.
+struct Value {
+  std::shared_ptr<const Bitvector> shared;  // non-null when borrowed
+  Bitvector owned;                          // meaningful when !shared
+
+  const Bitvector& view() const { return shared ? *shared : owned; }
+  bool owns() const { return shared == nullptr; }
+
+  static Value Borrowed(std::shared_ptr<const Bitvector> bv) {
+    Value v;
+    v.shared = std::move(bv);
+    return v;
+  }
+  static Value Owned(Bitvector bv) {
+    Value v;
+    v.owned = std::move(bv);
+    return v;
+  }
+};
+
 class Evaluator {
  public:
-  Evaluator(uint64_t row_count, const LeafFetcher& fetch)
+  Evaluator(uint64_t row_count, const SharedLeafFetcher& fetch)
       : row_count_(row_count), fetch_(fetch) {}
 
-  Bitvector Eval(const ExprPtr& e) {
+  Value Eval(const ExprPtr& e) {
     switch (e->op) {
       case ExprOp::kConst:
-        return e->const_value ? Bitvector::AllOnes(row_count_)
-                              : Bitvector(row_count_);
+        return Value::Owned(e->const_value ? Bitvector::AllOnes(row_count_)
+                                           : Bitvector(row_count_));
       case ExprOp::kLeaf:
-        return FetchMemoized(e->leaf);
+        return Value::Borrowed(FetchMemoized(e->leaf));
       case ExprOp::kNot: {
-        Bitvector r = Eval(e->children[0]);
-        r.NotSelf();
-        return r;
+        // NOT needs a private buffer: reuse the child's scratch when it
+        // owns one, otherwise write the complement of the borrowed leaf
+        // straight into fresh scratch (never copy-then-flip).
+        Value child = Eval(e->children[0]);
+        if (child.owns()) {
+          child.owned.NotSelf();
+          return child;
+        }
+        Bitvector r;
+        Bitvector::NotInto(*child.shared, &r);
+        return Value::Owned(std::move(r));
       }
       case ExprOp::kAnd:
       case ExprOp::kOr:
-      case ExprOp::kXor: {
-        Bitvector acc = Eval(e->children[0]);
-        for (size_t i = 1; i < e->children.size(); ++i) {
-          Bitvector rhs = Eval(e->children[i]);
-          if (e->op == ExprOp::kAnd) {
-            acc.AndWith(rhs);
-          } else if (e->op == ExprOp::kOr) {
-            acc.OrWith(rhs);
-          } else {
-            acc.XorWith(rhs);
-          }
-        }
-        return acc;
-      }
+      case ExprOp::kXor:
+        return EvalNary(e);
     }
     BIX_CHECK(false);
-    return Bitvector(row_count_);
+    return Value::Owned(Bitvector(row_count_));
+  }
+
+  // Count of the root's result without materializing a copy for the
+  // caller. Leaf roots count the handle in place; a binary AND root folds
+  // the popcount into its combine pass.
+  uint64_t EvalCount(const ExprPtr& e) {
+    if (e->op == ExprOp::kLeaf) return FetchMemoized(e->leaf)->Count();
+    if (e->op == ExprOp::kAnd && e->children.size() == 2) {
+      Value a = Eval(e->children[0]);
+      if (a.view().AllZero()) return 0;  // short-circuit: skip the sibling
+      Value b = Eval(e->children[1]);
+      // AndWithCount mutates its receiver: use whichever side owns scratch.
+      // Two borrowed leaves need no scratch at all — AndCount popcounts the
+      // conjunction without materializing it.
+      if (a.owns()) return a.owned.AndWithCount(b.view());
+      if (b.owns()) return b.owned.AndWithCount(a.view());
+      return Bitvector::AndCount(*a.shared, *b.shared);
+    }
+    return Eval(e).view().Count();
   }
 
  private:
-  Bitvector FetchMemoized(BitmapKey key) {
-    auto it = cache_.find(key.Packed());
-    if (it != cache_.end()) return it->second;
-    Bitvector bv = fetch_(key);
-    BIX_CHECK_MSG(bv.size() == row_count_, "leaf bitmap size mismatch");
-    cache_.emplace(key.Packed(), bv);
+  Value EvalNary(const ExprPtr& e) {
+    // Depth-first over the children, keeping every result as a handle. AND
+    // chains short-circuit: once any child is all-zero the conjunction is
+    // empty, and the remaining children (and their fetches) are skipped.
+    std::vector<Value> vals;
+    vals.reserve(e->children.size());
+    for (const ExprPtr& c : e->children) {
+      vals.push_back(Eval(c));
+      if (e->op == ExprOp::kAnd && vals.back().view().AllZero()) {
+        return Value::Owned(Bitvector(row_count_));
+      }
+    }
+    // One fused pass over all k children. Reuse the first owned child's
+    // buffer as the destination (the kernels read each word from every
+    // operand before writing it, so aliasing is safe); allocate only when
+    // every child is a borrowed leaf.
+    size_t dst = vals.size();
+    for (size_t i = 0; i < vals.size(); ++i) {
+      if (vals[i].owns()) {
+        dst = i;
+        break;
+      }
+    }
+    Bitvector out;
+    if (dst < vals.size()) out = std::move(vals[dst].owned);
+    std::vector<const Bitvector*> ops(vals.size());
+    for (size_t i = 0; i < vals.size(); ++i) {
+      ops[i] = (i == dst) ? &out : &vals[i].view();
+    }
+    switch (e->op) {
+      case ExprOp::kAnd:
+        Bitvector::AndManyInto(ops, &out);
+        break;
+      case ExprOp::kOr:
+        Bitvector::OrManyInto(ops, &out);
+        break;
+      default:
+        Bitvector::XorManyInto(ops, &out);
+        break;
+    }
+    return Value::Owned(std::move(out));
+  }
+
+  std::shared_ptr<const Bitvector> FetchMemoized(BitmapKey key) {
+    auto it = memo_.find(key.Packed());
+    if (it != memo_.end()) return it->second;
+    std::shared_ptr<const Bitvector> bv = fetch_(key);
+    BIX_CHECK(bv != nullptr);
+    BIX_CHECK_MSG(bv->size() == row_count_, "leaf bitmap size mismatch");
+    memo_.emplace(key.Packed(), bv);
     return bv;
   }
 
   uint64_t row_count_;
-  const LeafFetcher& fetch_;
-  std::unordered_map<uint64_t, Bitvector> cache_;
+  const SharedLeafFetcher& fetch_;
+  // The memo stores handles, so a leaf referenced by several subexpressions
+  // is fetched once and never copied to be handed out again.
+  std::unordered_map<uint64_t, std::shared_ptr<const Bitvector>> memo_;
 };
 
 }  // namespace
 
+EvalResult EvaluateExprShared(const ExprPtr& expr, uint64_t row_count,
+                              const SharedLeafFetcher& fetch) {
+  Evaluator ev(row_count, fetch);
+  Value v = ev.Eval(expr);
+  if (v.owns()) return EvalResult(std::move(v.owned));
+  return EvalResult(std::move(v.shared));
+}
+
+uint64_t EvaluateExprSharedCount(const ExprPtr& expr, uint64_t row_count,
+                                 const SharedLeafFetcher& fetch) {
+  return Evaluator(row_count, fetch).EvalCount(expr);
+}
+
 Bitvector EvaluateExpr(const ExprPtr& expr, uint64_t row_count,
                        const LeafFetcher& fetch) {
-  return Evaluator(row_count, fetch).Eval(expr);
+  SharedLeafFetcher shared_fetch =
+      [&fetch](BitmapKey key) -> std::shared_ptr<const Bitvector> {
+    return std::make_shared<const Bitvector>(fetch(key));
+  };
+  return EvaluateExprShared(expr, row_count, shared_fetch).Take();
 }
 
 }  // namespace bix

@@ -2,6 +2,7 @@
 #define BIX_EXPR_EVALUATE_H_
 
 #include <functional>
+#include <memory>
 
 #include "bitvector/bitvector.h"
 #include "expr/bitmap_expr.h"
@@ -12,10 +13,65 @@ namespace bix {
 // production and by plain maps in tests.
 using LeafFetcher = std::function<Bitvector(BitmapKey)>;
 
+// Zero-copy leaf supply: the fetcher hands back a shared handle to the
+// decoded bitmap (the cache's own resident entry, or a freshly decoded
+// buffer), and the evaluator treats it as immutable — a leaf is never
+// copied just to be combined.
+using SharedLeafFetcher =
+    std::function<std::shared_ptr<const Bitvector>(BitmapKey)>;
+
+// The result of a zero-copy evaluation: either a scratch buffer the
+// evaluator built (owned — Take() moves it out for free) or a borrowed
+// handle straight from the fetcher (a pure-leaf expression — Take() pays
+// the one unavoidable copy, Count()/view() pay nothing).
+class EvalResult {
+ public:
+  EvalResult(Bitvector owned) : owned_(std::move(owned)) {}  // NOLINT
+  EvalResult(std::shared_ptr<const Bitvector> borrowed)      // NOLINT
+      : borrowed_(std::move(borrowed)) {}
+
+  EvalResult(EvalResult&&) = default;
+  EvalResult& operator=(EvalResult&&) = default;
+
+  const Bitvector& view() const { return borrowed_ ? *borrowed_ : owned_; }
+  bool borrowed() const { return borrowed_ != nullptr; }
+  uint64_t Count() const { return view().Count(); }
+  // Moves the owned buffer out, or copies a borrowed handle (the only copy
+  // a leaf-rooted expression ever pays, and only when the caller needs a
+  // private materialized result).
+  Bitvector Take() && {
+    if (borrowed_) return *borrowed_;
+    return std::move(owned_);
+  }
+
+ private:
+  Bitvector owned_;
+  std::shared_ptr<const Bitvector> borrowed_;
+};
+
 // Evaluates an expression over bitmaps of `row_count` bits. Each *distinct*
 // leaf is fetched exactly once per call (the fetcher is memoized), matching
 // the paper's assumption that a query evaluation scans each needed bitmap
 // once given sufficient buffer space.
+//
+// The evaluation is destructive over shared handles: leaves flow through as
+// borrowed pointers, n-ary nodes feed the fused k-ary kernels (one pass
+// over k operands) reusing a child's scratch buffer as the destination, and
+// AND chains stop evaluating children once the accumulator is provably
+// empty.
+EvalResult EvaluateExprShared(const ExprPtr& expr, uint64_t row_count,
+                              const SharedLeafFetcher& fetch);
+
+// Count-only evaluation: the popcount of the expression's result without
+// handing back a bitmap. Pure-leaf roots count the fetched handle directly
+// and binary-AND roots fold the count into the combine pass
+// (Bitvector::AndWithCount); everything else counts the scratch
+// accumulator in place.
+uint64_t EvaluateExprSharedCount(const ExprPtr& expr, uint64_t row_count,
+                                 const SharedLeafFetcher& fetch);
+
+// By-value compatibility wrapper over EvaluateExprShared (tests and
+// examples; the fetcher's return value is moved, not copied).
 Bitvector EvaluateExpr(const ExprPtr& expr, uint64_t row_count,
                        const LeafFetcher& fetch);
 

@@ -49,6 +49,11 @@ std::vector<ExprPtr> QueryExecutor::RewriteMembership(
 }
 
 Bitvector QueryExecutor::EvaluateInterval(IntervalQuery q) {
+  // Same bounds contract as EvaluateMembership: out-of-domain intervals are
+  // a programming error, checked at the public entry (not deep in the
+  // rewrite where the failure mode is a wrong answer or a huge loop).
+  BIX_CHECK_MSG(q.lo <= q.hi, "interval lo > hi");
+  BIX_CHECK(q.hi < index_->decomposition().cardinality());
   return EvaluateRewritten({Rewrite(q)});
 }
 
@@ -104,9 +109,17 @@ QueryExecutor::QueryPlan QueryExecutor::ExplainMembership(
 
 QueryExecutor::QueryPlan QueryExecutor::ExplainInterval(
     IntervalQuery q) const {
-  std::vector<uint32_t> values;
-  for (uint32_t v = q.lo; v <= q.hi; ++v) values.push_back(v);
+  // Preconditions first: the negated check must not run after the value
+  // list is built, and the bounds must be validated before they drive the
+  // loop — `v <= q.hi` over uint32_t never terminates for
+  // q.hi == UINT32_MAX, so the loop variable is widened too.
   BIX_CHECK_MSG(!q.negated, "ExplainInterval handles positive intervals");
+  BIX_CHECK_MSG(q.lo <= q.hi, "interval lo > hi");
+  BIX_CHECK(q.hi < index_->decomposition().cardinality());
+  std::vector<uint32_t> values;
+  for (uint64_t v = q.lo; v <= q.hi; ++v) {
+    values.push_back(static_cast<uint32_t>(v));
+  }
   return ExplainMembership(values);
 }
 
@@ -161,8 +174,27 @@ Bitvector QueryExecutor::EvaluateRewritten(
   return TryEvaluateRewritten(exprs).value();
 }
 
+uint64_t QueryExecutor::EvaluateCountRewritten(
+    const std::vector<ExprPtr>& exprs) {
+  return TryEvaluateCountRewritten(exprs).value();
+}
+
 Result<Bitvector> QueryExecutor::TryEvaluateRewritten(
     const std::vector<ExprPtr>& exprs, const CancelToken* cancel) {
+  return EvalCore(exprs, cancel, /*count_out=*/nullptr);
+}
+
+Result<uint64_t> QueryExecutor::TryEvaluateCountRewritten(
+    const std::vector<ExprPtr>& exprs, const CancelToken* cancel) {
+  uint64_t count = 0;
+  Result<Bitvector> r = EvalCore(exprs, cancel, &count);
+  if (!r.ok()) return r.status();
+  return count;
+}
+
+Result<Bitvector> QueryExecutor::EvalCore(const std::vector<ExprPtr>& exprs,
+                                          const CancelToken* cancel,
+                                          uint64_t* count_out) {
   if (options_.cold_pool_per_query) cache_->DropPool();
   ClockInterface* clock =
       options_.clock != nullptr ? options_.clock : RealClock::Get();
@@ -183,12 +215,51 @@ Result<Bitvector> QueryExecutor::TryEvaluateRewritten(
     }
   }
 
-  Bitvector result(rows);
+  Bitvector result;
+  uint64_t count = 0;
+  // Per-constituent evaluation and the OR across constituents, shared by
+  // both fetch disciplines. Everything flows as handles: leaves are
+  // borrowed from the cache, the first constituent's scratch becomes the
+  // accumulator (a borrowed single-leaf constituent is OR-ed into a fresh
+  // zero buffer instead of being copied), later constituents are OR-ed in
+  // place. Count-only single-constituent queries skip the accumulator
+  // entirely (EvaluateExprSharedCount counts fetched handles / folds the
+  // popcount into the final combine).
+  auto accumulate = [&](const std::vector<const ExprPtr*>& order,
+                        const SharedLeafFetcher& fetch) {
+    if (count_out != nullptr && order.size() == 1) {
+      const uint64_t c = EvaluateExprSharedCount(*order[0], rows, fetch);
+      if (error.ok()) count = c;
+      return;
+    }
+    bool first = true;
+    for (const ExprPtr* e : order) {
+      EvalResult part = EvaluateExprShared(*e, rows, fetch);
+      if (!error.ok()) return;
+      if (first) {
+        first = false;
+        if (part.borrowed()) {
+          result = Bitvector(rows);
+          result.OrWith(part.view());
+        } else {
+          result = std::move(part).Take();
+        }
+      } else {
+        result.OrWith(part.view());
+      }
+    }
+    if (first) result = Bitvector(rows);  // no constituents: empty result
+    if (count_out != nullptr) {
+      count = result.Count();
+      result = Bitvector();  // count-only: nothing to hand back
+    }
+  };
+
   if (options_.strategy == EvalStrategy::kQueryWise ||
       options_.strategy == EvalStrategy::kBufferAware) {
     // One constituent at a time; leaf memoization is per constituent, so
     // shared bitmaps hit the pool (or disk) again on later constituents.
-    // Fetch failures are latched into `error` (EvaluateExpr's fetcher
+    // Fetch failures are latched into `error` (the evaluator's fetcher
     // cannot propagate a Status itself); the constituent's result is then
     // discarded and remaining constituents are skipped. The token is
     // checked per fetch, so a deadline hit mid-constituent stops the
@@ -198,25 +269,28 @@ Result<Bitvector> QueryExecutor::TryEvaluateRewritten(
     if (options_.strategy == EvalStrategy::kBufferAware) {
       OrderForSharing(&order);
     }
-    auto fetch = [this, rows, &error, cancel](BitmapKey key) -> Bitvector {
-      if (!error.ok()) return Bitvector(rows);  // already failed; skip work
-      Result<Bitvector> r = cache_->TryFetch(key, &stats_, cancel);
+    SharedLeafFetcher fetch =
+        [this, rows, &error,
+         cancel](BitmapKey key) -> std::shared_ptr<const Bitvector> {
+      if (!error.ok()) {  // already failed; placeholder, no further work
+        return std::make_shared<const Bitvector>(rows);
+      }
+      Result<BitmapCacheInterface::SharedBitmap> r =
+          cache_->TryFetchShared(key, &stats_, cancel);
       if (!r.ok()) {
         error = r.status();
-        return Bitvector(rows);
+        return std::make_shared<const Bitvector>(rows);
       }
       return std::move(r).value();
     };
-    for (const ExprPtr* e : order) {
-      Bitvector part = EvaluateExpr(*e, rows, fetch);
-      if (!error.ok()) break;
-      result.OrWith(part);
-    }
+    accumulate(order, fetch);
   } else {
     // Component-wise (paper Section 6.3): fetch every distinct bitmap the
     // whole query needs exactly once, in component order (all of component
     // n's bitmaps on behalf of all constituents, then component n-1, ...),
-    // then combine per constituent.
+    // then combine per constituent. The map holds handles, so a bitmap
+    // referenced by several constituents is decoded once and combined in
+    // place each time — never copied per leaf reference.
     std::vector<BitmapKey> leaves;
     for (const ExprPtr& e : exprs) CollectLeaves(e, &leaves);
     std::sort(leaves.begin(), leaves.end(),
@@ -229,12 +303,13 @@ Result<Bitvector> QueryExecutor::TryEvaluateRewritten(
                                return a == b;
                              }),
                  leaves.end());
-    std::unordered_map<uint64_t, Bitvector> fetched;
+    std::unordered_map<uint64_t, BitmapCacheInterface::SharedBitmap> fetched;
     fetched.reserve(leaves.size());
     for (const BitmapKey& key : leaves) {
-      // Per-fetch budget check (TryFetch re-checks internally; this keeps
-      // the loop's exit typed even for caches that do not).
-      Result<Bitvector> r = cache_->TryFetch(key, &stats_, cancel);
+      // Per-fetch budget check (TryFetchShared re-checks internally; this
+      // keeps the loop's exit typed even for caches that do not).
+      Result<BitmapCacheInterface::SharedBitmap> r =
+          cache_->TryFetchShared(key, &stats_, cancel);
       if (!r.ok()) {
         error = r.status();
         break;
@@ -242,20 +317,21 @@ Result<Bitvector> QueryExecutor::TryEvaluateRewritten(
       fetched.emplace(key.Packed(), std::move(r).value());
     }
     if (error.ok()) {
-      for (const ExprPtr& e : exprs) {
-        Bitvector part =
-            EvaluateExpr(e, rows, [&fetched](BitmapKey key) {
-              auto it = fetched.find(key.Packed());
-              BIX_CHECK(it != fetched.end());
-              return it->second;
-            });
-        result.OrWith(part);
-      }
+      std::vector<const ExprPtr*> order;
+      for (const ExprPtr& e : exprs) order.push_back(&e);
+      SharedLeafFetcher fetch =
+          [&fetched](BitmapKey key) -> std::shared_ptr<const Bitvector> {
+        auto it = fetched.find(key.Packed());
+        BIX_CHECK(it != fetched.end());
+        return it->second;
+      };
+      accumulate(order, fetch);
     }
   }
 
   charge_cpu();
   if (!error.ok()) return error;
+  if (count_out != nullptr) *count_out = count;
   return result;
 }
 

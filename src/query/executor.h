@@ -73,7 +73,8 @@ class QueryExecutor {
   QueryExecutor(const QueryExecutor&) = delete;
   QueryExecutor& operator=(const QueryExecutor&) = delete;
 
-  // "lo <= A <= hi". Aborts on out-of-domain bounds.
+  // "lo <= A <= hi". Requires lo <= hi < cardinality (BIX_CHECK, matching
+  // EvaluateMembership's bounds checks); aborts on out-of-domain bounds.
   Bitvector EvaluateInterval(IntervalQuery q);
   // "A in {values}". Values must be < cardinality.
   Bitvector EvaluateMembership(const std::vector<uint32_t>& values);
@@ -81,6 +82,12 @@ class QueryExecutor {
   // Lets callers that time the rewrite separately (e.g. the query service's
   // per-query metrics) drive the pipeline in two steps.
   Bitvector EvaluateRewritten(const std::vector<ExprPtr>& exprs);
+  // Count-only evaluation: the number of qualifying rows without
+  // materializing (or copying out) the result bitmap — COUNT(*) selections
+  // are answered from the evaluation scratch buffer, with single-leaf
+  // constituents counted straight off the cache's shared handle. Identical
+  // to EvaluateRewritten(exprs).Count() for every strategy.
+  uint64_t EvaluateCountRewritten(const std::vector<ExprPtr>& exprs);
   // Fallible variant for the serving path: storage-layer failures during
   // fetches (checksum mismatch -> Corruption, injected transient read
   // errors -> Unavailable, unknown keys -> InvalidArgument) surface as a
@@ -93,6 +100,9 @@ class QueryExecutor {
   // Cancelled — with the partial IoStats it accumulated still in stats().
   Result<Bitvector> TryEvaluateRewritten(const std::vector<ExprPtr>& exprs,
                                          const CancelToken* cancel = nullptr);
+  // Fallible count-only variant (the serving path's COUNT entry point).
+  Result<uint64_t> TryEvaluateCountRewritten(
+      const std::vector<ExprPtr>& exprs, const CancelToken* cancel = nullptr);
 
   // Rewrites without executing (for inspection, tests, cost analysis).
   // `cancel` stops the membership rewrite loop between constituents once
@@ -126,6 +136,13 @@ class QueryExecutor {
  private:
   // Reorders constituents for kBufferAware (greedy shared-leaf chaining).
   void OrderForSharing(std::vector<const ExprPtr*>* order);
+  // Shared machinery of the value and count-only entry points: evaluates
+  // `exprs` under the configured strategy over shared bitmap handles. When
+  // `count_out` is null the OR of the constituents is returned; when
+  // non-null only the count is produced (*count_out) and the returned
+  // bitvector is empty.
+  Result<Bitvector> EvalCore(const std::vector<ExprPtr>& exprs,
+                             const CancelToken* cancel, uint64_t* count_out);
 
   const BitmapIndex* index_;
   ExecutorOptions options_;

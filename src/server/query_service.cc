@@ -53,8 +53,8 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
         clock_(clock),
         breaker_(breaker) {}
 
-  Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats,
-                             const CancelToken* cancel) override {
+  Result<SharedBitmap> TryFetchShared(BitmapKey key, IoStats* stats,
+                                      const CancelToken* cancel) override {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (quarantine_.count(key.Packed()) > 0) {
@@ -68,7 +68,7 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
         Status budget = cancel->CheckAt(clock_->Now());
         if (!budget.ok()) return budget;
       }
-      Result<Bitvector> r = inner_->TryFetch(key, stats, cancel);
+      Result<SharedBitmap> r = inner_->TryFetchShared(key, stats, cancel);
       if (r.ok()) return r;
       if (r.status().code() == Status::Code::kCorruption) {
         std::lock_guard<std::mutex> lock(mu_);
@@ -89,7 +89,7 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
       }
     }
   }
-  using BitmapCacheInterface::TryFetch;
+  using BitmapCacheInterface::TryFetchShared;
 
   void DropPool() override { inner_->DropPool(); }
 
@@ -351,22 +351,31 @@ QueryResult QueryService::Execute(QueryExecutor* executor, const Task& task) {
     exprs = executor->RewriteMembership(task.query.values, cancel);
   }
   const auto t1 = Clock::now();
-  Result<Bitvector> rows = executor->TryEvaluateRewritten(exprs, cancel);
+  Status eval_status;
+  if (task.query.count_only) {
+    // COUNT selection: the evaluator counts in place; no result bitmap is
+    // materialized for the client.
+    Result<uint64_t> count = executor->TryEvaluateCountRewritten(exprs, cancel);
+    if (count.ok()) result.count = count.value();
+    eval_status = count.status();
+  } else {
+    Result<Bitvector> rows = executor->TryEvaluateRewritten(exprs, cancel);
+    if (rows.ok()) {
+      result.rows = std::move(rows).value();
+      result.count = result.rows.Count();
+    }
+    eval_status = rows.status();
+  }
   const auto t2 = Clock::now();
 
   result.metrics.rewrite_seconds = SecondsBetween(t0, t1);
   result.metrics.eval_seconds = SecondsBetween(t1, t2);
   result.metrics.io = executor->stats();
-  if (rows.ok()) {
-    result.rows = std::move(rows).value();
-    result.status = Status::OK();
-  } else {
-    // Degraded completion: the query ran (and its metrics stand) but
-    // resolves with the storage failure — or its expired/cancelled budget
-    // — instead of rows. The partial IoStats of the work done before the
-    // cutoff stays recorded.
-    result.status = rows.status();
-  }
+  // On failure this is a degraded completion: the query ran (and its
+  // metrics stand) but resolves with the storage failure — or its
+  // expired/cancelled budget — instead of rows. The partial IoStats of the
+  // work done before the cutoff stays recorded.
+  result.status = std::move(eval_status);
   return result;
 }
 

@@ -31,6 +31,11 @@ struct ServiceQuery {
   Kind kind = Kind::kInterval;
   IntervalQuery interval;
   std::vector<uint32_t> values;  // membership only
+  // COUNT(*) selection: resolve only the number of qualifying rows. The
+  // worker answers through the executor's count-only entry point, so the
+  // result bitmap is never materialized for (or copied to) the client —
+  // QueryResult.count carries the answer and QueryResult.rows stays empty.
+  bool count_only = false;
   // Deadline + cooperative cancel handle (nullable = unbounded). The
   // service checks it while the query waits for admission, at dequeue
   // (queue-side shedding), and before every bitmap fetch during
@@ -53,6 +58,10 @@ struct ServiceQuery {
     return sq;
   }
 
+  ServiceQuery& CountOnly() {
+    count_only = true;
+    return *this;
+  }
   ServiceQuery& WithCancel(std::shared_ptr<CancelToken> token) {
     cancel = std::move(token);
     return *this;
@@ -72,11 +81,14 @@ struct ServiceQuery {
 // integrity check (or was already quarantined by an earlier failure);
 // DeadlineExceeded when the query's time budget ran out (while queued, at
 // admission, or mid-evaluation); Cancelled when the caller cancelled it.
-// `rows` is meaningful only when status.ok(); `metrics` also covers
+// `rows` is meaningful only when status.ok() and the query was not
+// count-only; `count` carries the qualifying-row count for count-only
+// queries (and equals rows.Count() otherwise); `metrics` also covers
 // degraded queries (the work done before the failure).
 struct QueryResult {
   Status status;
   Bitvector rows;
+  uint64_t count = 0;
   QueryMetrics metrics;
 };
 

@@ -21,10 +21,10 @@ ShardedBitmapCache::ShardedBitmapCache(const BitmapStore* store,
   }
 }
 
-Result<Bitvector> ShardedBitmapCache::TryFetch(BitmapKey key, IoStats* stats,
-                                               const CancelToken* cancel) {
+Result<BitmapCacheInterface::SharedBitmap> ShardedBitmapCache::TryFetchShared(
+    BitmapKey key, IoStats* stats, const CancelToken* cancel) {
   // Fetch-granularity budget check: a query past its deadline (or
-  // cancelled) stops here, before paying for a hit copy or a modeled read.
+  // cancelled) stops here, before paying for a modeled read.
   if (cancel != nullptr) {
     Status budget = cancel->CheckAt(clock_->Now());
     if (!budget.ok()) return budget;
@@ -32,11 +32,11 @@ Result<Bitvector> ShardedBitmapCache::TryFetch(BitmapKey key, IoStats* stats,
   ++stats->scans;
   Shard& shard = ShardFor(key);
 
-  // Hit path: take a reference to the decoded bitmap under the lock and
-  // copy it outside (the shared_ptr keeps the entry's payload alive even if
-  // it is evicted meanwhile; the copy is the caller's private buffer).
-  // Cached entries were integrity-checked when inserted, so hits need no
-  // re-verification and are never faulted (faults model the disk).
+  // Hit path: hand out the resident handle itself — no payload copy; the
+  // shared_ptr keeps the entry's bitmap alive for the query even if it is
+  // evicted meanwhile. Cached entries were integrity-checked when
+  // inserted, so hits need no re-verification and are never faulted
+  // (faults model the disk).
   std::shared_ptr<const Bitvector> cached;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -51,7 +51,7 @@ Result<Bitvector> ShardedBitmapCache::TryFetch(BitmapKey key, IoStats* stats,
       cached = e.bitmap;
     }
   }
-  if (cached) return *cached;
+  if (cached) return cached;
 
   // Miss path. The store is immutable after build, so blob access and
   // materialization need no lock; only the accounting and the insert take
@@ -87,7 +87,10 @@ Result<Bitvector> ShardedBitmapCache::TryFetch(BitmapKey key, IoStats* stats,
         // sees the result, so cached state stays verified.
         BitmapStore::Blob corrupt = blob;
         injector_->CorruptPayload(key, &corrupt.bytes);
-        return TryMaterializeBlob(corrupt);
+        Result<Bitvector> decoded = TryMaterializeBlob(corrupt);
+        if (!decoded.ok()) return decoded.status();
+        return SharedBitmap(
+            std::make_shared<const Bitvector>(std::move(decoded).value()));
       }
       case FaultInjector::Fault::kLatencySpike:
         clock_->SleepFor(injector_->latency_spike_seconds(), cancel);
@@ -100,12 +103,11 @@ Result<Bitvector> ShardedBitmapCache::TryFetch(BitmapKey key, IoStats* stats,
   if (!decoded.ok()) return decoded.status();
   auto bitmap =
       std::make_shared<const Bitvector>(std::move(decoded).value());
-  Bitvector result = *bitmap;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    Insert(&shard, key, stored_bytes, std::move(bitmap));
+    Insert(&shard, key, stored_bytes, bitmap);
   }
-  return result;
+  return SharedBitmap(std::move(bitmap));
 }
 
 void ShardedBitmapCache::DropPool() {

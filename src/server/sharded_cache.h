@@ -59,16 +59,18 @@ class ShardedBitmapCache : public BitmapCacheInterface {
   ShardedBitmapCache& operator=(const ShardedBitmapCache&) = delete;
 
   // BitmapCacheInterface. Thread-safe; `stats` must be private to the
-  // calling thread (or otherwise synchronized by the caller). A miss runs
-  // the integrity-checked materialization (blob checksum + validating
-  // decode): corrupt stored bytes surface as Corruption for this fetch
-  // only and are never inserted into a shard, so cached hits are always
-  // verified bitmaps. An expired/cancelled `cancel` token fails the fetch
-  // up front with the token's typed status (deadline checks happen at
-  // fetch granularity).
-  Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats,
-                             const CancelToken* cancel) override;
-  using BitmapCacheInterface::TryFetch;
+  // calling thread (or otherwise synchronized by the caller). A hit hands
+  // out the shard's own resident handle — zero bytes copied; the
+  // shared_ptr keeps the bitmap alive for the query even if it is evicted
+  // meanwhile. A miss runs the integrity-checked materialization (blob
+  // checksum + validating decode): corrupt stored bytes surface as
+  // Corruption for this fetch only and are never inserted into a shard, so
+  // cached hits are always verified bitmaps. An expired/cancelled `cancel`
+  // token fails the fetch up front with the token's typed status (deadline
+  // checks happen at fetch granularity).
+  Result<SharedBitmap> TryFetchShared(BitmapKey key, IoStats* stats,
+                                      const CancelToken* cancel) override;
+  using BitmapCacheInterface::TryFetchShared;
   void DropPool() override;
 
   // Plugs deterministic fault injection into the miss (disk read) path.

@@ -5,8 +5,22 @@
 
 namespace bix {
 
-Result<Bitvector> BitmapCache::TryFetch(BitmapKey key, IoStats* stats,
-                                        const CancelToken* cancel) {
+namespace {
+
+// Wraps an integrity-checked decode into a shared handle without copying
+// the decoded payload.
+Result<BitmapCacheInterface::SharedBitmap> MaterializeShared(
+    const BitmapStore::Blob& blob) {
+  Result<Bitvector> decoded = TryMaterializeBlob(blob);
+  if (!decoded.ok()) return decoded.status();
+  return BitmapCacheInterface::SharedBitmap(
+      std::make_shared<const Bitvector>(std::move(decoded).value()));
+}
+
+}  // namespace
+
+Result<BitmapCacheInterface::SharedBitmap> BitmapCache::TryFetchShared(
+    BitmapKey key, IoStats* stats, const CancelToken* cancel) {
   if (cancel != nullptr) {
     Status budget = cancel->Check();
     if (!budget.ok()) return budget;
@@ -39,7 +53,7 @@ Result<Bitvector> BitmapCache::TryFetch(BitmapKey key, IoStats* stats,
           // cached — the pool never holds known-bad bytes.
           BitmapStore::Blob corrupt = blob;
           injector_->CorruptPayload(key, &corrupt.bytes);
-          return TryMaterializeBlob(corrupt);
+          return MaterializeShared(corrupt);
         }
         case FaultInjector::Fault::kLatencySpike:
           std::this_thread::sleep_for(std::chrono::duration<double>(
@@ -53,7 +67,7 @@ Result<Bitvector> BitmapCache::TryFetch(BitmapKey key, IoStats* stats,
   }
   // Decode CPU (BBC decompression for compressed indexes) is measured by
   // the executor's end-to-end timer, not here, to avoid double counting.
-  return TryMaterializeBlob(blob);
+  return MaterializeShared(blob);
 }
 
 void BitmapCache::DropPool() {

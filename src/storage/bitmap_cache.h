@@ -23,21 +23,41 @@ namespace bix {
 // is then an explicit IoStats::Add roll-up.
 class BitmapCacheInterface {
  public:
+  // A decoded bitmap handed out by reference: the cache (or the fetch that
+  // just decoded it) keeps ownership alive through the shared_ptr, and the
+  // query evaluator combines it without ever copying the payload.
+  using SharedBitmap = std::shared_ptr<const Bitvector>;
+
   virtual ~BitmapCacheInterface() = default;
 
   // One bitmap scan: accounts I/O into *stats, updates the pool, and
-  // returns the decoded bitmap — or a typed error instead of aborting on
-  // data-dependent failures: InvalidArgument for an unknown key,
-  // Corruption for a checksum mismatch or malformed stored stream,
-  // Unavailable for an injected transient read error. Nothing is cached on
-  // failure, so a transient error leaves the pool clean for a retry.
+  // returns a shared handle to the decoded bitmap — or a typed error
+  // instead of aborting on data-dependent failures: InvalidArgument for an
+  // unknown key, Corruption for a checksum mismatch or malformed stored
+  // stream, Unavailable for an injected transient read error. Nothing is
+  // cached on failure, so a transient error leaves the pool clean for a
+  // retry. The referenced bitmap is immutable and stays valid for as long
+  // as the caller holds the handle, even across eviction.
   //
   // `cancel` (nullable) is the query's deadline/cancellation budget,
   // checked before the fetch does any work: an expired or cancelled query
   // gets DeadlineExceeded/Cancelled back instead of paying for another
   // read — the fetch is the serving stack's cancellation granularity.
-  virtual Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats,
-                                     const CancelToken* cancel) = 0;
+  virtual Result<SharedBitmap> TryFetchShared(BitmapKey key, IoStats* stats,
+                                              const CancelToken* cancel) = 0;
+  Result<SharedBitmap> TryFetchShared(BitmapKey key, IoStats* stats) {
+    return TryFetchShared(key, stats, nullptr);
+  }
+
+  // By-value compatibility wrappers: one defensive copy out of the shared
+  // handle. Hot paths use TryFetchShared; these serve callers that want a
+  // private mutable bitmap.
+  Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats,
+                             const CancelToken* cancel) {
+    Result<SharedBitmap> r = TryFetchShared(key, stats, cancel);
+    if (!r.ok()) return r.status();
+    return Bitvector(*r.value());
+  }
   Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats) {
     return TryFetch(key, stats, nullptr);
   }
@@ -76,10 +96,12 @@ class BitmapCache : public BitmapCacheInterface {
 
   // BitmapCacheInterface: accounts the scan into *stats. Materialization
   // is integrity-checked (blob checksum + validating decode), so corrupt
-  // stored bytes surface as Corruption for this fetch only.
-  Result<Bitvector> TryFetch(BitmapKey key, IoStats* stats,
-                             const CancelToken* cancel) override;
-  using BitmapCacheInterface::TryFetch;
+  // stored bytes surface as Corruption for this fetch only. The pool holds
+  // the *stored* form, so the handle owns a freshly decoded buffer — built
+  // once, never copied on the way out.
+  Result<SharedBitmap> TryFetchShared(BitmapKey key, IoStats* stats,
+                                      const CancelToken* cancel) override;
+  using BitmapCacheInterface::TryFetchShared;
   using BitmapCacheInterface::Fetch;
 
   // Convenience for single-owner callers: accounts into the internal

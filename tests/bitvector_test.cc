@@ -45,6 +45,16 @@ TEST(BitvectorTest, FromPositions) {
   EXPECT_TRUE(bv.Get(7));
 }
 
+TEST(BitvectorDeathTest, FromPositionsRejectsOutOfRange) {
+  // Regression: positions are data-dependent input, and Set's BIX_DCHECK
+  // compiles away in Release — an out-of-range position used to write past
+  // the word array. The bound must be a hard check in every build type.
+  EXPECT_DEATH(Bitvector::FromPositions(10, {1, 10}), "out of range");
+  EXPECT_DEATH(Bitvector::FromPositions(0, {0}), "out of range");
+  // Position exactly on a word boundary past the last partial word.
+  EXPECT_DEATH(Bitvector::FromPositions(64, {64}), "out of range");
+}
+
 TEST(BitvectorTest, AllOnesKeepsTrailingBitsZero) {
   for (uint64_t n : {1u, 63u, 64u, 65u, 127u, 128u, 1000u}) {
     Bitvector bv = Bitvector::AllOnes(n);

@@ -102,5 +102,39 @@ TEST(ExplainTest, IntervalExplainMatchesMembershipOfRange) {
   EXPECT_EQ(a.cold_bytes, b.cold_bytes);
 }
 
+TEST(ExplainTest, IntervalValidatesBoundsUpFront) {
+  // Regression: ExplainInterval used to build the whole value list before
+  // checking `negated` (wasted work, and for q.hi == UINT32_MAX the
+  // uint32_t loop `v <= q.hi` never terminated), and it accepted
+  // out-of-domain bounds EvaluateMembership would have rejected. All three
+  // preconditions now fail fast at the entry.
+  Column col = GenerateZipfColumn(
+      {.rows = 1000, .cardinality = 30, .zipf_z = 0.0, .seed = 3});
+  BitmapIndex index =
+      BitmapIndex::Build(col, Decomposition::SingleComponent(30),
+                         EncodingKind::kEquality, false);
+  QueryExecutor exec(&index, {});
+  // The full positive domain still explains fine.
+  EXPECT_EQ(exec.ExplainInterval({0, 29}).constituents.size(), 1u);
+  EXPECT_DEATH(exec.ExplainInterval({5, 9, /*negated=*/true}),
+               "positive intervals");
+  EXPECT_DEATH(exec.ExplainInterval({9, 5}), "lo > hi");
+  EXPECT_DEATH(exec.ExplainInterval({5, 30}), "cardinality");
+  // The hang case: hi == UINT32_MAX is simply out of domain now.
+  EXPECT_DEATH(exec.ExplainInterval({5, UINT32_MAX}), "cardinality");
+}
+
+TEST(ExplainTest, EvaluateIntervalValidatesBounds) {
+  // The public evaluation entry shares EvaluateMembership's contract.
+  Column col = GenerateZipfColumn(
+      {.rows = 1000, .cardinality = 30, .zipf_z = 0.0, .seed = 3});
+  BitmapIndex index =
+      BitmapIndex::Build(col, Decomposition::SingleComponent(30),
+                         EncodingKind::kEquality, false);
+  QueryExecutor exec(&index, {});
+  EXPECT_DEATH(exec.EvaluateInterval({9, 5}), "lo > hi");
+  EXPECT_DEATH(exec.EvaluateInterval({0, 30}), "cardinality");
+}
+
 }  // namespace
 }  // namespace bix

@@ -1,0 +1,305 @@
+// Tests for the zero-copy evaluation pipeline: fused k-ary kernel
+// equivalence against the naive per-operand composition (including ragged
+// tail words, empty and all-ones operands, and destination aliasing), the
+// copy-count tripwires that keep by-value bitmap handoffs from silently
+// returning, and bit-identical results across the query-wise,
+// component-wise, buffer-aware, and count-only evaluation paths.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "expr/evaluate.h"
+#include "query/executor.h"
+#include "server/query_service.h"
+#include "server/sharded_cache.h"
+#include "util/rng.h"
+#include "workload/column_gen.h"
+#include "workload/scan_baseline.h"
+
+namespace bix {
+namespace {
+
+Bitvector MakeRandom(uint64_t bits, double density, Rng* rng) {
+  Bitvector bv(bits);
+  for (uint64_t i = 0; i < bits; ++i) {
+    if (rng->Bernoulli(density)) bv.Set(i);
+  }
+  return bv;
+}
+
+// ---------------------------------------------------- fused kernel fuzz --
+
+TEST(FusedKernelTest, ManyIntoMatchesNaiveComposition) {
+  Rng rng(1234);
+  // Sizes cover empty, sub-word, exact-word, and ragged-tail shapes.
+  const std::vector<uint64_t> sizes = {0, 1, 5, 63, 64, 65, 127, 128, 1000};
+  for (int round = 0; round < 200; ++round) {
+    const uint64_t bits = round < 9 * 8
+                              ? sizes[round % sizes.size()]
+                              : rng.UniformInt(0, 2000);
+    const size_t k = rng.UniformInt(2, 6);
+    std::vector<Bitvector> operands;
+    for (size_t i = 0; i < k; ++i) {
+      // Mix random densities with degenerate all-zero / all-one operands.
+      const uint64_t shape = rng.UniformInt(0, 4);
+      if (shape == 0) {
+        operands.push_back(Bitvector(bits));
+      } else if (shape == 1) {
+        operands.push_back(Bitvector::AllOnes(bits));
+      } else {
+        operands.push_back(MakeRandom(bits, rng.UniformDouble(), &rng));
+      }
+    }
+    std::vector<const Bitvector*> ptrs;
+    for (const Bitvector& op : operands) ptrs.push_back(&op);
+
+    Bitvector naive_and = operands[0];
+    Bitvector naive_or = operands[0];
+    Bitvector naive_xor = operands[0];
+    for (size_t i = 1; i < k; ++i) {
+      naive_and.AndWith(operands[i]);
+      naive_or.OrWith(operands[i]);
+      naive_xor.XorWith(operands[i]);
+    }
+
+    Bitvector fused;
+    Bitvector::AndManyInto(ptrs, &fused);
+    ASSERT_EQ(fused, naive_and) << "AND bits=" << bits << " k=" << k;
+    Bitvector::OrManyInto(ptrs, &fused);
+    ASSERT_EQ(fused, naive_or) << "OR bits=" << bits << " k=" << k;
+    Bitvector::XorManyInto(ptrs, &fused);
+    ASSERT_EQ(fused, naive_xor) << "XOR bits=" << bits << " k=" << k;
+
+    // Aliasing: the destination doubles as an operand (the evaluator reuses
+    // a child's scratch buffer this way).
+    Bitvector aliased = operands[0];
+    std::vector<const Bitvector*> aliased_ptrs = ptrs;
+    aliased_ptrs[0] = &aliased;
+    Bitvector::AndManyInto(aliased_ptrs, &aliased);
+    ASSERT_EQ(aliased, naive_and) << "aliased AND bits=" << bits;
+  }
+}
+
+TEST(FusedKernelTest, AndNotWithMatchesNotThenAnd) {
+  Rng rng(99);
+  for (uint64_t bits : {1u, 64u, 65u, 777u}) {
+    for (int round = 0; round < 20; ++round) {
+      Bitvector a = MakeRandom(bits, 0.4, &rng);
+      const Bitvector b = MakeRandom(bits, 0.4, &rng);
+      Bitvector expected = a;
+      expected.AndWith(Bitvector::Not(b));
+      a.AndNotWith(b);
+      ASSERT_EQ(a, expected) << bits;
+      // Trailing padding must stay clear (Not(b) has one-padding internally
+      // cleared; AndNotWith must not resurrect it).
+      Bitvector all = Bitvector::AllOnes(bits);
+      all.AndNotWith(Bitvector(bits));
+      ASSERT_EQ(all.Count(), bits);
+    }
+  }
+}
+
+TEST(FusedKernelTest, AndWithCountMatchesAndThenCount) {
+  Rng rng(7);
+  for (uint64_t bits : {0u, 1u, 63u, 64u, 129u, 1000u}) {
+    for (int round = 0; round < 20; ++round) {
+      Bitvector a = MakeRandom(bits, rng.UniformDouble(), &rng);
+      const Bitvector b = MakeRandom(bits, rng.UniformDouble(), &rng);
+      Bitvector expected = a;
+      expected.AndWith(b);
+      const uint64_t count = a.AndWithCount(b);
+      ASSERT_EQ(a, expected);
+      ASSERT_EQ(count, expected.Count());
+    }
+  }
+}
+
+TEST(FusedKernelTest, NotIntoMatchesCopyThenNotSelf) {
+  Rng rng(31);
+  for (uint64_t bits : {0u, 1u, 63u, 64u, 65u, 501u}) {
+    Bitvector src = MakeRandom(bits, 0.5, &rng);
+    Bitvector expected = src;
+    expected.NotSelf();
+    Bitvector out;
+    Bitvector::NotInto(src, &out);
+    ASSERT_EQ(out, expected) << bits;
+    // Aliasing degrades to NotSelf.
+    Bitvector aliased = src;
+    Bitvector::NotInto(aliased, &aliased);
+    ASSERT_EQ(aliased, expected) << bits;
+    // Trailing padding beyond size() stays clear.
+    ASSERT_EQ(out.Count() + src.Count(), bits) << bits;
+  }
+}
+
+TEST(FusedKernelTest, AndCountMatchesMaterializedConjunction) {
+  Rng rng(32);
+  for (uint64_t bits : {0u, 1u, 64u, 129u, 2000u}) {
+    for (int round = 0; round < 10; ++round) {
+      const Bitvector a = MakeRandom(bits, rng.UniformDouble(), &rng);
+      const Bitvector b = MakeRandom(bits, rng.UniformDouble(), &rng);
+      ASSERT_EQ(Bitvector::AndCount(a, b), Bitvector::And(a, b).Count());
+    }
+  }
+}
+
+TEST(FusedKernelTest, AllZero) {
+  EXPECT_TRUE(Bitvector().AllZero());
+  EXPECT_TRUE(Bitvector(1000).AllZero());
+  Bitvector bv(1000);
+  bv.Set(999);
+  EXPECT_FALSE(bv.AllZero());
+  bv.Clear(999);
+  EXPECT_TRUE(bv.AllZero());
+}
+
+// ------------------------------------------------------- copy tripwires --
+
+// The evaluator memoizes leaf *handles*: a leaf referenced repeatedly in
+// one expression is fetched once and never copied to be handed out again.
+// This pins the FetchMemoized by-value regression (evaluate.cc used to
+// return its memo entry by value on every reference).
+TEST(CopyTripwireTest, RepeatedLeafIsFetchedOnceAndNeverCopied) {
+  const uint64_t kRows = 10000;
+  Rng rng(5);
+  auto b0 = std::make_shared<const Bitvector>(MakeRandom(kRows, 0.3, &rng));
+  auto b1 = std::make_shared<const Bitvector>(MakeRandom(kRows, 0.3, &rng));
+  auto b2 = std::make_shared<const Bitvector>(MakeRandom(kRows, 0.3, &rng));
+  int fetches = 0;
+  SharedLeafFetcher fetch =
+      [&](BitmapKey key) -> std::shared_ptr<const Bitvector> {
+    ++fetches;
+    switch (key.slot) {
+      case 0: return b0;
+      case 1: return b1;
+      default: return b2;
+    }
+  };
+  // (B0 & B1) | (B0 & B2): B0 appears twice.
+  ExprPtr e = ExprOr(ExprAnd(ExprLeaf(1, 0), ExprLeaf(1, 1)),
+                     ExprAnd(ExprLeaf(1, 0), ExprLeaf(1, 2)));
+  BitvectorCopyStats::Reset();
+  EvalResult r = EvaluateExprShared(e, kRows, fetch);
+  EXPECT_EQ(fetches, 3);  // B0 memoized as a handle
+  // All-leaf n-ary nodes and the OR combine run over borrowed handles and
+  // scratch buffers: zero payload copies end to end.
+  EXPECT_EQ(BitvectorCopyStats::copies(), 0u);
+  // Sanity: the result is right.
+  Bitvector expected = Bitvector::And(*b0, *b1);
+  expected.OrWith(Bitvector::And(*b0, *b2));
+  EXPECT_EQ(r.view(), expected);
+}
+
+// The cached component-wise serving path: leaves come out of the shared
+// cache as handles and are combined in place — no bitmap payload is copied
+// anywhere between the cache and the final result. This is the tripwire
+// for the two by-value regressions (executor.cc's per-leaf-reference copy
+// of the fetched map entry, and the cache hit path's defensive copy).
+TEST(CopyTripwireTest, CachedComponentWiseMembershipCopiesNothing) {
+  Column col = GenerateZipfColumn(
+      {.rows = 20000, .cardinality = 40, .zipf_z = 1.0, .seed = 11});
+  BitmapIndex index =
+      BitmapIndex::Build(col, Decomposition::SingleComponent(40),
+                         EncodingKind::kEquality, false);
+  ShardedBitmapCache cache(&index.store(), 64ull << 20, 4);
+  ExecutorOptions opts;
+  opts.strategy = EvalStrategy::kComponentWise;
+  opts.cold_pool_per_query = false;
+  QueryExecutor exec(&index, opts, &cache);
+  const std::vector<uint32_t> values = {3, 7, 8, 9, 25};
+  std::vector<ExprPtr> exprs = exec.RewriteMembership(values);
+  exec.EvaluateRewritten(exprs);  // warm the cache
+
+  BitvectorCopyStats::Reset();
+  Bitvector warm = exec.EvaluateRewritten(exprs);
+  // Equality-encoded membership = OR of borrowed leaf handles into one
+  // fresh accumulator: zero copies. Any by-value fetch, memo handout, or
+  // per-leaf map copy re-appearing bumps this count by whole bitmaps.
+  EXPECT_EQ(BitvectorCopyStats::copies(), 0u);
+  EXPECT_EQ(warm, NaiveEvaluateMembership(col, values));
+
+  // Count-only path over the same cached working set: also copy-free.
+  BitvectorCopyStats::Reset();
+  const uint64_t count = exec.EvaluateCountRewritten(exprs);
+  EXPECT_EQ(BitvectorCopyStats::copies(), 0u);
+  EXPECT_EQ(count, warm.Count());
+}
+
+// ------------------------------------- cross-path bit-identical results --
+
+TEST(EvalPathEquivalenceTest, AllStrategiesAndCountAgreeOnSeededWorkload) {
+  Column col = GenerateZipfColumn(
+      {.rows = 5000, .cardinality = 25, .zipf_z = 1.0, .seed = 77});
+  Rng rng(42);
+  for (EncodingKind enc : AllEncodingKinds()) {
+    for (bool compressed : {false, true}) {
+      for (const auto& bases :
+           std::vector<std::vector<uint32_t>>{{25}, {5, 5}}) {
+        Decomposition d = Decomposition::Make(25, bases).value();
+        BitmapIndex index = BitmapIndex::Build(col, d, enc, compressed);
+        auto run = [&](EvalStrategy strategy,
+                       const std::vector<uint32_t>& values,
+                       uint64_t* count_out) {
+          ExecutorOptions opts;
+          opts.strategy = strategy;
+          QueryExecutor exec(&index, opts);
+          std::vector<ExprPtr> exprs = exec.RewriteMembership(values);
+          *count_out = exec.EvaluateCountRewritten(exprs);
+          return exec.EvaluateRewritten(exprs);
+        };
+        for (int q = 0; q < 10; ++q) {
+          std::vector<uint32_t> values;
+          const size_t n = rng.UniformInt(1, 6);
+          for (size_t i = 0; i < n; ++i) {
+            values.push_back(static_cast<uint32_t>(rng.UniformInt(0, 24)));
+          }
+          uint64_t c_query = 0, c_comp = 0, c_buf = 0;
+          Bitvector query_wise = run(EvalStrategy::kQueryWise, values, &c_query);
+          Bitvector comp_wise =
+              run(EvalStrategy::kComponentWise, values, &c_comp);
+          Bitvector buf_aware = run(EvalStrategy::kBufferAware, values, &c_buf);
+          const Bitvector expected = NaiveEvaluateMembership(col, values);
+          ASSERT_EQ(query_wise, expected) << EncodingKindName(enc);
+          ASSERT_EQ(comp_wise, expected) << EncodingKindName(enc);
+          ASSERT_EQ(buf_aware, expected) << EncodingKindName(enc);
+          ASSERT_EQ(c_query, expected.Count()) << EncodingKindName(enc);
+          ASSERT_EQ(c_comp, expected.Count()) << EncodingKindName(enc);
+          ASSERT_EQ(c_buf, expected.Count()) << EncodingKindName(enc);
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- service count-only --
+
+TEST(CountOnlyServiceTest, CountMatchesMaterializedRows) {
+  Column col = GenerateZipfColumn(
+      {.rows = 8000, .cardinality = 30, .zipf_z = 1.0, .seed = 9});
+  BitmapIndex index =
+      BitmapIndex::Build(col, Decomposition::SingleComponent(30),
+                         EncodingKind::kRange, false);
+  ServiceOptions options;
+  options.num_workers = 2;
+  QueryService service(&index, options);
+  const std::vector<uint32_t> values = {2, 11, 12, 13, 28};
+
+  QueryResult full =
+      service.Submit(ServiceQuery::Membership(values)).get();
+  ASSERT_TRUE(full.status.ok());
+  QueryResult count_only =
+      service.Submit(ServiceQuery::Membership(values).CountOnly()).get();
+  ASSERT_TRUE(count_only.status.ok());
+
+  EXPECT_EQ(full.count, full.rows.Count());
+  EXPECT_EQ(count_only.count, full.rows.Count());
+  // Count-only never materializes rows for the client.
+  EXPECT_EQ(count_only.rows.size(), 0u);
+  EXPECT_EQ(full.rows, NaiveEvaluateMembership(col, values));
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace bix
