@@ -4,8 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
 #include "query/executor.h"
 #include "server/sharded_cache.h"
+#include "util/clock.h"
+#include "util/trace.h"
 #include "workload/column_gen.h"
 
 namespace bix {
@@ -130,6 +134,43 @@ void BM_CachedMembershipCount(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CachedMembershipCount)->DenseRange(0, 6);
+
+// Tracing overhead guard: the warm-cache membership query with a per-query
+// span tree built (range(1)=1) vs the plain path (range(1)=0). The two
+// rows bound what WithTrace() costs on a query whose work is pure CPU —
+// the acceptance budget is <2% on the untraced row vs BM_CachedMembership.
+void BM_CachedMembershipTracing(benchmark::State& state) {
+  Fixture& fx = Fixture::Get();
+  BitmapIndex& index = *fx.indexes[state.range(0)];
+  ShardedBitmapCache cache(&index.store(), 64ull << 20, 8);
+  ExecutorOptions opts;
+  opts.cold_pool_per_query = false;
+  QueryExecutor exec(&index, opts, &cache);
+  const std::vector<uint32_t> values = {6, 19, 20, 21, 22, 35};
+  auto exprs = exec.RewriteMembership(values);
+  exec.EvaluateRewritten(exprs);  // warm the cache
+  const bool traced = state.range(1) != 0;
+  for (auto _ : state) {
+    std::optional<TraceSink> sink;
+    if (traced) {
+      sink.emplace(RealClock::Get(), "query");
+      exec.SetTraceSink(&*sink);
+    }
+    Bitvector r = exec.EvaluateRewritten(exprs);
+    benchmark::DoNotOptimize(r);
+    if (traced) {
+      exec.SetTraceSink(nullptr);
+      TraceSpan root = sink->Finish();
+      benchmark::DoNotOptimize(root);
+    }
+  }
+  state.SetLabel(std::string(EncodingKindName(AllEncodingKinds()[
+                     state.range(0)])) +
+                 (traced ? "/traced" : "/untraced"));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CachedMembershipTracing)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 6, 1), {0, 1}});
 
 void BM_RewriteOnly(benchmark::State& state) {
   Fixture& fx = Fixture::Get();

@@ -62,7 +62,7 @@ struct RunResult {
 
 RunResult RunOnce(const BitmapIndex& index,
                   const std::vector<ServiceQuery>& queries,
-                  uint32_t num_workers) {
+                  uint32_t num_workers, bool traced = false) {
   ServiceOptions options;
   options.num_workers = num_workers;
   options.queue_capacity = 128;
@@ -76,7 +76,11 @@ RunResult RunOnce(const BitmapIndex& index,
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::future<QueryResult>> futures;
   futures.reserve(queries.size());
-  for (const ServiceQuery& q : queries) futures.push_back(service.Submit(q));
+  for (const ServiceQuery& q : queries) {
+    ServiceQuery submitted = q;
+    if (traced) submitted.WithTrace();
+    futures.push_back(service.Submit(std::move(submitted)));
+  }
   for (auto& f : futures) f.get();
   const auto t1 = std::chrono::steady_clock::now();
 
@@ -179,6 +183,34 @@ void RunGoodputSweep(const BenchArgs& args, const Column& column,
   table.Print();
 }
 
+// Tracing overhead guard (DESIGN.md section 13): the identical closed-loop
+// workload with per-query tracing off vs on. The untraced path constructs
+// no sink and opens no spans, so its column is the baseline the <2%
+// regression budget is measured against; the traced column prices the full
+// span tree (every fetch, kernel, and stage).
+void RunTracingOverhead(const Column& column, uint32_t cardinality,
+                        const BenchArgs& args) {
+  IndexConfig config;
+  config.encoding = EncodingKind::kInterval;
+  const BitmapIndex index = BuildIndex(column, config).value();
+  const std::vector<ServiceQuery> queries =
+      ZipfIntervalQueries(cardinality, args.quick ? 60 : 160, args.seed + 3);
+
+  std::printf("\n# tracing overhead: same workload, 4 workers, "
+              "WithTrace() off vs on\n");
+  TablePrinter table({"mode", "queries/s", "p99_ms", "vs_untraced"});
+  double untraced_qps = 0.0;
+  for (bool traced : {false, true}) {
+    const RunResult r = RunOnce(index, queries, 4, traced);
+    if (!traced) untraced_qps = r.qps;
+    table.AddRow({traced ? "traced" : "untraced", FormatDouble(r.qps, 1),
+                  FormatDouble(r.p99_ms, 2),
+                  FormatDouble(untraced_qps > 0 ? r.qps / untraced_qps : 0.0,
+                               3)});
+  }
+  table.Print();
+}
+
 void Run(const BenchArgs& args) {
   ColumnSpec spec;
   spec.rows = args.quick ? 50'000 : args.rows / 5;  // default 200k rows
@@ -222,6 +254,7 @@ void Run(const BenchArgs& args) {
   }
   table.Print();
 
+  RunTracingOverhead(column, spec.cardinality, args);
   RunGoodputSweep(args, column, spec.cardinality);
 }
 

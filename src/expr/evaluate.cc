@@ -31,10 +31,28 @@ struct Value {
   }
 };
 
+// Span name for an operator node (leaves and constants trace through the
+// fetch path instead, so the tree stays proportional to the plan).
+const char* OpSpanName(ExprOp op) {
+  switch (op) {
+    case ExprOp::kNot:
+      return "not";
+    case ExprOp::kAnd:
+      return "and";
+    case ExprOp::kOr:
+      return "or";
+    case ExprOp::kXor:
+      return "xor";
+    default:
+      return "expr";
+  }
+}
+
 class Evaluator {
  public:
-  Evaluator(uint64_t row_count, const SharedLeafFetcher& fetch)
-      : row_count_(row_count), fetch_(fetch) {}
+  Evaluator(uint64_t row_count, const SharedLeafFetcher& fetch,
+            TraceSink* trace)
+      : row_count_(row_count), fetch_(fetch), trace_(trace) {}
 
   Value Eval(const ExprPtr& e) {
     switch (e->op) {
@@ -44,10 +62,12 @@ class Evaluator {
       case ExprOp::kLeaf:
         return Value::Borrowed(FetchMemoized(e->leaf));
       case ExprOp::kNot: {
+        TraceScope span(trace_, OpSpanName(e->op));
         // NOT needs a private buffer: reuse the child's scratch when it
         // owns one, otherwise write the complement of the borrowed leaf
         // straight into fresh scratch (never copy-then-flip).
         Value child = Eval(e->children[0]);
+        TraceScope kernel(trace_, "kernel");
         if (child.owns()) {
           child.owned.NotSelf();
           return child;
@@ -71,9 +91,11 @@ class Evaluator {
   uint64_t EvalCount(const ExprPtr& e) {
     if (e->op == ExprOp::kLeaf) return FetchMemoized(e->leaf)->Count();
     if (e->op == ExprOp::kAnd && e->children.size() == 2) {
+      TraceScope span(trace_, "and");
       Value a = Eval(e->children[0]);
       if (a.view().AllZero()) return 0;  // short-circuit: skip the sibling
       Value b = Eval(e->children[1]);
+      TraceScope kernel(trace_, "kernel");
       // AndWithCount mutates its receiver: use whichever side owns scratch.
       // Two borrowed leaves need no scratch at all — AndCount popcounts the
       // conjunction without materializing it.
@@ -86,6 +108,7 @@ class Evaluator {
 
  private:
   Value EvalNary(const ExprPtr& e) {
+    TraceScope span(trace_, OpSpanName(e->op));
     // Depth-first over the children, keeping every result as a handle. AND
     // chains short-circuit: once any child is all-zero the conjunction is
     // empty, and the remaining children (and their fetches) are skipped.
@@ -114,6 +137,7 @@ class Evaluator {
     for (size_t i = 0; i < vals.size(); ++i) {
       ops[i] = (i == dst) ? &out : &vals[i].view();
     }
+    TraceScope kernel(trace_, "kernel");
     switch (e->op) {
       case ExprOp::kAnd:
         Bitvector::AndManyInto(ops, &out);
@@ -140,6 +164,7 @@ class Evaluator {
 
   uint64_t row_count_;
   const SharedLeafFetcher& fetch_;
+  TraceSink* const trace_;  // nullable: tracing off
   // The memo stores handles, so a leaf referenced by several subexpressions
   // is fetched once and never copied to be handed out again.
   std::unordered_map<uint64_t, std::shared_ptr<const Bitvector>> memo_;
@@ -148,16 +173,18 @@ class Evaluator {
 }  // namespace
 
 EvalResult EvaluateExprShared(const ExprPtr& expr, uint64_t row_count,
-                              const SharedLeafFetcher& fetch) {
-  Evaluator ev(row_count, fetch);
+                              const SharedLeafFetcher& fetch,
+                              TraceSink* trace) {
+  Evaluator ev(row_count, fetch, trace);
   Value v = ev.Eval(expr);
   if (v.owns()) return EvalResult(std::move(v.owned));
   return EvalResult(std::move(v.shared));
 }
 
 uint64_t EvaluateExprSharedCount(const ExprPtr& expr, uint64_t row_count,
-                                 const SharedLeafFetcher& fetch) {
-  return Evaluator(row_count, fetch).EvalCount(expr);
+                                 const SharedLeafFetcher& fetch,
+                                 TraceSink* trace) {
+  return Evaluator(row_count, fetch, trace).EvalCount(expr);
 }
 
 Bitvector EvaluateExpr(const ExprPtr& expr, uint64_t row_count,

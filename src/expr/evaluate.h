@@ -6,6 +6,7 @@
 
 #include "bitvector/bitvector.h"
 #include "expr/bitmap_expr.h"
+#include "util/trace.h"
 
 namespace bix {
 
@@ -59,8 +60,16 @@ class EvalResult {
 // over k operands) reusing a child's scratch buffer as the destination, and
 // AND chains stop evaluating children once the accumulator is provably
 // empty.
+//
+// `trace` (nullable) receives one span per operator node — named after the
+// op, with the fused kernel's combine pass as a separate "kernel" child so
+// per-node CPU is attributed apart from the nested fetches — clocked by
+// the sink's own ClockInterface, so traced evaluation under a VirtualClock
+// stays deterministic (kernel spans read 0ns; only sleeps advance time).
+// nullptr traces nothing and allocates nothing.
 EvalResult EvaluateExprShared(const ExprPtr& expr, uint64_t row_count,
-                              const SharedLeafFetcher& fetch);
+                              const SharedLeafFetcher& fetch,
+                              TraceSink* trace = nullptr);
 
 // Count-only evaluation: the popcount of the expression's result without
 // handing back a bitmap. Pure-leaf roots count the fetched handle directly
@@ -68,7 +77,8 @@ EvalResult EvaluateExprShared(const ExprPtr& expr, uint64_t row_count,
 // (Bitvector::AndWithCount); everything else counts the scratch
 // accumulator in place.
 uint64_t EvaluateExprSharedCount(const ExprPtr& expr, uint64_t row_count,
-                                 const SharedLeafFetcher& fetch);
+                                 const SharedLeafFetcher& fetch,
+                                 TraceSink* trace = nullptr);
 
 // By-value compatibility wrapper over EvaluateExprShared (tests and
 // examples; the fetcher's return value is moved, not copied).

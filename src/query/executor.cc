@@ -228,13 +228,13 @@ Result<Bitvector> QueryExecutor::EvalCore(const std::vector<ExprPtr>& exprs,
   auto accumulate = [&](const std::vector<const ExprPtr*>& order,
                         const SharedLeafFetcher& fetch) {
     if (count_out != nullptr && order.size() == 1) {
-      const uint64_t c = EvaluateExprSharedCount(*order[0], rows, fetch);
+      const uint64_t c = EvaluateExprSharedCount(*order[0], rows, fetch, trace_);
       if (error.ok()) count = c;
       return;
     }
     bool first = true;
     for (const ExprPtr* e : order) {
-      EvalResult part = EvaluateExprShared(*e, rows, fetch);
+      EvalResult part = EvaluateExprShared(*e, rows, fetch, trace_);
       if (!error.ok()) return;
       if (first) {
         first = false;
@@ -276,7 +276,7 @@ Result<Bitvector> QueryExecutor::EvalCore(const std::vector<ExprPtr>& exprs,
         return std::make_shared<const Bitvector>(rows);
       }
       Result<BitmapCacheInterface::SharedBitmap> r =
-          cache_->TryFetchShared(key, &stats_, cancel);
+          cache_->TryFetchShared(key, &stats_, cancel, trace_);
       if (!r.ok()) {
         error = r.status();
         return std::make_shared<const Bitvector>(rows);
@@ -309,7 +309,7 @@ Result<Bitvector> QueryExecutor::EvalCore(const std::vector<ExprPtr>& exprs,
       // Per-fetch budget check (TryFetchShared re-checks internally; this
       // keeps the loop's exit typed even for caches that do not).
       Result<BitmapCacheInterface::SharedBitmap> r =
-          cache_->TryFetchShared(key, &stats_, cancel);
+          cache_->TryFetchShared(key, &stats_, cancel, trace_);
       if (!r.ok()) {
         error = r.status();
         break;

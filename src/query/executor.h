@@ -133,6 +133,16 @@ class QueryExecutor {
   void ResetStats() { stats_ = IoStats{}; }
   void DropPool() { cache_->DropPool(); }
 
+  // Per-query trace sink (nullable, not owned; DESIGN.md section 13). When
+  // set, every evaluation opens spans for its fetches and operator-node
+  // kernels under the caller's currently open span; the caches receive the
+  // same sink so retry/backoff/modeled-I/O time lands in leaf spans. The
+  // executor is single-threaded per query, so the service sets the sink
+  // before Execute and clears it after; nullptr (the default) traces
+  // nothing and allocates nothing. Tracing is observation-only: results,
+  // IoStats, and cache state are bit-identical with the sink on or off.
+  void SetTraceSink(TraceSink* trace) { trace_ = trace; }
+
  private:
   // Reorders constituents for kBufferAware (greedy shared-leaf chaining).
   void OrderForSharing(std::vector<const ExprPtr*>* order);
@@ -149,6 +159,7 @@ class QueryExecutor {
   std::unique_ptr<BitmapCache> owned_cache_;  // null when borrowing
   BitmapCacheInterface* cache_;               // owned_cache_.get() or borrowed
   IoStats stats_;
+  TraceSink* trace_ = nullptr;  // per-query, set by the serving layer
 };
 
 }  // namespace bix

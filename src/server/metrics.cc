@@ -26,11 +26,13 @@ double LatencyHistogram::BucketUpperEdge(int bucket) {
 void LatencyHistogram::Record(double seconds) {
   ++buckets_[static_cast<size_t>(BucketFor(seconds))];
   ++count_;
+  sum_seconds_ += seconds;
 }
 
 void LatencyHistogram::Add(const LatencyHistogram& other) {
   for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
   count_ += other.count_;
+  sum_seconds_ += other.sum_seconds_;
 }
 
 double LatencyHistogram::Quantile(double q) const {
@@ -46,6 +48,28 @@ double LatencyHistogram::Quantile(double q) const {
     if (seen >= rank && seen > 0) return BucketUpperEdge(i);
   }
   return BucketUpperEdge(kBuckets - 1);
+}
+
+void ServiceStats::Add(const ServiceStats& other) {
+  submitted += other.submitted;
+  rejected_invalid += other.rejected_invalid;
+  rejected_overload += other.rejected_overload;
+  completed += other.completed;
+  retries += other.retries;
+  corruptions_detected += other.corruptions_detected;
+  quarantined_bitmaps += other.quarantined_bitmaps;
+  degraded_queries += other.degraded_queries;
+  deadline_exceeded += other.deadline_exceeded;
+  cancelled += other.cancelled;
+  shed_in_queue += other.shed_in_queue;
+  breaker_opens += other.breaker_opens;
+  breaker_open_seconds += other.breaker_open_seconds;
+  breaker_state = other.breaker_state;  // point-in-time: latest snapshot wins
+  io.Add(other.io);
+  queue_seconds_total += other.queue_seconds_total;
+  rewrite_seconds_total += other.rewrite_seconds_total;
+  eval_seconds_total += other.eval_seconds_total;
+  latency.Add(other.latency);
 }
 
 std::string ServiceStats::ToString() const {

@@ -28,16 +28,24 @@ struct QueryMetrics {
 // Fixed-footprint latency histogram with logarithmic buckets spanning
 // 1 microsecond to ~1 hour (half-power-of-two resolution, ~±19% relative
 // error on reported quantiles). Plain value type: single-writer or
-// externally synchronized; the service records under its stats mutex and
-// returns copies in snapshots.
+// externally synchronized; the metrics registry stripes instances across
+// locks for concurrent recording and merges them at snapshot time, and
+// ServiceStats carries one merged copy per snapshot.
 class LatencyHistogram {
  public:
   static constexpr int kBuckets = 64;
 
   void Record(double seconds);
+  // Bucket-wise merge: the single histogram-combine primitive. Everything
+  // that joins two histograms — the registry's striped snapshot,
+  // ServiceStats::Add — routes through here, so a new member added to this
+  // class has exactly one merge to update (and the sizeof tripwire below
+  // fails until it is).
   void Add(const LatencyHistogram& other);
 
   uint64_t count() const { return count_; }
+  // Sum of recorded values (exporter means; quantiles stay bucketed).
+  double sum_seconds() const { return sum_seconds_; }
   // Upper edge of the bucket containing the q-quantile (q in [0, 1]);
   // 0 when empty.
   double Quantile(double q) const;
@@ -51,7 +59,13 @@ class LatencyHistogram {
 
   std::array<uint64_t, kBuckets> buckets_{};
   uint64_t count_ = 0;
+  double sum_seconds_ = 0.0;
 };
+
+static_assert(sizeof(LatencyHistogram) ==
+                  LatencyHistogram::kBuckets * sizeof(uint64_t) +
+                      sizeof(uint64_t) + sizeof(double),
+              "LatencyHistogram gained a member; update Add() to merge it");
 
 // Point-in-time snapshot of service-level aggregates, returned by
 // QueryService::Stats(). All counters are cumulative since service start.
@@ -93,6 +107,17 @@ struct ServiceStats {
   double eval_seconds_total = 0.0;
   LatencyHistogram latency;  // per-query total_seconds()
 
+  // Merges another snapshot into this one (multi-service roll-ups, bench
+  // aggregation across runs). Every member is merged: counters add, the
+  // IoStats block routes through IoStats::Add, the histogram through
+  // LatencyHistogram::Add — never a hand-copied field list. Point-in-time
+  // members (breaker_state) keep `other`'s value, matching "latest
+  // snapshot wins". The static_assert below is the completeness tripwire
+  // (mirroring IoStats): adding a member changes sizeof(ServiceStats) and
+  // fails the build until Add — and the merge test in
+  // tests/observability_test.cc — are updated.
+  void Add(const ServiceStats& other);
+
   // Shared-cache effectiveness across all completed queries.
   double CacheHitRate() const {
     return io.scans == 0
@@ -102,6 +127,16 @@ struct ServiceStats {
 
   std::string ToString() const;  // one-line human-readable summary
 };
+
+static_assert(sizeof(ServiceStats) ==
+                  12 * sizeof(uint64_t)          // submitted..breaker_opens
+                      + sizeof(double)           // breaker_open_seconds
+                      + 2 * sizeof(uint32_t)     // breaker_state + padding
+                      + sizeof(IoStats)          // io
+                      + 3 * sizeof(double)       // per-stage seconds totals
+                      + sizeof(LatencyHistogram),  // latency
+              "ServiceStats gained a member; update ServiceStats::Add to "
+              "merge it");
 
 }  // namespace bix
 

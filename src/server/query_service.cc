@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <optional>
+#include <string>
 #include <unordered_set>
 #include <utility>
 
@@ -20,6 +23,40 @@ std::future<QueryResult> ResolvedWith(Status status) {
   result.status = std::move(status);
   promise.set_value(std::move(result));
   return promise.get_future();
+}
+
+// Status code names for trace tags and the slow-query log (stable
+// identifiers; Status::ToString appends the free-form message).
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk: return "OK";
+    case Status::Code::kInvalidArgument: return "InvalidArgument";
+    case Status::Code::kOutOfRange: return "OutOfRange";
+    case Status::Code::kCorruption: return "Corruption";
+    case Status::Code::kNotSupported: return "NotSupported";
+    case Status::Code::kUnavailable: return "Unavailable";
+    case Status::Code::kDeadlineExceeded: return "DeadlineExceeded";
+    case Status::Code::kCancelled: return "Cancelled";
+  }
+  return "Unknown";
+}
+
+// One-line query description for the slow-query log.
+std::string DescribeQuery(const ServiceQuery& query) {
+  char buf[64];
+  if (query.kind == ServiceQuery::Kind::kInterval) {
+    std::snprintf(buf, sizeof(buf), "interval [%u,%u]", query.interval.lo,
+                  query.interval.hi);
+  } else {
+    std::snprintf(buf, sizeof(buf), "membership k=%zu", query.values.size());
+  }
+  std::string out(buf);
+  if (query.count_only) out += " count_only";
+  return out;
+}
+
+std::string KeyTag(BitmapKey key) {
+  return "c" + std::to_string(key.component) + "/s" + std::to_string(key.slot);
 }
 }  // namespace
 
@@ -44,20 +81,35 @@ std::future<QueryResult> ResolvedWith(Status status) {
 // Thread-safe; one instance shared by all workers.
 class QueryService::FaultPolicyCache : public BitmapCacheInterface {
  public:
+  // The degradation counters live in the service's metrics registry; the
+  // policy cache increments them directly (relaxed atomic adds) so the hot
+  // path never funnels through a service-level lock.
   FaultPolicyCache(BitmapCacheInterface* inner, uint32_t max_retries,
                    double backoff_seconds, ClockInterface* clock,
-                   const BrownoutBreaker* breaker)
+                   const BrownoutBreaker* breaker, MetricsCounter* retries,
+                   MetricsCounter* corruptions, MetricsCounter* quarantined)
       : inner_(inner),
         max_retries_(max_retries),
         backoff_seconds_(backoff_seconds),
         clock_(clock),
-        breaker_(breaker) {}
+        breaker_(breaker),
+        retries_(retries),
+        corruptions_(corruptions),
+        quarantined_(quarantined) {}
 
+  // The traced shape of one policy-level fetch: a "fetch" span wrapping one
+  // "read" child per attempt (opened by the inner cache) and one "backoff"
+  // leaf per retry sleep, tagged with the key, the attempt count, and the
+  // outcome when the fetch did not succeed cleanly.
   Result<SharedBitmap> TryFetchShared(BitmapKey key, IoStats* stats,
-                                      const CancelToken* cancel) override {
+                                      const CancelToken* cancel,
+                                      TraceSink* trace) override {
+    TraceScope fetch_span(trace, "fetch");
+    if (trace != nullptr) trace->Tag("key", KeyTag(key));
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (quarantine_.count(key.Packed()) > 0) {
+        if (trace != nullptr) trace->Tag("outcome", "quarantined");
         return Status::Corruption("bitmap is quarantined (prior checksum "
                                   "failure)");
       }
@@ -66,14 +118,28 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
     for (uint32_t attempt = 0;; ++attempt) {
       if (cancel != nullptr) {
         Status budget = cancel->CheckAt(clock_->Now());
-        if (!budget.ok()) return budget;
+        if (!budget.ok()) {
+          if (trace != nullptr) trace->Tag("outcome", "budget_expired");
+          return budget;
+        }
       }
-      Result<SharedBitmap> r = inner_->TryFetchShared(key, stats, cancel);
-      if (r.ok()) return r;
+      Result<SharedBitmap> r = inner_->TryFetchShared(key, stats, cancel,
+                                                      trace);
+      if (r.ok()) {
+        if (trace != nullptr) {
+          trace->Tag("attempts", static_cast<uint64_t>(attempt) + 1);
+        }
+        return r;
+      }
       if (r.status().code() == Status::Code::kCorruption) {
-        std::lock_guard<std::mutex> lock(mu_);
-        quarantine_.insert(key.Packed());
-        ++corruptions_detected_;
+        bool newly_quarantined = false;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          newly_quarantined = quarantine_.insert(key.Packed()).second;
+        }
+        corruptions_->Increment();
+        if (newly_quarantined) quarantined_->Increment();
+        if (trace != nullptr) trace->Tag("outcome", "corruption");
         return r;
       }
       // Re-read the budget every attempt: a breaker opening mid-storm
@@ -81,9 +147,19 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
       const uint32_t retry_budget = breaker_ != nullptr
                                         ? breaker_->EffectiveRetries(max_retries_)
                                         : max_retries_;
-      if (!r.status().IsRetryable() || attempt >= retry_budget) return r;
-      retries_.fetch_add(1, std::memory_order_relaxed);
+      if (!r.status().IsRetryable() || attempt >= retry_budget) {
+        if (trace != nullptr) {
+          trace->Tag("outcome", "error");
+          trace->Tag("attempts", static_cast<uint64_t>(attempt) + 1);
+        }
+        return r;
+      }
+      retries_->Increment();
       if (backoff > 0.0) {
+        // The retry sleep is a leaf span, so backoff time attributes
+        // exactly (the span's duration is the simulated sleep under a
+        // VirtualClock).
+        TraceScope backoff_span(trace, "backoff");
         clock_->SleepFor(backoff, cancel);
         backoff *= 2.0;
       }
@@ -93,13 +169,8 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
 
   void DropPool() override { inner_->DropPool(); }
 
-  uint64_t retries() const {
-    return retries_.load(std::memory_order_relaxed);
-  }
-  uint64_t corruptions_detected() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return corruptions_detected_;
-  }
+  uint64_t retries() const { return retries_->Value(); }
+  uint64_t corruptions_detected() const { return corruptions_->Value(); }
   uint64_t quarantined_count() const {
     std::lock_guard<std::mutex> lock(mu_);
     return quarantine_.size();
@@ -111,10 +182,11 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
   const double backoff_seconds_;
   ClockInterface* const clock_;
   const BrownoutBreaker* const breaker_;  // null when brownout disabled
-  std::atomic<uint64_t> retries_{0};
+  MetricsCounter* const retries_;
+  MetricsCounter* const corruptions_;
+  MetricsCounter* const quarantined_;
   mutable std::mutex mu_;
   std::unordered_set<uint64_t> quarantine_;  // guarded by mu_
-  uint64_t corruptions_detected_ = 0;        // guarded by mu_
 };
 
 QueryService::QueryService(const BitmapIndex* index, ServiceOptions options)
@@ -127,12 +199,45 @@ QueryService::QueryService(const BitmapIndex* index, ServiceOptions options)
       breaker_(options.brownout.enabled
                    ? std::make_unique<BrownoutBreaker>(options.brownout)
                    : nullptr),
-      policy_cache_(std::make_unique<FaultPolicyCache>(
-          cache_.get(), options.max_fetch_retries,
-          options.retry_backoff_seconds, clock_, breaker_.get())),
-      queue_(options.queue_capacity) {
+      queue_(options.queue_capacity),
+      slow_log_(options.slow_query_log_size) {
   BIX_CHECK(index != nullptr);
   BIX_CHECK(options.num_workers > 0);
+  // Register every named metric once and cache the handles; all hot-path
+  // updates go through these pointers without touching the registry lock.
+  m_.submitted = registry_.GetCounter("queries_submitted");
+  m_.rejected_invalid = registry_.GetCounter("queries_rejected_invalid");
+  m_.rejected_overload = registry_.GetCounter("queries_rejected_overload");
+  m_.completed = registry_.GetCounter("queries_completed");
+  m_.degraded = registry_.GetCounter("queries_degraded");
+  m_.deadline_exceeded = registry_.GetCounter("queries_deadline_exceeded");
+  m_.cancelled = registry_.GetCounter("queries_cancelled");
+  m_.shed_in_queue = registry_.GetCounter("queries_shed_in_queue");
+  m_.traced = registry_.GetCounter("queries_traced");
+  m_.retries = registry_.GetCounter("fetch_retries");
+  m_.corruptions = registry_.GetCounter("corruptions_detected");
+  m_.quarantined = registry_.GetCounter("quarantined_bitmaps");
+  m_.breaker_state = registry_.GetGauge("breaker_state");
+  m_.breaker_opens = registry_.GetGauge("breaker_opens");
+  m_.breaker_open_seconds = registry_.GetGauge("breaker_open_seconds");
+  m_.pool_bytes_used = registry_.GetGauge("pool_bytes_used");
+  m_.io_scans = registry_.GetGauge("io_scans");
+  m_.io_pool_hits = registry_.GetGauge("io_pool_hits");
+  m_.io_disk_reads = registry_.GetGauge("io_disk_reads");
+  m_.io_rescans = registry_.GetGauge("io_rescans");
+  m_.io_bytes_read = registry_.GetGauge("io_bytes_read");
+  m_.io_seconds = registry_.GetGauge("io_seconds");
+  m_.io_decode_seconds = registry_.GetGauge("io_decode_seconds");
+  m_.io_cpu_seconds = registry_.GetGauge("io_cpu_seconds");
+  m_.stage_queue = registry_.GetHistogram("latency_queue");
+  m_.stage_rewrite = registry_.GetHistogram("latency_rewrite");
+  m_.stage_eval = registry_.GetHistogram("latency_eval");
+  m_.latency_total = registry_.GetHistogram("latency_total");
+  // The policy cache increments registry counters, so it is built after
+  // the handles above (and before any worker can run).
+  policy_cache_ = std::make_unique<FaultPolicyCache>(
+      cache_.get(), options.max_fetch_retries, options.retry_backoff_seconds,
+      clock_, breaker_.get(), m_.retries, m_.corruptions, m_.quarantined);
   if (options_.fault_injector != nullptr) {
     cache_->SetFaultInjector(options_.fault_injector);
   }
@@ -168,19 +273,17 @@ Status QueryService::Validate(const ServiceQuery& query) const {
 
 std::future<QueryResult> QueryService::SubmitInternal(ServiceQuery query,
                                                       bool blocking) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.submitted;
-  }
+  m_.submitted->Increment();
+  const ClockInterface::TimePoint submitted = clock_->Now();
   Status valid = Validate(query);
   if (!valid.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.rejected_invalid;
+    m_.rejected_invalid->Increment();
     return ResolvedWith(std::move(valid));
   }
 
   Task task;
   task.query = std::move(query);
+  task.submitted = submitted;
   task.enqueued = clock_->Now();
   std::future<QueryResult> future = task.promise.get_future();
   {
@@ -213,13 +316,13 @@ std::future<QueryResult> QueryService::SubmitInternal(ServiceQuery query,
                         : queue_.TryPush(std::move(task));
   }
   if (!accepted) {
+    if (admission_expired) {
+      m_.deadline_exceeded->Increment();
+    } else {
+      m_.rejected_overload->Increment();
+    }
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
-      if (admission_expired) {
-        ++stats_.deadline_exceeded;
-      } else {
-        ++stats_.rejected_overload;
-      }
       --pending_;
     }
     drained_cv_.notify_all();
@@ -282,10 +385,14 @@ void QueryService::Shutdown() {
 
 ServiceStats QueryService::Stats() const {
   ServiceStats snapshot;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    snapshot = stats_;
-  }
+  snapshot.submitted = m_.submitted->Value();
+  snapshot.rejected_invalid = m_.rejected_invalid->Value();
+  snapshot.rejected_overload = m_.rejected_overload->Value();
+  snapshot.completed = m_.completed->Value();
+  snapshot.degraded_queries = m_.degraded->Value();
+  snapshot.deadline_exceeded = m_.deadline_exceeded->Value();
+  snapshot.cancelled = m_.cancelled->Value();
+  snapshot.shed_in_queue = m_.shed_in_queue->Value();
   snapshot.retries = policy_cache_->retries();
   snapshot.corruptions_detected = policy_cache_->corruptions_detected();
   snapshot.quarantined_bitmaps = policy_cache_->quarantined_count();
@@ -294,7 +401,51 @@ ServiceStats QueryService::Stats() const {
     snapshot.breaker_open_seconds = breaker_->OpenSecondsTotal(clock_->Now());
     snapshot.breaker_state = static_cast<uint32_t>(breaker_->state());
   }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot.io = io_total_;
+  }
+  // Per-stage totals are the striped histograms' sums: the histograms are
+  // the source of truth and this struct is the derived view.
+  snapshot.queue_seconds_total = m_.stage_queue->Merged().sum_seconds();
+  snapshot.rewrite_seconds_total = m_.stage_rewrite->Merged().sum_seconds();
+  snapshot.eval_seconds_total = m_.stage_eval->Merged().sum_seconds();
+  snapshot.latency = m_.latency_total->Merged();
   return snapshot;
+}
+
+void QueryService::RefreshGauges() const {
+  if (breaker_ != nullptr) {
+    m_.breaker_state->Set(static_cast<double>(breaker_->state()));
+    m_.breaker_opens->Set(static_cast<double>(breaker_->opens()));
+    m_.breaker_open_seconds->Set(breaker_->OpenSecondsTotal(clock_->Now()));
+  }
+  m_.pool_bytes_used->Set(static_cast<double>(cache_->pool_bytes_used()));
+  IoStats io;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    io = io_total_;
+  }
+  m_.io_scans->Set(static_cast<double>(io.scans));
+  m_.io_pool_hits->Set(static_cast<double>(io.pool_hits));
+  m_.io_disk_reads->Set(static_cast<double>(io.disk_reads));
+  m_.io_rescans->Set(static_cast<double>(io.rescans));
+  m_.io_bytes_read->Set(static_cast<double>(io.bytes_read));
+  m_.io_seconds->Set(io.io_seconds);
+  m_.io_decode_seconds->Set(io.decode_seconds);
+  m_.io_cpu_seconds->Set(io.cpu_seconds);
+}
+
+std::string QueryService::ExportMetrics(MetricsFormat format) const {
+  RefreshGauges();
+  if (format == MetricsFormat::kJson) return registry_.DumpJson();
+  std::string out = registry_.DumpText();
+  const std::string slow = slow_log_.Render();
+  if (!slow.empty()) {
+    out += "# slow queries (slowest first)\n";
+    out += slow;
+  }
+  return out;
 }
 
 void QueryService::WorkerLoop(uint32_t worker_id) {
@@ -331,42 +482,71 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
     QueryResult result = Execute(&executor, *task);
     // Record before resolving the future, so a caller that waited on the
     // result is guaranteed to see its query in the service counters.
-    RecordCompletion(result);
+    RecordCompletion(*task, result);
     task->promise.set_value(std::move(result));
   }
 }
 
 QueryResult QueryService::Execute(QueryExecutor* executor, const Task& task) {
-  using Clock = std::chrono::steady_clock;
   QueryResult result;
-  result.metrics.queue_seconds = SecondsBetween(task.enqueued, clock_->Now());
+  const ClockInterface::TimePoint picked_up = clock_->Now();
+  result.metrics.queue_seconds = SecondsBetween(task.enqueued, picked_up);
   const CancelToken* cancel = task.query.cancel.get();
 
+  // Per-query trace (DESIGN.md section 13): the root span is anchored at
+  // the submit timestamp, so the pre-worker waits recorded below land
+  // inside it and the root's duration is end-to-end latency as the client
+  // saw it. Untraced queries construct nothing.
+  std::optional<TraceSink> sink;
+  TraceSink* trace = nullptr;
+  if (task.query.traced) {
+    sink.emplace(clock_, "query", task.submitted);
+    trace = &*sink;
+    trace->Tag("kind", task.query.kind == ServiceQuery::Kind::kInterval
+                           ? "interval"
+                           : "membership");
+    if (task.query.count_only) trace->Tag("count_only", "true");
+    trace->Record("admission", task.submitted, task.enqueued);
+    trace->Record("queue", task.enqueued, picked_up);
+  }
+
   executor->ResetStats();
-  const auto t0 = Clock::now();
+  executor->SetTraceSink(trace);
+  // All stage timing runs on the service clock: under a VirtualClock the
+  // per-stage metrics are the simulated (deterministic) durations, exactly
+  // matching the trace spans; under the real clock they are wall time.
+  const ClockInterface::TimePoint t0 = clock_->Now();
   std::vector<ExprPtr> exprs;
-  if (task.query.kind == ServiceQuery::Kind::kInterval) {
-    exprs.push_back(executor->Rewrite(task.query.interval));
-  } else {
-    exprs = executor->RewriteMembership(task.query.values, cancel);
-  }
-  const auto t1 = Clock::now();
-  Status eval_status;
-  if (task.query.count_only) {
-    // COUNT selection: the evaluator counts in place; no result bitmap is
-    // materialized for the client.
-    Result<uint64_t> count = executor->TryEvaluateCountRewritten(exprs, cancel);
-    if (count.ok()) result.count = count.value();
-    eval_status = count.status();
-  } else {
-    Result<Bitvector> rows = executor->TryEvaluateRewritten(exprs, cancel);
-    if (rows.ok()) {
-      result.rows = std::move(rows).value();
-      result.count = result.rows.Count();
+  {
+    TraceScope rewrite_span(trace, "rewrite");
+    if (task.query.kind == ServiceQuery::Kind::kInterval) {
+      exprs.push_back(executor->Rewrite(task.query.interval));
+    } else {
+      exprs = executor->RewriteMembership(task.query.values, cancel);
     }
-    eval_status = rows.status();
   }
-  const auto t2 = Clock::now();
+  const ClockInterface::TimePoint t1 = clock_->Now();
+  Status eval_status;
+  {
+    TraceScope eval_span(trace, "eval");
+    if (task.query.count_only) {
+      // COUNT selection: the evaluator counts in place; no result bitmap is
+      // materialized for the client.
+      Result<uint64_t> count =
+          executor->TryEvaluateCountRewritten(exprs, cancel);
+      if (count.ok()) result.count = count.value();
+      eval_status = count.status();
+    } else {
+      Result<Bitvector> rows = executor->TryEvaluateRewritten(exprs, cancel);
+      if (rows.ok()) {
+        result.rows = std::move(rows).value();
+        result.count = result.rows.Count();
+      }
+      eval_status = rows.status();
+    }
+  }
+  const ClockInterface::TimePoint t2 = clock_->Now();
+  executor->SetTraceSink(nullptr);
 
   result.metrics.rewrite_seconds = SecondsBetween(t0, t1);
   result.metrics.eval_seconds = SecondsBetween(t1, t2);
@@ -376,27 +556,46 @@ QueryResult QueryService::Execute(QueryExecutor* executor, const Task& task) {
   // expired/cancelled budget — instead of rows. The partial IoStats of the
   // work done before the cutoff stays recorded.
   result.status = std::move(eval_status);
+  if (trace != nullptr) {
+    trace->Tag("status", CodeName(result.status.code()));
+    result.trace = std::make_shared<const TraceSpan>(sink->Finish());
+  }
   return result;
 }
 
-void QueryService::RecordCompletion(const QueryResult& result) {
+void QueryService::RecordCompletion(const Task& task,
+                                    const QueryResult& result) {
   const QueryMetrics& metrics = result.metrics;
+  m_.completed->Increment();
+  if (!result.status.ok()) m_.degraded->Increment();
+  if (result.status.code() == Status::Code::kDeadlineExceeded) {
+    m_.deadline_exceeded->Increment();
+  }
+  if (result.status.code() == Status::Code::kCancelled) {
+    m_.cancelled->Increment();
+  }
+  if (result.trace != nullptr) m_.traced->Increment();
+  m_.stage_queue->Record(metrics.queue_seconds);
+  m_.stage_rewrite->Record(metrics.rewrite_seconds);
+  m_.stage_eval->Record(metrics.eval_seconds);
+  m_.latency_total->Record(metrics.total_seconds());
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.completed;
-    if (!result.status.ok()) ++stats_.degraded_queries;
-    if (result.status.code() == Status::Code::kDeadlineExceeded) {
-      ++stats_.deadline_exceeded;
-    }
-    if (result.status.code() == Status::Code::kCancelled) ++stats_.cancelled;
-    stats_.io.Add(metrics.io);
-    stats_.queue_seconds_total += metrics.queue_seconds;
-    stats_.rewrite_seconds_total += metrics.rewrite_seconds;
-    stats_.eval_seconds_total += metrics.eval_seconds;
-    stats_.latency.Record(metrics.total_seconds());
+    io_total_.Add(metrics.io);
     --pending_;
   }
   drained_cv_.notify_all();
+  // Slow-query log: build the entry (strings, rendered trace) only when it
+  // could actually displace one — WouldAdmit is a single relaxed load, so
+  // fast queries pay nothing here.
+  if (slow_log_.WouldAdmit(metrics.total_seconds())) {
+    SlowQueryLog::Entry entry;
+    entry.total_seconds = metrics.total_seconds();
+    entry.description = DescribeQuery(task.query);
+    entry.status = CodeName(result.status.code());
+    if (result.trace != nullptr) entry.trace_render = result.trace->Render();
+    slow_log_.MaybeAdd(std::move(entry));
+  }
   if (breaker_ != nullptr) {
     // Overload signals only: retryable fetch failures (the storm the
     // breaker exists to damp) and deadline misses. Corruption, validation
@@ -409,20 +608,30 @@ void QueryService::RecordCompletion(const QueryResult& result) {
 }
 
 void QueryService::ResolveShed(Task* task, Status status) {
+  m_.shed_in_queue->Increment();
+  if (status.code() == Status::Code::kDeadlineExceeded) {
+    m_.deadline_exceeded->Increment();
+  }
+  if (status.code() == Status::Code::kCancelled) m_.cancelled->Increment();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.shed_in_queue;
-    if (status.code() == Status::Code::kDeadlineExceeded) {
-      ++stats_.deadline_exceeded;
-    }
-    if (status.code() == Status::Code::kCancelled) ++stats_.cancelled;
     --pending_;
   }
   drained_cv_.notify_all();
   QueryResult result;
   result.status = std::move(status);
-  result.metrics.queue_seconds =
-      SecondsBetween(task->enqueued, clock_->Now());
+  const ClockInterface::TimePoint now = clock_->Now();
+  result.metrics.queue_seconds = SecondsBetween(task->enqueued, now);
+  // A traced shed query still gets a trace: the waits it did spend, plus
+  // the shed decision, so "where did my query die" is answerable.
+  if (task->query.traced) {
+    TraceSink sink(clock_, "query", task->submitted);
+    sink.Record("admission", task->submitted, task->enqueued);
+    sink.Record("queue", task->enqueued, now);
+    sink.Tag("shed", "at_dequeue");
+    sink.Tag("status", CodeName(result.status.code()));
+    result.trace = std::make_shared<const TraceSpan>(sink.Finish());
+  }
   task->promise.set_value(std::move(result));
 }
 
@@ -445,9 +654,9 @@ void QueryService::ShedForBrownout() {
         return token->RemainingSeconds(now);
       });
   if (shed.empty()) return;
+  m_.shed_in_queue->Increment(shed.size());
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.shed_in_queue += shed.size();
     pending_ -= shed.size();
   }
   drained_cv_.notify_all();
@@ -456,6 +665,14 @@ void QueryService::ShedForBrownout() {
     result.status =
         Status::Unavailable("shed by overload breaker (brownout)");
     result.metrics.queue_seconds = SecondsBetween(task.enqueued, now);
+    if (task.query.traced) {
+      TraceSink sink(clock_, "query", task.submitted);
+      sink.Record("admission", task.submitted, task.enqueued);
+      sink.Record("queue", task.enqueued, now);
+      sink.Tag("shed", "brownout");
+      sink.Tag("status", CodeName(result.status.code()));
+      result.trace = std::make_shared<const TraceSpan>(sink.Finish());
+    }
     task.promise.set_value(std::move(result));
   }
 }

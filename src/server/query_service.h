@@ -14,11 +14,13 @@
 #include "query/executor.h"
 #include "server/brownout.h"
 #include "server/metrics.h"
+#include "server/metrics_registry.h"
 #include "server/sharded_cache.h"
 #include "server/work_queue.h"
 #include "util/cancel_token.h"
 #include "util/clock.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace bix {
 
@@ -44,6 +46,14 @@ struct ServiceQuery {
   // service's clock (real steady_clock unless ServiceOptions::clock says
   // otherwise).
   std::shared_ptr<CancelToken> cancel;
+  // Per-query tracing (DESIGN.md section 13): when set, the worker builds
+  // a TraceSpan tree for this query — admission/queue waits, rewrite,
+  // evaluation with per-fetch I/O / decode / retry / backoff leaves and
+  // per-node kernel spans — and returns it in QueryResult.trace. Tracing
+  // is observation-only (results and IoStats are bit-identical with it on
+  // or off) and costs nothing when off: no sink is constructed, no span is
+  // allocated.
+  bool traced = false;
 
   static ServiceQuery Interval(IntervalQuery q) {
     ServiceQuery sq;
@@ -64,6 +74,10 @@ struct ServiceQuery {
   }
   ServiceQuery& WithCancel(std::shared_ptr<CancelToken> token) {
     cancel = std::move(token);
+    return *this;
+  }
+  ServiceQuery& WithTrace() {
+    traced = true;
     return *this;
   }
   // Convenience: a fresh token expiring `seconds` from now on the real
@@ -90,6 +104,12 @@ struct QueryResult {
   Bitvector rows;
   uint64_t count = 0;
   QueryMetrics metrics;
+  // The query's span tree when it was submitted with WithTrace(); null
+  // otherwise. The root span covers submit-to-completion; its leaves
+  // decompose that latency exactly under a VirtualClock (DESIGN.md
+  // section 13). shared_ptr so results stay cheaply copyable and the slow-
+  // query log can retain a rendering without deep-copying the tree.
+  std::shared_ptr<const TraceSpan> trace;
 };
 
 struct ServiceOptions {
@@ -132,7 +152,15 @@ struct ServiceOptions {
   // Enabled by default; set brownout.enabled = false for the exact
   // unthrottled degradation accounting of section 10.
   BrownoutOptions brownout;
+
+  // Observability (DESIGN.md section 13): how many of the slowest completed
+  // queries ExportMetrics retains (with rendered traces when available).
+  // 0 disables the slow-query log.
+  size_t slow_query_log_size = 8;
 };
+
+// Wire format of QueryService::ExportMetrics.
+enum class MetricsFormat : uint8_t { kText, kJson };
 
 // A concurrent query service over one immutable BitmapIndex: a bounded
 // MPMC work queue feeding a fixed pool of worker threads, each running its
@@ -185,8 +213,24 @@ class QueryService {
   // joined, not just the one that got there first.
   void Shutdown();
 
-  // Point-in-time aggregate counters (thread-safe).
+  // Point-in-time aggregate counters (thread-safe). A compatibility view
+  // assembled from the metrics registry: the ad-hoc per-field accounting
+  // this struct used to own now lives in named registry counters and
+  // per-stage striped histograms, and Stats() reads them back (per-stage
+  // seconds totals are the histograms' sums).
   ServiceStats Stats() const;
+
+  // Varz-style dump of every registered metric — query counters, per-stage
+  // latency histograms (count/sum/p50/p95/p99), degradation and breaker
+  // gauges, I/O roll-up — plus, in text form, the slow-query log with each
+  // retained query's rendered trace. Deterministic for a deterministic
+  // workload under a VirtualClock (the observability suite pins goldens).
+  std::string ExportMetrics(MetricsFormat format = MetricsFormat::kText) const;
+
+  // The slowest completed queries seen so far (slowest first).
+  std::vector<SlowQueryLog::Entry> SlowQueries() const {
+    return slow_log_.Snapshot();
+  }
 
   const ShardedBitmapCache& cache() const { return *cache_; }
   uint32_t num_workers() const { return options_.num_workers; }
@@ -195,6 +239,10 @@ class QueryService {
   struct Task {
     ServiceQuery query;
     std::promise<QueryResult> promise;
+    // Admission-edge timestamps (service clock): Submit entry and queue
+    // push. "admission" spans cover submitted->enqueued, "queue" spans
+    // enqueued->worker pickup.
+    std::chrono::steady_clock::time_point submitted;
     std::chrono::steady_clock::time_point enqueued;
   };
 
@@ -209,7 +257,11 @@ class QueryService {
   std::future<QueryResult> SubmitInternal(ServiceQuery query, bool blocking);
   void WorkerLoop(uint32_t worker_id);
   QueryResult Execute(QueryExecutor* executor, const Task& task);
-  void RecordCompletion(const QueryResult& result);
+  void RecordCompletion(const Task& task, const QueryResult& result);
+  // Refreshes the point-in-time export gauges (breaker, degradation
+  // counters owned by the policy cache, I/O roll-up, pool residency) just
+  // before a dump, so exporters never read stale snapshots.
+  void RefreshGauges() const;
   // Resolves a dequeued-but-not-executed task with `status` (queue-side
   // shedding: expired/cancelled at dequeue).
   void ResolveShed(Task* task, Status status);
@@ -226,8 +278,49 @@ class QueryService {
   BoundedWorkQueue<Task> queue_;
   std::vector<std::thread> workers_;
 
+  // Named metrics (DESIGN.md section 13). Counter/gauge/histogram handles
+  // are registered once in the constructor and cached here, so hot-path
+  // updates are relaxed atomic adds (counters) or one striped-lock Record
+  // (histograms) — the registry mutex is only ever taken at registration
+  // and dump time. `mutable` so const exporters can refresh gauges.
+  mutable MetricsRegistry registry_;
+  SlowQueryLog slow_log_;
+  struct Handles {
+    MetricsCounter* submitted;
+    MetricsCounter* rejected_invalid;
+    MetricsCounter* rejected_overload;
+    MetricsCounter* completed;
+    MetricsCounter* degraded;
+    MetricsCounter* deadline_exceeded;
+    MetricsCounter* cancelled;
+    MetricsCounter* shed_in_queue;
+    MetricsCounter* traced;
+    MetricsCounter* retries;
+    MetricsCounter* corruptions;
+    MetricsCounter* quarantined;
+    MetricsGauge* breaker_state;
+    MetricsGauge* breaker_opens;
+    MetricsGauge* breaker_open_seconds;
+    MetricsGauge* pool_bytes_used;
+    MetricsGauge* io_scans;
+    MetricsGauge* io_pool_hits;
+    MetricsGauge* io_disk_reads;
+    MetricsGauge* io_rescans;
+    MetricsGauge* io_bytes_read;
+    MetricsGauge* io_seconds;
+    MetricsGauge* io_decode_seconds;
+    MetricsGauge* io_cpu_seconds;
+    StripedLatencyHistogram* stage_queue;
+    StripedLatencyHistogram* stage_rewrite;
+    StripedLatencyHistogram* stage_eval;
+    StripedLatencyHistogram* latency_total;
+  };
+  Handles m_{};
+
   mutable std::mutex stats_mu_;
-  ServiceStats stats_;
+  // Roll-up of per-query IoStats blocks (guarded by stats_mu_; IoStats is
+  // a plain value type).
+  IoStats io_total_;
   // Queries admitted but not yet completed (queued or in flight); Drain
   // waits for this to reach zero. Guarded by stats_mu_.
   uint64_t pending_ = 0;

@@ -22,12 +22,18 @@ ShardedBitmapCache::ShardedBitmapCache(const BitmapStore* store,
 }
 
 Result<BitmapCacheInterface::SharedBitmap> ShardedBitmapCache::TryFetchShared(
-    BitmapKey key, IoStats* stats, const CancelToken* cancel) {
+    BitmapKey key, IoStats* stats, const CancelToken* cancel,
+    TraceSink* trace) {
   // Fetch-granularity budget check: a query past its deadline (or
   // cancelled) stops here, before paying for a modeled read.
   if (cancel != nullptr) {
     Status budget = cancel->CheckAt(clock_->Now());
     if (!budget.ok()) return budget;
+  }
+  TraceScope read_span(trace, "read");
+  if (trace != nullptr) {
+    trace->Tag("key", "c" + std::to_string(key.component) + "/s" +
+                          std::to_string(key.slot));
   }
   ++stats->scans;
   Shard& shard = ShardFor(key);
@@ -51,7 +57,10 @@ Result<BitmapCacheInterface::SharedBitmap> ShardedBitmapCache::TryFetchShared(
       cached = e.bitmap;
     }
   }
-  if (cached) return cached;
+  if (cached) {
+    if (trace != nullptr) trace->Tag("outcome", "hit");
+    return cached;
+  }
 
   // Miss path. The store is immutable after build, so blob access and
   // materialization need no lock; only the accounting and the insert take
@@ -69,40 +78,61 @@ Result<BitmapCacheInterface::SharedBitmap> ShardedBitmapCache::TryFetchShared(
     decode_s = disk_.DecodeSeconds(stored_bytes);
     stats->decode_seconds += decode_s;
   }
+  if (trace != nullptr) {
+    trace->Tag("outcome", "miss");
+    trace->Tag("bytes", stored_bytes);
+  }
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     ++shard.counters.misses;
     if (!shard.read_before.insert(key.Packed()).second) ++stats->rescans;
   }
   if (io_latency_scale_ > 0.0) {
-    clock_->SleepFor((io_s + decode_s) * io_latency_scale_, cancel);
+    // The modeled wait is split so the trace attributes disk transfer and
+    // decompression separately; the total slept time is unchanged.
+    {
+      TraceScope io_span(trace, "io");
+      clock_->SleepFor(io_s * io_latency_scale_, cancel);
+    }
+    if (decode_s > 0.0) {
+      TraceScope decode_span(trace, "decode");
+      clock_->SleepFor(decode_s * io_latency_scale_, cancel);
+    }
   }
   if (injector_ != nullptr) {
     switch (injector_->OnRead(key)) {
       case FaultInjector::Fault::kUnavailable:
+        if (trace != nullptr) trace->Tag("fault", "unavailable");
         return Status::Unavailable("injected transient read error");
       case FaultInjector::Fault::kBitFlip: {
         // A torn page: corrupt a copy of the stored bytes and run the same
         // integrity-checked decode the clean path uses. The shard never
         // sees the result, so cached state stays verified.
+        if (trace != nullptr) trace->Tag("fault", "bit_flip");
         BitmapStore::Blob corrupt = blob;
         injector_->CorruptPayload(key, &corrupt.bytes);
+        TraceScope materialize_span(trace, "materialize");
         Result<Bitvector> decoded = TryMaterializeBlob(corrupt);
         if (!decoded.ok()) return decoded.status();
         return SharedBitmap(
             std::make_shared<const Bitvector>(std::move(decoded).value()));
       }
-      case FaultInjector::Fault::kLatencySpike:
+      case FaultInjector::Fault::kLatencySpike: {
+        TraceScope spike_span(trace, "spike");
         clock_->SleepFor(injector_->latency_spike_seconds(), cancel);
         break;
+      }
       case FaultInjector::Fault::kNone:
         break;
     }
   }
-  Result<Bitvector> decoded = TryMaterializeBlob(blob);
-  if (!decoded.ok()) return decoded.status();
-  auto bitmap =
-      std::make_shared<const Bitvector>(std::move(decoded).value());
+  std::shared_ptr<const Bitvector> bitmap;
+  {
+    TraceScope materialize_span(trace, "materialize");
+    Result<Bitvector> decoded = TryMaterializeBlob(blob);
+    if (!decoded.ok()) return decoded.status();
+    bitmap = std::make_shared<const Bitvector>(std::move(decoded).value());
+  }
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     Insert(&shard, key, stored_bytes, bitmap);

@@ -69,7 +69,8 @@ class ShardedBitmapCache : public BitmapCacheInterface {
   // token fails the fetch up front with the token's typed status (deadline
   // checks happen at fetch granularity).
   Result<SharedBitmap> TryFetchShared(BitmapKey key, IoStats* stats,
-                                      const CancelToken* cancel) override;
+                                      const CancelToken* cancel,
+                                      TraceSink* trace) override;
   using BitmapCacheInterface::TryFetchShared;
   void DropPool() override;
 

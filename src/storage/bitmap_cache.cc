@@ -20,10 +20,16 @@ Result<BitmapCacheInterface::SharedBitmap> MaterializeShared(
 }  // namespace
 
 Result<BitmapCacheInterface::SharedBitmap> BitmapCache::TryFetchShared(
-    BitmapKey key, IoStats* stats, const CancelToken* cancel) {
+    BitmapKey key, IoStats* stats, const CancelToken* cancel,
+    TraceSink* trace) {
   if (cancel != nullptr) {
     Status budget = cancel->Check();
     if (!budget.ok()) return budget;
+  }
+  TraceScope read_span(trace, "read");
+  if (trace != nullptr) {
+    trace->Tag("key", "c" + std::to_string(key.component) + "/s" +
+                          std::to_string(key.slot));
   }
   ++stats->scans;
   Result<const BitmapStore::Blob*> blob_r = store_->TryGetBlob(key);
@@ -35,30 +41,40 @@ Result<BitmapCacheInterface::SharedBitmap> BitmapCache::TryFetchShared(
   auto it = resident_.find(key);
   if (it != resident_.end()) {
     ++stats->pool_hits;
+    if (trace != nullptr) trace->Tag("outcome", "hit");
     Touch(key);
   } else {
     ++stats->disk_reads;
     stats->bytes_read += bytes;
     stats->io_seconds += disk_.ReadSeconds(bytes);
     if (!read_before_.insert(key.Packed()).second) ++stats->rescans;
+    if (trace != nullptr) {
+      trace->Tag("outcome", "miss");
+      trace->Tag("bytes", bytes);
+    }
     // Faults model the disk, so they strike only this (simulated) read;
     // pool hits above are served from memory and stay clean.
     if (injector_ != nullptr) {
       switch (injector_->OnRead(key)) {
         case FaultInjector::Fault::kUnavailable:
+          if (trace != nullptr) trace->Tag("fault", "unavailable");
           return Status::Unavailable("injected transient read error");
         case FaultInjector::Fault::kBitFlip: {
           // A torn page: corrupt a copy of the stored bytes and run the
           // same integrity-checked decode the clean path uses. Nothing is
           // cached — the pool never holds known-bad bytes.
+          if (trace != nullptr) trace->Tag("fault", "bit_flip");
           BitmapStore::Blob corrupt = blob;
           injector_->CorruptPayload(key, &corrupt.bytes);
+          TraceScope materialize_span(trace, "materialize");
           return MaterializeShared(corrupt);
         }
-        case FaultInjector::Fault::kLatencySpike:
+        case FaultInjector::Fault::kLatencySpike: {
+          TraceScope spike_span(trace, "spike");
           std::this_thread::sleep_for(std::chrono::duration<double>(
               injector_->latency_spike_seconds()));
           break;
+        }
         case FaultInjector::Fault::kNone:
           break;
       }
@@ -67,6 +83,7 @@ Result<BitmapCacheInterface::SharedBitmap> BitmapCache::TryFetchShared(
   }
   // Decode CPU (BBC decompression for compressed indexes) is measured by
   // the executor's end-to-end timer, not here, to avoid double counting.
+  TraceScope materialize_span(trace, "materialize");
   return MaterializeShared(blob);
 }
 

@@ -11,6 +11,7 @@
 #include "storage/fault_injector.h"
 #include "storage/io_stats.h"
 #include "util/cancel_token.h"
+#include "util/trace.h"
 
 namespace bix {
 
@@ -43,10 +44,22 @@ class BitmapCacheInterface {
   // checked before the fetch does any work: an expired or cancelled query
   // gets DeadlineExceeded/Cancelled back instead of paying for another
   // read — the fetch is the serving stack's cancellation granularity.
+  //
+  // `trace` (nullable) is the query's trace sink: implementations open one
+  // "read" span per fetch attempt, with the stage that actually spends
+  // time — modeled I/O, modeled decode, injected latency spikes, the real
+  // decode in materialization — as leaf children, so a traced query's
+  // latency decomposes exactly (DESIGN.md section 13). nullptr traces
+  // nothing and must cost nothing (no allocations on the disabled path).
   virtual Result<SharedBitmap> TryFetchShared(BitmapKey key, IoStats* stats,
-                                              const CancelToken* cancel) = 0;
+                                              const CancelToken* cancel,
+                                              TraceSink* trace) = 0;
+  Result<SharedBitmap> TryFetchShared(BitmapKey key, IoStats* stats,
+                                      const CancelToken* cancel) {
+    return TryFetchShared(key, stats, cancel, nullptr);
+  }
   Result<SharedBitmap> TryFetchShared(BitmapKey key, IoStats* stats) {
-    return TryFetchShared(key, stats, nullptr);
+    return TryFetchShared(key, stats, nullptr, nullptr);
   }
 
   // By-value compatibility wrappers: one defensive copy out of the shared
@@ -100,7 +113,8 @@ class BitmapCache : public BitmapCacheInterface {
   // the *stored* form, so the handle owns a freshly decoded buffer — built
   // once, never copied on the way out.
   Result<SharedBitmap> TryFetchShared(BitmapKey key, IoStats* stats,
-                                      const CancelToken* cancel) override;
+                                      const CancelToken* cancel,
+                                      TraceSink* trace) override;
   using BitmapCacheInterface::TryFetchShared;
   using BitmapCacheInterface::Fetch;
 

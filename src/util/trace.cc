@@ -1,0 +1,234 @@
+#include "util/trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace bix {
+
+namespace {
+
+std::atomic<uint64_t> g_spans_started{0};
+std::atomic<uint64_t> g_sinks_created{0};
+
+// JSON string escaping for span names and tag values (ours are plain
+// identifiers, but tags may carry rendered messages).
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+int64_t TraceSpan::ChildrenNanos() const {
+  int64_t total = 0;
+  for (const TraceSpan& c : children) total += c.duration_ns;
+  return total;
+}
+
+int64_t TraceSpan::LeafNanos() const {
+  if (children.empty()) return duration_ns;
+  int64_t total = 0;
+  for (const TraceSpan& c : children) total += c.LeafNanos();
+  return total;
+}
+
+uint64_t TraceSpan::SpanCount() const {
+  uint64_t total = 1;
+  for (const TraceSpan& c : children) total += c.SpanCount();
+  return total;
+}
+
+const TraceSpan* TraceSpan::Find(std::string_view span_name) const {
+  if (name == span_name) return this;
+  for (const TraceSpan& c : children) {
+    if (const TraceSpan* hit = c.Find(span_name)) return hit;
+  }
+  return nullptr;
+}
+
+std::string TraceSpan::TagValue(std::string_view key) const {
+  for (const auto& [k, v] : tags) {
+    if (k == key) return v;
+  }
+  return std::string();
+}
+
+void TraceSpan::AppendRender(std::string* out, int depth) const {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += name;
+  char buf[48];
+  // Integer-nanosecond durations render exactly: the double below is an
+  // exact representation for any duration this system can produce.
+  std::snprintf(buf, sizeof(buf), " %.3fus",
+                static_cast<double>(duration_ns) / 1e3);
+  *out += buf;
+  for (const auto& [k, v] : tags) {
+    *out += ' ';
+    *out += k;
+    *out += '=';
+    *out += v;
+  }
+  *out += '\n';
+  for (const TraceSpan& c : children) c.AppendRender(out, depth + 1);
+}
+
+std::string TraceSpan::Render() const {
+  std::string out;
+  AppendRender(&out, 0);
+  return out;
+}
+
+void TraceSpan::AppendJson(std::string* out) const {
+  *out += "{\"name\":";
+  AppendJsonString(name, out);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), ",\"start_ns\":%lld,\"duration_ns\":%lld",
+                static_cast<long long>(start_ns),
+                static_cast<long long>(duration_ns));
+  *out += buf;
+  if (!tags.empty()) {
+    *out += ",\"tags\":{";
+    bool first = true;
+    for (const auto& [k, v] : tags) {
+      if (!first) *out += ',';
+      first = false;
+      AppendJsonString(k, out);
+      *out += ':';
+      AppendJsonString(v, out);
+    }
+    *out += '}';
+  }
+  if (!children.empty()) {
+    *out += ",\"children\":[";
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) *out += ',';
+      children[i].AppendJson(out);
+    }
+    *out += ']';
+  }
+  *out += '}';
+}
+
+std::string TraceSpan::ToJson() const {
+  std::string out;
+  AppendJson(&out);
+  return out;
+}
+
+TraceSink::TraceSink(ClockInterface* clock, std::string root_name)
+    : TraceSink(clock, std::move(root_name), clock->Now()) {}
+
+TraceSink::TraceSink(ClockInterface* clock, std::string root_name,
+                     ClockInterface::TimePoint origin)
+    : clock_(clock), origin_(origin) {
+  g_sinks_created.fetch_add(1, std::memory_order_relaxed);
+  g_spans_started.fetch_add(1, std::memory_order_relaxed);
+  Open root;
+  root.span.name = std::move(root_name);
+  root.span.start_ns = 0;
+  root.start = origin_;
+  stack_.push_back(std::move(root));
+}
+
+int64_t TraceSink::OffsetNanos(ClockInterface::TimePoint t) const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t - origin_)
+      .count();
+}
+
+void TraceSink::Begin(std::string_view name) {
+  BIX_CHECK(!finished_);
+  g_spans_started.fetch_add(1, std::memory_order_relaxed);
+  Open open;
+  open.span.name = std::string(name);
+  open.start = clock_->Now();
+  open.span.start_ns = OffsetNanos(open.start);
+  stack_.push_back(std::move(open));
+}
+
+void TraceSink::End() {
+  BIX_CHECK(!finished_);
+  BIX_CHECK_MSG(stack_.size() > 1, "End without matching Begin");
+  Open done = std::move(stack_.back());
+  stack_.pop_back();
+  done.span.duration_ns = OffsetNanos(clock_->Now()) - done.span.start_ns;
+  stack_.back().span.children.push_back(std::move(done.span));
+}
+
+void TraceSink::Tag(std::string_view key, std::string value) {
+  BIX_CHECK(!finished_);
+  stack_.back().span.tags.emplace_back(std::string(key), std::move(value));
+}
+
+void TraceSink::Tag(std::string_view key, uint64_t value) {
+  Tag(key, std::to_string(value));
+}
+
+void TraceSink::Record(std::string_view name, ClockInterface::TimePoint start,
+                       ClockInterface::TimePoint end) {
+  BIX_CHECK(!finished_);
+  g_spans_started.fetch_add(1, std::memory_order_relaxed);
+  TraceSpan span;
+  span.name = std::string(name);
+  span.start_ns = OffsetNanos(start);
+  span.duration_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count();
+  stack_.back().span.children.push_back(std::move(span));
+}
+
+TraceSpan TraceSink::Finish() {
+  BIX_CHECK(!finished_);
+  const int64_t now_ns = OffsetNanos(clock_->Now());
+  while (stack_.size() > 1) {
+    Open done = std::move(stack_.back());
+    stack_.pop_back();
+    done.span.duration_ns = now_ns - done.span.start_ns;
+    stack_.back().span.children.push_back(std::move(done.span));
+  }
+  Open root = std::move(stack_.back());
+  stack_.pop_back();
+  root.span.duration_ns = now_ns;
+  finished_ = true;
+  return std::move(root.span);
+}
+
+uint64_t TraceSink::SpansStarted() {
+  return g_spans_started.load(std::memory_order_relaxed);
+}
+
+uint64_t TraceSink::SinksCreated() {
+  return g_sinks_created.load(std::memory_order_relaxed);
+}
+
+void TraceSink::ResetAccounting() {
+  g_spans_started.store(0, std::memory_order_relaxed);
+  g_sinks_created.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace bix

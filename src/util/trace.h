@@ -1,0 +1,141 @@
+#ifndef BIX_UTIL_TRACE_H_
+#define BIX_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace bix {
+
+// One node of a per-query trace: a named stage with its offset from the
+// trace root's start, its duration, optional key=value tags, and nested
+// child stages. All times are integer nanoseconds of whichever
+// ClockInterface produced them (DESIGN.md section 13), so a trace taken
+// under a VirtualClock is exactly reproducible — byte-identical renders,
+// exact duration arithmetic, no floating-point drift between runs.
+//
+// The attribution invariant the observability suite pins: time only ever
+// elapses inside *leaf* spans (every sleep — modeled I/O, retry backoff,
+// injected latency spikes — is wrapped by one), so for any span the sum of
+// its leaf descendants' durations equals its own duration under a
+// VirtualClock, and end-to-end latency decomposes exactly into stages.
+struct TraceSpan {
+  std::string name;
+  int64_t start_ns = 0;     // offset from the trace root's start
+  int64_t duration_ns = 0;  // end - start, same clock
+  std::vector<std::pair<std::string, std::string>> tags;
+  std::vector<TraceSpan> children;
+
+  // Sum of the direct children's durations.
+  int64_t ChildrenNanos() const;
+  // Sum over leaf descendants (own duration when this span is a leaf).
+  int64_t LeafNanos() const;
+  // Total number of spans in this subtree, including this one.
+  uint64_t SpanCount() const;
+  // Depth-first search for the first span named `name` (this included);
+  // nullptr when absent.
+  const TraceSpan* Find(std::string_view span_name) const;
+  // First value of tag `key` on this span; empty string when absent.
+  std::string TagValue(std::string_view key) const;
+
+  // Indented human-readable tree, one span per line:
+  //   eval 300.000us
+  //     fetch 150.000us key=c0/s3 outcome=miss
+  std::string Render() const;
+  // Compact JSON object {"name":...,"start_ns":...,"duration_ns":...,
+  // "tags":{...},"children":[...]} with deterministic field order.
+  std::string ToJson() const;
+
+  void AppendRender(std::string* out, int depth) const;
+  void AppendJson(std::string* out) const;
+};
+
+// Builds a TraceSpan tree from Begin/End events, clocked by an injected
+// ClockInterface so traced runs under a VirtualClock are deterministic.
+// One sink traces one query and is used by exactly one thread at a time
+// (the worker evaluating that query); it is threaded as a nullable pointer
+// through the executor, the caches, and the expression evaluator — nullptr
+// means tracing is off and every instrumentation site is a no-op that
+// allocates nothing (the overhead guard in tests/observability_test.cc
+// pins this via the span-accounting counters below).
+class TraceSink {
+ public:
+  // Opens the root span at clock->Now(); all offsets are relative to it.
+  explicit TraceSink(ClockInterface* clock, std::string root_name = "query");
+  // Opens the root span at `origin`, a point in the clock's past (e.g. the
+  // query's submit timestamp). Pre-worker waits recorded with Record() then
+  // land *inside* the root, so the root's duration covers true end-to-end
+  // latency and still decomposes exactly into its leaves.
+  TraceSink(ClockInterface* clock, std::string root_name,
+            ClockInterface::TimePoint origin);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Opens a child of the currently open span.
+  void Begin(std::string_view name);
+  // Closes the innermost open span (never the root; Finish closes that).
+  void End();
+  // Attaches key=value to the innermost open span.
+  void Tag(std::string_view key, std::string value);
+  void Tag(std::string_view key, uint64_t value);
+  // Appends an already-bounded child span to the innermost open span, for
+  // stages timed outside the sink (admission/queue waits measured from
+  // task timestamps).
+  void Record(std::string_view name, ClockInterface::TimePoint start,
+              ClockInterface::TimePoint end);
+
+  ClockInterface* clock() const { return clock_; }
+
+  // Closes every open span (root included) at clock->Now() and returns the
+  // finished tree. The sink must not be used afterwards.
+  TraceSpan Finish();
+
+  // Instrumentation-cost accounting (copy-stats-style, mirroring
+  // BitvectorCopyStats): every span opened or recorded by any sink bumps a
+  // process-wide counter, so a test can assert the disabled-tracing path
+  // opens zero spans — and therefore pays zero tracing allocations — per
+  // query.
+  static uint64_t SpansStarted();
+  static uint64_t SinksCreated();
+  static void ResetAccounting();
+
+ private:
+  struct Open {
+    TraceSpan span;
+    ClockInterface::TimePoint start;
+  };
+
+  int64_t OffsetNanos(ClockInterface::TimePoint t) const;
+
+  ClockInterface* const clock_;
+  const ClockInterface::TimePoint origin_;
+  std::vector<Open> stack_;  // stack_[0] is the root
+  bool finished_ = false;
+};
+
+// RAII span, safe on a null sink (the disabled-tracing fast path: a single
+// branch, no allocation).
+class TraceScope {
+ public:
+  TraceScope(TraceSink* sink, std::string_view name) : sink_(sink) {
+    if (sink_ != nullptr) sink_->Begin(name);
+  }
+  ~TraceScope() {
+    if (sink_ != nullptr) sink_->End();
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceSink* const sink_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_UTIL_TRACE_H_
