@@ -22,10 +22,12 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.seed = std::strtoull(a + 7, nullptr, 10);
     } else if (std::strcmp(a, "--quick") == 0) {
       args.quick = true;
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      args.json_path = a + 7;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--rows=N] [--cardinality=C] [--seed=S] "
-                   "[--quick]\n",
+                   "[--quick] [--json=PATH]\n",
                    argv[0]);
       std::exit(2);
     }

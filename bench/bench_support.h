@@ -9,13 +9,16 @@ namespace bix {
 namespace bench {
 
 // Minimal flag parsing for the reproduction harnesses:
-//   --rows=N --cardinality=C --seed=S --quick
+//   --rows=N --cardinality=C --seed=S --quick --json=PATH
 // Unknown flags abort with a usage message.
 struct BenchArgs {
   uint64_t rows = 1'000'000;
   uint32_t cardinality = 50;
   uint64_t seed = 42;
   bool quick = false;  // smaller sweep for smoke runs
+  // When non-empty, benches that support it also write a machine-readable
+  // JSON series here (the BENCH_codecs.json trajectory artifact).
+  std::string json_path;
 
   static BenchArgs Parse(int argc, char** argv);
 };

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "bench_support.h"
 #include "core/bitmap_index_facade.h"
@@ -37,18 +38,22 @@ void Run(const bench::BenchArgs& args) {
     std::string label;
     BitmapIndex index;
   };
+  // Third tier alongside the paper's binary choice: Roaring containers
+  // ("roa"), which evaluate on the compressed form.
+  const std::vector<std::pair<StorageCodec, const char*>> codecs = {
+      {StorageCodec::kVerbatim, "unc"},
+      {StorageCodec::kBbc, "cmp"},
+      {StorageCodec::kRoaring, "roa"}};
   std::vector<Config> configs;
   for (EncodingKind enc : BasicEncodingKinds()) {
     for (uint32_t n : ns) {
       Result<Decomposition> d = ChooseSpaceOptimalBases(c, n, enc);
       if (!d.ok()) continue;
-      for (bool compressed : {false, true}) {
-        std::string label = std::string(compressed ? "cmp " : "unc ") +
-                            EncodingKindName(enc) + " n=" +
-                            std::to_string(n);
-        configs.push_back(
-            {std::move(label),
-             BitmapIndex::Build(col, d.value(), enc, compressed)});
+      for (const auto& [codec, tag] : codecs) {
+        std::string label = std::string(tag) + " " + EncodingKindName(enc) +
+                            " n=" + std::to_string(n);
+        configs.push_back({std::move(label),
+                           BitmapIndex::Build(col, d.value(), enc, codec)});
       }
     }
   }

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "bench_support.h"
 #include "core/bitmap_index_facade.h"
@@ -42,15 +43,20 @@ void Run(const bench::BenchArgs& args) {
                                "decode(ms)", "cpu(ms)"});
     // Track, per encoding at n=1, which form is faster (the paper's
     // compressed-vs-uncompressed crossover).
+    // Third tier alongside the paper's binary choice: Roaring containers
+    // ("roa"), which evaluate on the compressed form.
+    const std::vector<std::pair<StorageCodec, const char*>> codecs = {
+        {StorageCodec::kVerbatim, "unc"},
+        {StorageCodec::kBbc, "cmp"},
+        {StorageCodec::kRoaring, "roa"}};
     for (EncodingKind enc : BasicEncodingKinds()) {
       for (uint32_t n : ns) {
         Result<Decomposition> d = ChooseSpaceOptimalBases(c, n, enc);
         if (!d.ok()) continue;
-        for (bool compressed : {false, true}) {
-          BitmapIndex index = BitmapIndex::Build(col, d.value(), enc,
-                                                 compressed);
+        for (const auto& [codec, tag] : codecs) {
+          BitmapIndex index = BitmapIndex::Build(col, d.value(), enc, codec);
           bench::QueryRunCost cost = bench::RunQueries(index, queries);
-          std::string label = std::string(compressed ? "cmp " : "unc ") +
+          std::string label = std::string(tag) + " " +
                               EncodingKindName(enc) + " n=" +
                               std::to_string(n);
           table.AddRow(

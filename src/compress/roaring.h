@@ -1,0 +1,138 @@
+#ifndef BIX_COMPRESS_ROARING_H_
+#define BIX_COMPRESS_ROARING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "bitvector/bitvector.h"
+#include "util/status.h"
+
+namespace bix {
+
+// Tripwire accounting for the operate-on-compressed contract: every *full*
+// expansion of a Roaring bitmap into a plain Bitvector (ToBitvector, and
+// the codec paths built on it) bumps `full_decodes`. Compressed-domain
+// operations, container-consuming kernels (OrInto/AndInPlace/...), and
+// WriteInto of a freshly computed *result* do not count — they are the
+// whole point. Tests Reset() the counter, run a warmed cache-hit AND, and
+// assert it stayed zero.
+class RoaringStats {
+ public:
+  static uint64_t full_decodes() {
+    return full_decodes_.load(std::memory_order_relaxed);
+  }
+  static void Reset() { full_decodes_.store(0, std::memory_order_relaxed); }
+
+ private:
+  friend class RoaringBitmap;
+  static std::atomic<uint64_t> full_decodes_;
+};
+
+// A Roaring-style compressed bitmap ("Better bitmap performance with
+// Roaring bitmaps", Chambi et al.): the bit space is split into 2^16-bit
+// chunks, and each nonempty chunk is stored as whichever container is
+// smallest for its contents:
+//   - array:  sorted uint16 values (sparse chunks, <= 4096 values),
+//   - bitset: 1024 x 64-bit words (dense chunks),
+//   - run:    sorted [start, start+length] intervals (clustered chunks).
+// Logical operations work container-against-container without ever
+// expanding the whole bitmap: array/array intersection gallops, bitset
+// ops are word-parallel, run ops intersect intervals. The chunk index is
+// ordered, so binary ops are a linear merge over nonempty chunks.
+class RoaringBitmap {
+ public:
+  static constexpr uint32_t kChunkBits = 1u << 16;
+  static constexpr uint32_t kChunkWords = kChunkBits / 64;
+  // Above this cardinality a bitset container (8 KiB) is smaller than the
+  // sorted-array form (2 bytes/value) — the standard Roaring cutoff.
+  static constexpr uint32_t kArrayCutoff = 4096;
+
+  enum class ContainerType : uint8_t { kArray = 0, kBitset = 1, kRun = 2 };
+
+  // A run of consecutive set bits [start, start + length] (inclusive), so
+  // a full chunk is the single run {0, 65535}.
+  struct Run {
+    uint16_t start = 0;
+    uint16_t length = 0;
+  };
+
+  struct Container {
+    uint32_t key = 0;  // chunk index: bits [key*2^16, (key+1)*2^16)
+    ContainerType type = ContainerType::kArray;
+    uint32_t cardinality = 0;
+    std::vector<uint16_t> array;   // kArray: sorted distinct values
+    std::vector<uint64_t> words;   // kBitset: exactly kChunkWords words
+    std::vector<Run> runs;         // kRun: sorted, non-overlapping,
+                                   // non-adjacent
+  };
+
+  RoaringBitmap() = default;
+
+  // Run-aware encoding: one pass over the words computes each chunk's
+  // cardinality and run count, then builds the smallest container form.
+  static RoaringBitmap FromBitvector(const Bitvector& bv);
+
+  // Full decode into a plain bitmap. Counted by RoaringStats — callers on
+  // the evaluation path should consume containers instead.
+  Bitvector ToBitvector() const;
+
+  // Writes this bitmap's contents into a fresh plain accumulator (used to
+  // hand a *computed* compressed-domain result back as a Bitvector; not
+  // counted as a decode of stored data).
+  void WriteInto(Bitvector* out) const;
+
+  uint64_t bit_count() const { return bit_count_; }
+  bool Empty() const { return containers_.empty(); }
+  // Popcount from container cardinalities — no expansion.
+  uint64_t Count() const;
+  // Exact size of Serialize()'s output.
+  uint64_t byte_size() const;
+  size_t container_count() const { return containers_.size(); }
+  const std::vector<Container>& containers() const { return containers_; }
+
+  // Compressed-domain binary operations: a linear merge over the two
+  // container lists, combining matching chunks container-vs-container
+  // (galloping array intersection, word-parallel bitset ops, interval
+  // arithmetic for runs). Both operands must share bit_count.
+  static RoaringBitmap And(const RoaringBitmap& a, const RoaringBitmap& b);
+  static RoaringBitmap Or(const RoaringBitmap& a, const RoaringBitmap& b);
+  static RoaringBitmap Xor(const RoaringBitmap& a, const RoaringBitmap& b);
+  static RoaringBitmap AndNot(const RoaringBitmap& a, const RoaringBitmap& b);
+  // popcount(a & b) without materializing the intersection.
+  static uint64_t AndCount(const RoaringBitmap& a, const RoaringBitmap& b);
+  // popcount(*this & plain) consuming containers against the plain words.
+  uint64_t AndCount(const Bitvector& plain) const;
+
+  // Container-consuming kernels against a plain accumulator of the same
+  // size — how mixed Roaring/verbatim expressions evaluate without a full
+  // decode: each container touches only its own chunk's words.
+  void OrInto(Bitvector* acc) const;
+  void XorInto(Bitvector* acc) const;
+  // acc &= *this; chunks with no container are zeroed wholesale.
+  void AndInPlace(Bitvector* acc) const;
+  // *out = ~*this (trailing bits beyond bit_count stay clear).
+  void NotInto(Bitvector* out) const;
+
+  // Serialization (the BitmapStore payload format):
+  //   u32 container_count, then per container
+  //   u32 key | u8 type | u32 cardinality | payload
+  // where payload is card x u16 (array), kChunkWords x u64 (bitset), or
+  // u32 run_count + run_count x (u16 start, u16 length) (run). All fields
+  // little-endian.
+  std::vector<uint8_t> Serialize() const;
+  // Validating deserialization: structural errors (truncation, unordered
+  // keys/values, cardinality mismatches, bits beyond bit_count, trailing
+  // garbage) surface as Corruption, never an abort or a broken invariant.
+  static Result<RoaringBitmap> Deserialize(const std::vector<uint8_t>& bytes,
+                                           uint64_t bit_count);
+
+ private:
+  uint64_t bit_count_ = 0;
+  // Sorted by key; no empty containers.
+  std::vector<Container> containers_;
+};
+
+}  // namespace bix
+
+#endif  // BIX_COMPRESS_ROARING_H_

@@ -16,8 +16,11 @@ Result<BitmapIndex> BuildIndex(const Column& column,
   if (bases.empty()) bases = {column.cardinality};
   Result<Decomposition> d = Decomposition::Make(column.cardinality, bases);
   if (!d.ok()) return d.status();
-  return BitmapIndex::Build(column, d.value(), config.encoding,
-                            config.compressed);
+  const StorageCodec codec = config.codec.has_value()
+                                 ? *config.codec
+                                 : (config.compressed ? StorageCodec::kBbc
+                                                      : StorageCodec::kVerbatim);
+  return BitmapIndex::Build(column, d.value(), config.encoding, codec);
 }
 
 Result<std::vector<uint32_t>> SpaceOptimalBases(uint32_t cardinality,

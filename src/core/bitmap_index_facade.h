@@ -20,7 +20,13 @@ struct IndexConfig {
   // Base sequence <b_n, ..., b_1>; empty selects a single component of base
   // `cardinality`.
   std::vector<uint32_t> bases_msb_first;
+  // The paper's binary codec choice (false = verbatim, true = BBC). Ignored
+  // when `codec` is set.
   bool compressed = false;
+  // Full codec axis: an explicit codec for every bitmap, or
+  // StorageCodec::kAuto to let the per-bitmap advisor pick. Unset falls
+  // back to `compressed`.
+  std::optional<StorageCodec> codec;
 };
 
 // Validates the config against the column and builds the index.

@@ -9,8 +9,15 @@ namespace bix {
 namespace {
 
 constexpr char kMagic[4] = {'B', 'I', 'X', 'I'};
-constexpr uint32_t kVersionLegacy = 1;   // no checksums
-constexpr uint32_t kVersionCurrent = 2;  // header CRC + per-record CRCs
+constexpr uint32_t kVersionLegacy = 1;       // no checksums
+constexpr uint32_t kVersionChecksummed = 2;  // header CRC + per-record CRCs
+constexpr uint32_t kVersionCurrent = 3;      // + per-bitmap codec tags
+
+// The v3 header's storage-policy byte: 0-3 are CodecId values (every blob
+// uses that codec), 4 means the advisor chose per bitmap. v1/v2 reuse the
+// same slot as the boolean `compressed` byte — CodecId was numbered so
+// those files reinterpret in place (0 verbatim, 1 BBC).
+constexpr uint8_t kPolicyAuto = 4;
 
 // Writer/Reader keep a running CRC32C over the bytes that pass through, so
 // the checksum fields cost no extra buffering: reset the accumulator at a
@@ -96,10 +103,22 @@ uint64_t FileSize(std::FILE* f) {
 
 Status SaveIndexAtVersion(const BitmapIndex& index, const std::string& path,
                           uint32_t version) {
-  if (version != kVersionLegacy && version != kVersionCurrent) {
+  if (version != kVersionLegacy && version != kVersionChecksummed &&
+      version != kVersionCurrent) {
     return Status::NotSupported("unknown index file version to write");
   }
-  const bool checksummed = version >= kVersionCurrent;
+  // Legacy formats have a one-bit codec axis: their `compressed` bytes can
+  // say only verbatim or BBC. WAH/Roaring/advisor-chosen indexes need the
+  // v3 codec tags.
+  if (version < kVersionCurrent &&
+      index.storage_codec() != StorageCodec::kVerbatim &&
+      index.storage_codec() != StorageCodec::kBbc) {
+    return Status::NotSupported(
+        std::string("index file v") + std::to_string(version) +
+        " cannot carry storage codec " +
+        StorageCodecName(index.storage_codec()));
+  }
+  const bool checksummed = version >= kVersionChecksummed;
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::InvalidArgument("cannot open file for writing: " + path);
@@ -108,7 +127,9 @@ Status SaveIndexAtVersion(const BitmapIndex& index, const std::string& path,
   w.Bytes(kMagic, 4);
   w.U32(version);
   w.U8(static_cast<uint8_t>(index.encoding_kind()));
-  w.U8(index.compressed() ? 1 : 0);
+  // v3: the storage-policy byte. v1/v2: the boolean `compressed` byte,
+  // which is the same value for the two codecs those formats can hold.
+  w.U8(static_cast<uint8_t>(index.storage_codec()));
   w.U32(index.decomposition().cardinality());
   w.U64(index.row_count());
   const std::vector<uint32_t> bases = index.decomposition().BasesMsbFirst();
@@ -121,7 +142,9 @@ Status SaveIndexAtVersion(const BitmapIndex& index, const std::string& path,
         w.ResetCrc();
         w.U32(key.component);
         w.U32(key.slot);
-        w.U8(blob.compressed ? 1 : 0);
+        // v3: the per-bitmap codec tag. v1/v2: the boolean `compressed`
+        // byte (identical bytes for the codecs those formats allow).
+        w.U8(static_cast<uint8_t>(blob.codec));
         w.U64(blob.bit_count);
         w.U64(blob.bytes.size());
         w.Bytes(blob.bytes.data(), blob.bytes.size());
@@ -153,11 +176,13 @@ Result<BitmapIndex> LoadIndex(const std::string& path, IndexLoadInfo* info) {
     return Status::Corruption("not a bix index file");
   }
   const uint32_t version = r.U32();
-  if (version != kVersionLegacy && version != kVersionCurrent) {
+  if (version != kVersionLegacy && version != kVersionChecksummed &&
+      version != kVersionCurrent) {
     std::fclose(f);
     return Status::NotSupported("unknown index file version");
   }
-  const bool checksummed = version >= kVersionCurrent;
+  const bool checksummed = version >= kVersionChecksummed;
+  const bool codec_tagged = version >= kVersionCurrent;
   if (info != nullptr) {
     info->version = version;
     info->checksummed = checksummed;
@@ -168,7 +193,19 @@ Result<BitmapIndex> LoadIndex(const std::string& path, IndexLoadInfo* info) {
     return Status::Corruption("bad encoding kind");
   }
   const EncodingKind encoding = static_cast<EncodingKind>(encoding_raw);
-  const bool compressed = r.U8() != 0;
+  const uint8_t policy_raw = r.U8();
+  StorageCodec storage_codec;
+  if (codec_tagged) {
+    if (policy_raw > kPolicyAuto) {
+      std::fclose(f);
+      return Status::Corruption("bad storage-policy byte");
+    }
+    storage_codec = static_cast<StorageCodec>(policy_raw);
+  } else {
+    // The legacy boolean `compressed` byte: any nonzero value meant BBC.
+    storage_codec =
+        policy_raw != 0 ? StorageCodec::kBbc : StorageCodec::kVerbatim;
+  }
   const uint32_t cardinality = r.U32();
   const uint64_t row_count = r.U64();
   const uint32_t n = r.U32();
@@ -207,7 +244,20 @@ Result<BitmapIndex> LoadIndex(const std::string& path, IndexLoadInfo* info) {
     key.component = r.U32();
     key.slot = r.U32();
     BitmapStore::Blob blob;
-    blob.compressed = r.U8() != 0;
+    const uint8_t codec_raw = r.U8();
+    if (codec_tagged) {
+      Result<CodecId> codec = CodecFromByte(codec_raw);
+      if (!codec.ok()) {
+        std::fclose(f);
+        return codec.status();
+      }
+      blob.codec = codec.value();
+      // Under the per-bitmap policy, loaded blobs keep re-running the
+      // advisor on Replace, exactly like the store that was saved.
+      blob.auto_codec = storage_codec == StorageCodec::kAuto;
+    } else {
+      blob.codec = codec_raw != 0 ? CodecId::kBbc : CodecId::kVerbatim;
+    }
     blob.bit_count = r.U64();
     const uint64_t len = r.U64();
     if (!r.ok() || len > file_size || blob.bit_count != row_count) {
@@ -246,7 +296,7 @@ Result<BitmapIndex> LoadIndex(const std::string& path, IndexLoadInfo* info) {
     store.PutBlob(key, std::move(blob));
   }
   std::fclose(f);
-  return BitmapIndex::FromParts(std::move(d.value()), encoding, compressed,
+  return BitmapIndex::FromParts(std::move(d.value()), encoding, storage_codec,
                                 row_count, std::move(store));
 }
 

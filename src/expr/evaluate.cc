@@ -4,30 +4,51 @@
 #include <utility>
 #include <vector>
 
+#include "compress/roaring.h"
 #include "util/check.h"
 
 namespace bix {
 namespace {
 
 // A node's value during evaluation: a borrowed shared handle (leaf/memo —
-// immutable, owned by the cache) or an owned scratch buffer the evaluator
+// immutable, owned by the cache), a borrowed Roaring container handle
+// (combined without full decode), or an owned scratch buffer the evaluator
 // may mutate and reuse as a fused-kernel destination.
 struct Value {
-  std::shared_ptr<const Bitvector> shared;  // non-null when borrowed
-  Bitvector owned;                          // meaningful when !shared
+  std::shared_ptr<const Bitvector> shared;        // non-null when borrowed
+  std::shared_ptr<const RoaringBitmap> roaring;   // non-null when container
+  Bitvector owned;  // meaningful when !shared && !roaring
 
-  const Bitvector& view() const { return shared ? *shared : owned; }
-  bool owns() const { return shared == nullptr; }
+  bool is_roaring() const { return roaring != nullptr; }
+  // Plain-form view; never call on a Roaring value (the point is to avoid
+  // expanding those).
+  const Bitvector& view() const {
+    BIX_CHECK(!is_roaring());
+    return shared ? *shared : owned;
+  }
+  bool owns() const { return shared == nullptr && roaring == nullptr; }
+  bool AllZero() const {
+    return is_roaring() ? roaring->Empty() : view().AllZero();
+  }
 
   static Value Borrowed(std::shared_ptr<const Bitvector> bv) {
     Value v;
     v.shared = std::move(bv);
     return v;
   }
+  static Value BorrowedRoaring(std::shared_ptr<const RoaringBitmap> rb) {
+    Value v;
+    v.roaring = std::move(rb);
+    return v;
+  }
   static Value Owned(Bitvector bv) {
     Value v;
     v.owned = std::move(bv);
     return v;
+  }
+  static Value FromDecoded(DecodedBitmap d) {
+    if (d.is_roaring()) return BorrowedRoaring(d.roaring_handle());
+    return Borrowed(d.plain_handle());
   }
 };
 
@@ -50,7 +71,7 @@ const char* OpSpanName(ExprOp op) {
 
 class Evaluator {
  public:
-  Evaluator(uint64_t row_count, const SharedLeafFetcher& fetch,
+  Evaluator(uint64_t row_count, const DecodedLeafFetcher& fetch,
             TraceSink* trace)
       : row_count_(row_count), fetch_(fetch), trace_(trace) {}
 
@@ -60,14 +81,20 @@ class Evaluator {
         return Value::Owned(e->const_value ? Bitvector::AllOnes(row_count_)
                                            : Bitvector(row_count_));
       case ExprOp::kLeaf:
-        return Value::Borrowed(FetchMemoized(e->leaf));
+        return Value::FromDecoded(FetchMemoized(e->leaf));
       case ExprOp::kNot: {
         TraceScope span(trace_, OpSpanName(e->op));
         // NOT needs a private buffer: reuse the child's scratch when it
-        // owns one, otherwise write the complement of the borrowed leaf
-        // straight into fresh scratch (never copy-then-flip).
+        // owns one, otherwise write the complement of the borrowed form
+        // straight into fresh scratch (never copy-then-flip). A Roaring
+        // child complements from containers — no full decode.
         Value child = Eval(e->children[0]);
         TraceScope kernel(trace_, "kernel");
+        if (child.is_roaring()) {
+          Bitvector r;
+          child.roaring->NotInto(&r);
+          return Value::Owned(std::move(r));
+        }
         if (child.owns()) {
           child.owned.NotSelf();
           return child;
@@ -86,16 +113,25 @@ class Evaluator {
   }
 
   // Count of the root's result without materializing a copy for the
-  // caller. Leaf roots count the handle in place; a binary AND root folds
-  // the popcount into its combine pass.
+  // caller. Leaf roots count the handle in place (compressed popcount for
+  // Roaring); a binary AND root folds the popcount into its combine pass —
+  // in the compressed domain when both sides are containers, via the
+  // hybrid AndCount when one side is plain.
   uint64_t EvalCount(const ExprPtr& e) {
-    if (e->op == ExprOp::kLeaf) return FetchMemoized(e->leaf)->Count();
+    if (e->op == ExprOp::kLeaf) {
+      return FetchMemoized(e->leaf).Count();
+    }
     if (e->op == ExprOp::kAnd && e->children.size() == 2) {
       TraceScope span(trace_, "and");
       Value a = Eval(e->children[0]);
-      if (a.view().AllZero()) return 0;  // short-circuit: skip the sibling
+      if (a.AllZero()) return 0;  // short-circuit: skip the sibling
       Value b = Eval(e->children[1]);
       TraceScope kernel(trace_, "kernel");
+      if (a.is_roaring() && b.is_roaring()) {
+        return RoaringBitmap::AndCount(*a.roaring, *b.roaring);
+      }
+      if (a.is_roaring()) return a.roaring->AndCount(b.view());
+      if (b.is_roaring()) return b.roaring->AndCount(a.view());
       // AndWithCount mutates its receiver: use whichever side owns scratch.
       // Two borrowed leaves need no scratch at all — AndCount popcounts the
       // conjunction without materializing it.
@@ -103,7 +139,18 @@ class Evaluator {
       if (b.owns()) return b.owned.AndWithCount(a.view());
       return Bitvector::AndCount(*a.shared, *b.shared);
     }
-    return Eval(e).view().Count();
+    Value v = Eval(e);
+    return v.is_roaring() ? v.roaring->Count() : v.view().Count();
+  }
+
+  // Root conversion for callers that need a plain bitmap. A Roaring value
+  // here is stored data the caller demanded expanded, so the decode is
+  // counted (RoaringStats tripwire) — unlike computed results, which were
+  // never in container form.
+  static EvalResult ToResult(Value v) {
+    if (v.is_roaring()) return EvalResult(v.roaring->ToBitvector());
+    if (v.owns()) return EvalResult(std::move(v.owned));
+    return EvalResult(std::move(v.shared));
   }
 
  private:
@@ -116,14 +163,23 @@ class Evaluator {
     vals.reserve(e->children.size());
     for (const ExprPtr& c : e->children) {
       vals.push_back(Eval(c));
-      if (e->op == ExprOp::kAnd && vals.back().view().AllZero()) {
+      if (e->op == ExprOp::kAnd && vals.back().AllZero()) {
         return Value::Owned(Bitvector(row_count_));
       }
     }
-    // One fused pass over all k children. Reuse the first owned child's
-    // buffer as the destination (the kernels read each word from every
-    // operand before writing it, so aliasing is safe); allocate only when
-    // every child is a borrowed leaf.
+    size_t plain_count = 0;
+    for (const Value& v : vals) plain_count += v.is_roaring() ? 0 : 1;
+    TraceScope kernel(trace_, "kernel");
+    if (plain_count == 0) return NaryAllRoaring(e->op, vals);
+    if (plain_count == vals.size()) return NaryAllPlain(e->op, vals);
+    return NaryMixed(e->op, vals, plain_count);
+  }
+
+  // One fused pass over all k plain children. Reuse the first owned
+  // child's buffer as the destination (the kernels read each word from
+  // every operand before writing it, so aliasing is safe); allocate only
+  // when every child is a borrowed leaf.
+  Value NaryAllPlain(ExprOp op, std::vector<Value>& vals) {
     size_t dst = vals.size();
     for (size_t i = 0; i < vals.size(); ++i) {
       if (vals[i].owns()) {
@@ -137,54 +193,136 @@ class Evaluator {
     for (size_t i = 0; i < vals.size(); ++i) {
       ops[i] = (i == dst) ? &out : &vals[i].view();
     }
-    TraceScope kernel(trace_, "kernel");
-    switch (e->op) {
-      case ExprOp::kAnd:
-        Bitvector::AndManyInto(ops, &out);
+    RunFused(op, ops, &out);
+    return Value::Owned(std::move(out));
+  }
+
+  // Every operand is in container form: fold the whole node in the
+  // compressed domain and expand only the final, computed result (an
+  // uncounted WriteInto — no stored bitmap was fully decoded).
+  Value NaryAllRoaring(ExprOp op, std::vector<Value>& vals) {
+    RoaringBitmap acc = Combine(op, *vals[0].roaring, *vals[1].roaring);
+    for (size_t i = 2; i < vals.size(); ++i) {
+      acc = Combine(op, acc, *vals[i].roaring);
+    }
+    Bitvector out;
+    acc.WriteInto(&out);
+    return Value::Owned(std::move(out));
+  }
+
+  // Plain and Roaring operands together: fuse the plain ones into scratch,
+  // then fold each Roaring operand in with its container-iterating kernel —
+  // containers are consumed run-by-run/word-by-word, never expanded.
+  Value NaryMixed(ExprOp op, std::vector<Value>& vals, size_t plain_count) {
+    size_t dst = vals.size();
+    for (size_t i = 0; i < vals.size(); ++i) {
+      if (vals[i].owns()) {
+        dst = i;
         break;
-      case ExprOp::kOr:
-        Bitvector::OrManyInto(ops, &out);
-        break;
-      default:
-        Bitvector::XorManyInto(ops, &out);
-        break;
+      }
+    }
+    Bitvector out;
+    if (dst < vals.size()) out = std::move(vals[dst].owned);
+    std::vector<const Bitvector*> ops;
+    ops.reserve(plain_count);
+    for (size_t i = 0; i < vals.size(); ++i) {
+      if (vals[i].is_roaring()) continue;
+      ops.push_back((i == dst) ? &out : &vals[i].view());
+    }
+    RunFused(op, ops, &out);
+    for (const Value& v : vals) {
+      if (!v.is_roaring()) continue;
+      switch (op) {
+        case ExprOp::kAnd:
+          v.roaring->AndInPlace(&out);
+          break;
+        case ExprOp::kOr:
+          v.roaring->OrInto(&out);
+          break;
+        default:
+          v.roaring->XorInto(&out);
+          break;
+      }
     }
     return Value::Owned(std::move(out));
   }
 
-  std::shared_ptr<const Bitvector> FetchMemoized(BitmapKey key) {
+  static void RunFused(ExprOp op, const std::vector<const Bitvector*>& ops,
+                       Bitvector* out) {
+    switch (op) {
+      case ExprOp::kAnd:
+        Bitvector::AndManyInto(ops, out);
+        break;
+      case ExprOp::kOr:
+        Bitvector::OrManyInto(ops, out);
+        break;
+      default:
+        Bitvector::XorManyInto(ops, out);
+        break;
+    }
+  }
+
+  static RoaringBitmap Combine(ExprOp op, const RoaringBitmap& a,
+                               const RoaringBitmap& b) {
+    switch (op) {
+      case ExprOp::kAnd:
+        return RoaringBitmap::And(a, b);
+      case ExprOp::kOr:
+        return RoaringBitmap::Or(a, b);
+      default:
+        return RoaringBitmap::Xor(a, b);
+    }
+  }
+
+  DecodedBitmap FetchMemoized(BitmapKey key) {
     auto it = memo_.find(key.Packed());
     if (it != memo_.end()) return it->second;
-    std::shared_ptr<const Bitvector> bv = fetch_(key);
-    BIX_CHECK(bv != nullptr);
-    BIX_CHECK_MSG(bv->size() == row_count_, "leaf bitmap size mismatch");
-    memo_.emplace(key.Packed(), bv);
-    return bv;
+    DecodedBitmap d = fetch_(key);
+    BIX_CHECK(d.valid());
+    BIX_CHECK_MSG(d.bits() == row_count_, "leaf bitmap size mismatch");
+    memo_.emplace(key.Packed(), d);
+    return d;
   }
 
   uint64_t row_count_;
-  const SharedLeafFetcher& fetch_;
+  const DecodedLeafFetcher& fetch_;
   TraceSink* const trace_;  // nullable: tracing off
   // The memo stores handles, so a leaf referenced by several subexpressions
   // is fetched once and never copied to be handed out again.
-  std::unordered_map<uint64_t, std::shared_ptr<const Bitvector>> memo_;
+  std::unordered_map<uint64_t, DecodedBitmap> memo_;
 };
 
 }  // namespace
 
+EvalResult EvaluateExprDecoded(const ExprPtr& expr, uint64_t row_count,
+                               const DecodedLeafFetcher& fetch,
+                               TraceSink* trace) {
+  Evaluator ev(row_count, fetch, trace);
+  return Evaluator::ToResult(ev.Eval(expr));
+}
+
+uint64_t EvaluateExprDecodedCount(const ExprPtr& expr, uint64_t row_count,
+                                  const DecodedLeafFetcher& fetch,
+                                  TraceSink* trace) {
+  return Evaluator(row_count, fetch, trace).EvalCount(expr);
+}
+
 EvalResult EvaluateExprShared(const ExprPtr& expr, uint64_t row_count,
                               const SharedLeafFetcher& fetch,
                               TraceSink* trace) {
-  Evaluator ev(row_count, fetch, trace);
-  Value v = ev.Eval(expr);
-  if (v.owns()) return EvalResult(std::move(v.owned));
-  return EvalResult(std::move(v.shared));
+  DecodedLeafFetcher decoded_fetch = [&fetch](BitmapKey key) -> DecodedBitmap {
+    return DecodedBitmap::Plain(fetch(key));
+  };
+  return EvaluateExprDecoded(expr, row_count, decoded_fetch, trace);
 }
 
 uint64_t EvaluateExprSharedCount(const ExprPtr& expr, uint64_t row_count,
                                  const SharedLeafFetcher& fetch,
                                  TraceSink* trace) {
-  return Evaluator(row_count, fetch, trace).EvalCount(expr);
+  DecodedLeafFetcher decoded_fetch = [&fetch](BitmapKey key) -> DecodedBitmap {
+    return DecodedBitmap::Plain(fetch(key));
+  };
+  return EvaluateExprDecodedCount(expr, row_count, decoded_fetch, trace);
 }
 
 Bitvector EvaluateExpr(const ExprPtr& expr, uint64_t row_count,

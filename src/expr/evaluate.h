@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "bitvector/bitvector.h"
+#include "compress/codec.h"
 #include "expr/bitmap_expr.h"
 #include "util/trace.h"
 
@@ -20,6 +21,13 @@ using LeafFetcher = std::function<Bitvector(BitmapKey)>;
 // copied just to be combined.
 using SharedLeafFetcher =
     std::function<std::shared_ptr<const Bitvector>(BitmapKey)>;
+
+// Codec-aware leaf supply: the fetcher hands back whatever form the cache
+// holds resident — a plain Bitvector handle, or a Roaring container handle
+// that the evaluator consumes *without* expanding to a plain bitmap
+// (container-level kernels for AND/OR/XOR, compressed popcount for
+// counts). This is the operate-on-compressed spine.
+using DecodedLeafFetcher = std::function<DecodedBitmap(BitmapKey)>;
 
 // The result of a zero-copy evaluation: either a scratch buffer the
 // evaluator built (owned — Take() moves it out for free) or a borrowed
@@ -70,6 +78,26 @@ class EvalResult {
 EvalResult EvaluateExprShared(const ExprPtr& expr, uint64_t row_count,
                               const SharedLeafFetcher& fetch,
                               TraceSink* trace = nullptr);
+
+// Codec-aware evaluation: like EvaluateExprShared, but leaves may arrive in
+// Roaring container form and are combined without full decode — n-ary
+// nodes whose operands are all Roaring fold container-level And/Or/Xor and
+// expand only the final (computed) result; mixed nodes run the fused plain
+// kernel over the plain operands and fold each Roaring operand in with a
+// container-iterating kernel (AndInPlace/OrInto/XorInto). Only a Roaring
+// leaf *root* pays a counted full decode (the caller demanded a plain
+// bitmap of stored data).
+EvalResult EvaluateExprDecoded(const ExprPtr& expr, uint64_t row_count,
+                               const DecodedLeafFetcher& fetch,
+                               TraceSink* trace = nullptr);
+
+// Count-only codec-aware evaluation: Roaring leaf roots popcount the
+// containers, a binary AND of two Roaring leaves counts the intersection
+// in the compressed domain, and a Roaring/plain AND uses the hybrid
+// AndCount — no plain bitmap is ever materialized for pure counting.
+uint64_t EvaluateExprDecodedCount(const ExprPtr& expr, uint64_t row_count,
+                                  const DecodedLeafFetcher& fetch,
+                                  TraceSink* trace = nullptr);
 
 // Count-only evaluation: the popcount of the expression's result without
 // handing back a bitmap. Pure-leaf roots count the fetched handle directly

@@ -4,11 +4,16 @@
 
 namespace bix {
 
+const char* StorageCodecName(StorageCodec codec) {
+  if (codec == StorageCodec::kAuto) return "auto";
+  return CodecName(static_cast<CodecId>(codec));
+}
+
 BitmapIndex BitmapIndex::Build(const Column& column, const Decomposition& d,
-                               EncodingKind encoding, bool compressed) {
+                               EncodingKind encoding, StorageCodec codec) {
   BIX_CHECK(d.cardinality() == column.cardinality);
   const EncodingScheme& scheme = GetEncoding(encoding);
-  BitmapIndex index(d, encoding, compressed, column.row_count());
+  BitmapIndex index(d, encoding, codec, column.row_count());
 
   // Build one component at a time so peak memory is one component's
   // bitmaps, not the whole index.
@@ -35,10 +40,11 @@ BitmapIndex BitmapIndex::Build(const Column& column, const Decomposition& d,
     }
     for (uint32_t slot = 0; slot < num_slots; ++slot) {
       const BitmapKey key{comp, slot};
-      if (compressed) {
-        index.store_.PutCompressed(key, bitmaps[slot]);
+      if (codec == StorageCodec::kAuto) {
+        index.store_.PutAuto(key, bitmaps[slot]);
       } else {
-        index.store_.PutUncompressed(key, bitmaps[slot]);
+        index.store_.PutWithCodec(key, bitmaps[slot],
+                                  static_cast<CodecId>(codec));
       }
     }
   }
@@ -46,7 +52,7 @@ BitmapIndex BitmapIndex::Build(const Column& column, const Decomposition& d,
 }
 
 BitmapIndex BitmapIndex::FromParts(Decomposition d, EncodingKind encoding,
-                                   bool compressed, uint64_t row_count,
+                                   StorageCodec codec, uint64_t row_count,
                                    BitmapStore store) {
   const EncodingScheme& scheme = GetEncoding(encoding);
   uint64_t expected = 0;
@@ -58,7 +64,7 @@ BitmapIndex BitmapIndex::FromParts(Decomposition d, EncodingKind encoding,
     expected += slots;
   }
   BIX_CHECK_MSG(store.BitmapCount() == expected, "extra bitmaps in store");
-  BitmapIndex index(std::move(d), encoding, compressed, row_count);
+  BitmapIndex index(std::move(d), encoding, codec, row_count);
   index.store_ = std::move(store);
   return index;
 }

@@ -10,23 +10,51 @@
 
 namespace bix {
 
+// How a built index stores its bitmaps: one explicit codec for every
+// bitmap, or a per-bitmap advisor pick (kAuto — each bitmap's
+// density/run shape chooses between verbatim and Roaring; see
+// CodecAdvisorOptions). Values 0-3 coincide with CodecId; 4 is the
+// index_io v3 storage-policy byte for advisor-chosen indexes.
+enum class StorageCodec : uint8_t {
+  kVerbatim = 0,
+  kBbc = 1,
+  kWah = 2,
+  kRoaring = 3,
+  kAuto = 4,
+};
+const char* StorageCodecName(StorageCodec codec);
+
 // A multi-component bitmap index: for each component i of the decomposition,
 // the chosen encoding scheme's bitmaps over that component's digits, stored
-// (optionally BBC-compressed) in a BitmapStore. This is one point of the
+// under a storage codec in a BitmapStore. This is one point of the
 // paper's two-dimensional design space (encoding x decomposition,
-// Section 2).
+// Section 2); the codec axis is the third dimension this reproduction
+// adds.
 class BitmapIndex {
  public:
   // Builds the index in one pass over the column. Aborts on out-of-domain
   // values (callers validate columns).
   static BitmapIndex Build(const Column& column, const Decomposition& d,
-                           EncodingKind encoding, bool compressed);
+                           EncodingKind encoding, StorageCodec codec);
+  // The paper's original binary choice (verbatim vs BBC).
+  static BitmapIndex Build(const Column& column, const Decomposition& d,
+                           EncodingKind encoding, bool compressed) {
+    return Build(column, d, encoding,
+                 compressed ? StorageCodec::kBbc : StorageCodec::kVerbatim);
+  }
 
   // Reassembles an index from deserialized parts (core/index_io). The
   // store must hold exactly the bitmaps the configuration implies.
   static BitmapIndex FromParts(Decomposition d, EncodingKind encoding,
-                               bool compressed, uint64_t row_count,
+                               StorageCodec codec, uint64_t row_count,
                                BitmapStore store);
+  static BitmapIndex FromParts(Decomposition d, EncodingKind encoding,
+                               bool compressed, uint64_t row_count,
+                               BitmapStore store) {
+    return FromParts(std::move(d), encoding,
+                     compressed ? StorageCodec::kBbc : StorageCodec::kVerbatim,
+                     row_count, std::move(store));
+  }
 
   BitmapIndex(BitmapIndex&&) = default;
   BitmapIndex& operator=(BitmapIndex&&) = default;
@@ -36,7 +64,10 @@ class BitmapIndex {
   const Decomposition& decomposition() const { return decomposition_; }
   EncodingKind encoding_kind() const { return encoding_; }
   const EncodingScheme& encoding() const { return GetEncoding(encoding_); }
-  bool compressed() const { return compressed_; }
+  StorageCodec storage_codec() const { return storage_codec_; }
+  // The paper's binary view of the codec axis: anything that is not plain
+  // verbatim counts as compressed (kAuto indexes hold a per-bitmap mix).
+  bool compressed() const { return storage_codec_ != StorageCodec::kVerbatim; }
   uint64_t row_count() const { return row_count_; }
 
   const BitmapStore& store() const { return store_; }
@@ -57,16 +88,16 @@ class BitmapIndex {
   uint64_t Append(const std::vector<uint32_t>& values);
 
  private:
-  BitmapIndex(Decomposition d, EncodingKind encoding, bool compressed,
+  BitmapIndex(Decomposition d, EncodingKind encoding, StorageCodec codec,
               uint64_t row_count)
       : decomposition_(std::move(d)),
         encoding_(encoding),
-        compressed_(compressed),
+        storage_codec_(codec),
         row_count_(row_count) {}
 
   Decomposition decomposition_;
   EncodingKind encoding_;
-  bool compressed_;
+  StorageCodec storage_codec_;
   uint64_t row_count_;
   BitmapStore store_;
 };

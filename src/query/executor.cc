@@ -100,9 +100,8 @@ QueryExecutor::QueryPlan QueryExecutor::ExplainMembership(
     const BitmapStore::Blob& blob = index_->store().GetBlob(key);
     plan.cold_bytes += blob.bytes.size();
     plan.est_io_seconds += options_.disk.ReadSeconds(blob.bytes.size());
-    if (blob.compressed) {
-      plan.est_decode_seconds += options_.disk.DecodeSeconds(blob.bytes.size());
-    }
+    plan.est_decode_seconds +=
+        options_.disk.DecodeSeconds(blob.bytes.size(), blob.codec);
   }
   return plan;
 }
@@ -219,22 +218,25 @@ Result<Bitvector> QueryExecutor::EvalCore(const std::vector<ExprPtr>& exprs,
   uint64_t count = 0;
   // Per-constituent evaluation and the OR across constituents, shared by
   // both fetch disciplines. Everything flows as handles: leaves are
-  // borrowed from the cache, the first constituent's scratch becomes the
-  // accumulator (a borrowed single-leaf constituent is OR-ed into a fresh
-  // zero buffer instead of being copied), later constituents are OR-ed in
-  // place. Count-only single-constituent queries skip the accumulator
-  // entirely (EvaluateExprSharedCount counts fetched handles / folds the
-  // popcount into the final combine).
+  // borrowed from the cache in whatever form it holds resident (plain, or
+  // Roaring container form combined without full decode), the first
+  // constituent's scratch becomes the accumulator (a borrowed single-leaf
+  // constituent is OR-ed into a fresh zero buffer instead of being
+  // copied), later constituents are OR-ed in place. Count-only
+  // single-constituent queries skip the accumulator entirely
+  // (EvaluateExprDecodedCount counts fetched handles / folds the popcount
+  // into the final combine).
   auto accumulate = [&](const std::vector<const ExprPtr*>& order,
-                        const SharedLeafFetcher& fetch) {
+                        const DecodedLeafFetcher& fetch) {
     if (count_out != nullptr && order.size() == 1) {
-      const uint64_t c = EvaluateExprSharedCount(*order[0], rows, fetch, trace_);
+      const uint64_t c =
+          EvaluateExprDecodedCount(*order[0], rows, fetch, trace_);
       if (error.ok()) count = c;
       return;
     }
     bool first = true;
     for (const ExprPtr* e : order) {
-      EvalResult part = EvaluateExprShared(*e, rows, fetch, trace_);
+      EvalResult part = EvaluateExprDecoded(*e, rows, fetch, trace_);
       if (!error.ok()) return;
       if (first) {
         first = false;
@@ -269,17 +271,16 @@ Result<Bitvector> QueryExecutor::EvalCore(const std::vector<ExprPtr>& exprs,
     if (options_.strategy == EvalStrategy::kBufferAware) {
       OrderForSharing(&order);
     }
-    SharedLeafFetcher fetch =
-        [this, rows, &error,
-         cancel](BitmapKey key) -> std::shared_ptr<const Bitvector> {
+    DecodedLeafFetcher fetch = [this, rows, &error,
+                                cancel](BitmapKey key) -> DecodedBitmap {
       if (!error.ok()) {  // already failed; placeholder, no further work
-        return std::make_shared<const Bitvector>(rows);
+        return DecodedBitmap::Plain(std::make_shared<const Bitvector>(rows));
       }
-      Result<BitmapCacheInterface::SharedBitmap> r =
-          cache_->TryFetchShared(key, &stats_, cancel, trace_);
+      Result<DecodedBitmap> r =
+          cache_->TryFetchDecoded(key, &stats_, cancel, trace_);
       if (!r.ok()) {
         error = r.status();
-        return std::make_shared<const Bitvector>(rows);
+        return DecodedBitmap::Plain(std::make_shared<const Bitvector>(rows));
       }
       return std::move(r).value();
     };
@@ -303,13 +304,13 @@ Result<Bitvector> QueryExecutor::EvalCore(const std::vector<ExprPtr>& exprs,
                                return a == b;
                              }),
                  leaves.end());
-    std::unordered_map<uint64_t, BitmapCacheInterface::SharedBitmap> fetched;
+    std::unordered_map<uint64_t, DecodedBitmap> fetched;
     fetched.reserve(leaves.size());
     for (const BitmapKey& key : leaves) {
-      // Per-fetch budget check (TryFetchShared re-checks internally; this
+      // Per-fetch budget check (TryFetchDecoded re-checks internally; this
       // keeps the loop's exit typed even for caches that do not).
-      Result<BitmapCacheInterface::SharedBitmap> r =
-          cache_->TryFetchShared(key, &stats_, cancel, trace_);
+      Result<DecodedBitmap> r =
+          cache_->TryFetchDecoded(key, &stats_, cancel, trace_);
       if (!r.ok()) {
         error = r.status();
         break;
@@ -319,8 +320,7 @@ Result<Bitvector> QueryExecutor::EvalCore(const std::vector<ExprPtr>& exprs,
     if (error.ok()) {
       std::vector<const ExprPtr*> order;
       for (const ExprPtr& e : exprs) order.push_back(&e);
-      SharedLeafFetcher fetch =
-          [&fetched](BitmapKey key) -> std::shared_ptr<const Bitvector> {
+      DecodedLeafFetcher fetch = [&fetched](BitmapKey key) -> DecodedBitmap {
         auto it = fetched.find(key.Packed());
         BIX_CHECK(it != fetched.end());
         return it->second;

@@ -101,9 +101,9 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
   // "read" child per attempt (opened by the inner cache) and one "backoff"
   // leaf per retry sleep, tagged with the key, the attempt count, and the
   // outcome when the fetch did not succeed cleanly.
-  Result<SharedBitmap> TryFetchShared(BitmapKey key, IoStats* stats,
-                                      const CancelToken* cancel,
-                                      TraceSink* trace) override {
+  Result<DecodedBitmap> TryFetchDecoded(BitmapKey key, IoStats* stats,
+                                        const CancelToken* cancel,
+                                        TraceSink* trace) override {
     TraceScope fetch_span(trace, "fetch");
     if (trace != nullptr) trace->Tag("key", KeyTag(key));
     {
@@ -123,8 +123,8 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
           return budget;
         }
       }
-      Result<SharedBitmap> r = inner_->TryFetchShared(key, stats, cancel,
-                                                      trace);
+      Result<DecodedBitmap> r = inner_->TryFetchDecoded(key, stats, cancel,
+                                                        trace);
       if (r.ok()) {
         if (trace != nullptr) {
           trace->Tag("attempts", static_cast<uint64_t>(attempt) + 1);
@@ -165,7 +165,7 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
       }
     }
   }
-  using BitmapCacheInterface::TryFetchShared;
+  using BitmapCacheInterface::TryFetchDecoded;
 
   void DropPool() override { inner_->DropPool(); }
 
@@ -229,6 +229,10 @@ QueryService::QueryService(const BitmapIndex* index, ServiceOptions options)
   m_.io_seconds = registry_.GetGauge("io_seconds");
   m_.io_decode_seconds = registry_.GetGauge("io_decode_seconds");
   m_.io_cpu_seconds = registry_.GetGauge("io_cpu_seconds");
+  for (size_t i = 0; i < kNumCodecs; ++i) {
+    m_.io_codec_decodes[i] = registry_.GetGauge(
+        std::string("io_decodes_") + CodecName(static_cast<CodecId>(i)));
+  }
   m_.stage_queue = registry_.GetHistogram("latency_queue");
   m_.stage_rewrite = registry_.GetHistogram("latency_rewrite");
   m_.stage_eval = registry_.GetHistogram("latency_eval");
@@ -434,6 +438,9 @@ void QueryService::RefreshGauges() const {
   m_.io_seconds->Set(io.io_seconds);
   m_.io_decode_seconds->Set(io.decode_seconds);
   m_.io_cpu_seconds->Set(io.cpu_seconds);
+  for (size_t i = 0; i < kNumCodecs; ++i) {
+    m_.io_codec_decodes[i]->Set(static_cast<double>(io.codec_decodes[i]));
+  }
 }
 
 std::string QueryService::ExportMetrics(MetricsFormat format) const {

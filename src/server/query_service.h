@@ -310,6 +310,8 @@ class QueryService {
     MetricsGauge* io_seconds;
     MetricsGauge* io_decode_seconds;
     MetricsGauge* io_cpu_seconds;
+    // Stored-form decodes by codec (io_decodes_<codec>), indexed by CodecId.
+    MetricsGauge* io_codec_decodes[kNumCodecs];
     StripedLatencyHistogram* stage_queue;
     StripedLatencyHistogram* stage_rewrite;
     StripedLatencyHistogram* stage_eval;

@@ -21,7 +21,7 @@ ShardedBitmapCache::ShardedBitmapCache(const BitmapStore* store,
   }
 }
 
-Result<BitmapCacheInterface::SharedBitmap> ShardedBitmapCache::TryFetchShared(
+Result<DecodedBitmap> ShardedBitmapCache::TryFetchDecoded(
     BitmapKey key, IoStats* stats, const CancelToken* cancel,
     TraceSink* trace) {
   // Fetch-granularity budget check: a query past its deadline (or
@@ -43,7 +43,7 @@ Result<BitmapCacheInterface::SharedBitmap> ShardedBitmapCache::TryFetchShared(
   // evicted meanwhile. Cached entries were integrity-checked when
   // inserted, so hits need no re-verification and are never faulted
   // (faults model the disk).
-  std::shared_ptr<const Bitvector> cached;
+  DecodedBitmap cached;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.resident.find(key);
@@ -57,7 +57,7 @@ Result<BitmapCacheInterface::SharedBitmap> ShardedBitmapCache::TryFetchShared(
       cached = e.bitmap;
     }
   }
-  if (cached) {
+  if (cached.valid()) {
     if (trace != nullptr) trace->Tag("outcome", "hit");
     return cached;
   }
@@ -73,18 +73,18 @@ Result<BitmapCacheInterface::SharedBitmap> ShardedBitmapCache::TryFetchShared(
   stats->bytes_read += stored_bytes;
   const double io_s = disk_.ReadSeconds(stored_bytes);
   stats->io_seconds += io_s;
-  double decode_s = 0.0;
-  if (blob.compressed) {
-    decode_s = disk_.DecodeSeconds(stored_bytes);
-    stats->decode_seconds += decode_s;
-  }
+  const double decode_s = disk_.DecodeSeconds(stored_bytes, blob.codec);
+  stats->decode_seconds += decode_s;
+  ++stats->codec_decodes[static_cast<size_t>(blob.codec)];
   if (trace != nullptr) {
     trace->Tag("outcome", "miss");
     trace->Tag("bytes", stored_bytes);
+    trace->Tag("codec", CodecName(blob.codec));
   }
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     ++shard.counters.misses;
+    ++shard.counters.codec_decodes[static_cast<size_t>(blob.codec)];
     if (!shard.read_before.insert(key.Packed()).second) ++stats->rescans;
   }
   if (io_latency_scale_ > 0.0) {
@@ -112,10 +112,7 @@ Result<BitmapCacheInterface::SharedBitmap> ShardedBitmapCache::TryFetchShared(
         BitmapStore::Blob corrupt = blob;
         injector_->CorruptPayload(key, &corrupt.bytes);
         TraceScope materialize_span(trace, "materialize");
-        Result<Bitvector> decoded = TryMaterializeBlob(corrupt);
-        if (!decoded.ok()) return decoded.status();
-        return SharedBitmap(
-            std::make_shared<const Bitvector>(std::move(decoded).value()));
+        return TryMaterializeBlobResident(corrupt);
       }
       case FaultInjector::Fault::kLatencySpike: {
         TraceScope spike_span(trace, "spike");
@@ -126,18 +123,18 @@ Result<BitmapCacheInterface::SharedBitmap> ShardedBitmapCache::TryFetchShared(
         break;
     }
   }
-  std::shared_ptr<const Bitvector> bitmap;
+  DecodedBitmap bitmap;
   {
     TraceScope materialize_span(trace, "materialize");
-    Result<Bitvector> decoded = TryMaterializeBlob(blob);
+    Result<DecodedBitmap> decoded = TryMaterializeBlobResident(blob);
     if (!decoded.ok()) return decoded.status();
-    bitmap = std::make_shared<const Bitvector>(std::move(decoded).value());
+    bitmap = std::move(decoded).value();
   }
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     Insert(&shard, key, stored_bytes, bitmap);
   }
-  return SharedBitmap(std::move(bitmap));
+  return bitmap;
 }
 
 void ShardedBitmapCache::DropPool() {
@@ -165,13 +162,15 @@ ShardedBitmapCache::Counters ShardedBitmapCache::TotalCounters() const {
     std::lock_guard<std::mutex> lock(shard->mu);
     total.hits += shard->counters.hits;
     total.misses += shard->counters.misses;
+    for (size_t i = 0; i < kNumCodecs; ++i) {
+      total.codec_decodes[i] += shard->counters.codec_decodes[i];
+    }
   }
   return total;
 }
 
 void ShardedBitmapCache::Insert(Shard* shard, BitmapKey key,
-                                uint64_t stored_bytes,
-                                std::shared_ptr<const Bitvector> bitmap) {
+                                uint64_t stored_bytes, DecodedBitmap bitmap) {
   if (stored_bytes > shard_pool_bytes_) return;  // too big; read-through
   if (shard->resident.count(key) > 0) return;    // raced with another miss
   while (shard->used_bytes + stored_bytes > shard_pool_bytes_ &&

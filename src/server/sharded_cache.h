@@ -62,16 +62,19 @@ class ShardedBitmapCache : public BitmapCacheInterface {
   // calling thread (or otherwise synchronized by the caller). A hit hands
   // out the shard's own resident handle — zero bytes copied; the
   // shared_ptr keeps the bitmap alive for the query even if it is evicted
-  // meanwhile. A miss runs the integrity-checked materialization (blob
-  // checksum + validating decode): corrupt stored bytes surface as
+  // meanwhile. Shards keep the *decoded* form the codec yields: plain
+  // Bitvectors for verbatim/BBC/WAH, container form for Roaring — so a
+  // warmed hit over Roaring blobs feeds evaluation without ever expanding
+  // to a plain bitmap. A miss runs the integrity-checked materialization
+  // (blob checksum + validating decode): corrupt stored bytes surface as
   // Corruption for this fetch only and are never inserted into a shard, so
   // cached hits are always verified bitmaps. An expired/cancelled `cancel`
   // token fails the fetch up front with the token's typed status (deadline
   // checks happen at fetch granularity).
-  Result<SharedBitmap> TryFetchShared(BitmapKey key, IoStats* stats,
-                                      const CancelToken* cancel,
-                                      TraceSink* trace) override;
-  using BitmapCacheInterface::TryFetchShared;
+  Result<DecodedBitmap> TryFetchDecoded(BitmapKey key, IoStats* stats,
+                                        const CancelToken* cancel,
+                                        TraceSink* trace) override;
+  using BitmapCacheInterface::TryFetchDecoded;
   void DropPool() override;
 
   // Plugs deterministic fault injection into the miss (disk read) path.
@@ -87,6 +90,9 @@ class ShardedBitmapCache : public BitmapCacheInterface {
   struct Counters {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    // Miss-path materializations by stored codec (hits decode nothing —
+    // the shard already holds the decoded form).
+    uint64_t codec_decodes[kNumCodecs] = {};
   };
   Counters TotalCounters() const;
 
@@ -98,7 +104,7 @@ class ShardedBitmapCache : public BitmapCacheInterface {
     struct Entry {
       std::list<BitmapKey>::iterator lru_it;
       uint64_t stored_bytes = 0;
-      std::shared_ptr<const Bitvector> bitmap;
+      DecodedBitmap bitmap;
     };
     std::unordered_map<BitmapKey, Entry, BitmapKeyHash> resident;
     uint64_t used_bytes = 0;
@@ -112,7 +118,7 @@ class ShardedBitmapCache : public BitmapCacheInterface {
   }
   // Inserts under the shard lock, evicting LRU entries to fit.
   void Insert(Shard* shard, BitmapKey key, uint64_t stored_bytes,
-              std::shared_ptr<const Bitvector> bitmap);
+              DecodedBitmap bitmap);
 
   const BitmapStore* store_;
   const uint64_t pool_bytes_;        // total budget, split evenly per shard

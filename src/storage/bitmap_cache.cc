@@ -5,23 +5,10 @@
 
 namespace bix {
 
-namespace {
-
-// Wraps an integrity-checked decode into a shared handle without copying
-// the decoded payload.
-Result<BitmapCacheInterface::SharedBitmap> MaterializeShared(
-    const BitmapStore::Blob& blob) {
-  Result<Bitvector> decoded = TryMaterializeBlob(blob);
-  if (!decoded.ok()) return decoded.status();
-  return BitmapCacheInterface::SharedBitmap(
-      std::make_shared<const Bitvector>(std::move(decoded).value()));
-}
-
-}  // namespace
-
-Result<BitmapCacheInterface::SharedBitmap> BitmapCache::TryFetchShared(
-    BitmapKey key, IoStats* stats, const CancelToken* cancel,
-    TraceSink* trace) {
+Result<DecodedBitmap> BitmapCache::TryFetchDecoded(BitmapKey key,
+                                                   IoStats* stats,
+                                                   const CancelToken* cancel,
+                                                   TraceSink* trace) {
   if (cancel != nullptr) {
     Status budget = cancel->Check();
     if (!budget.ok()) return budget;
@@ -36,8 +23,12 @@ Result<BitmapCacheInterface::SharedBitmap> BitmapCache::TryFetchShared(
   if (!blob_r.ok()) return blob_r.status();
   const BitmapStore::Blob& blob = *blob_r.value();
   const uint64_t bytes = blob.bytes.size();
-  // Decompression is paid on every fetch (the pool caches the stored form).
-  if (blob.compressed) stats->decode_seconds += disk_.DecodeSeconds(bytes);
+  if (trace != nullptr) trace->Tag("codec", CodecName(blob.codec));
+  // Decompression is paid on every fetch (the pool caches the stored form);
+  // the charge is codec-aware — verbatim is free, Roaring pays only the
+  // container-parse fraction.
+  stats->decode_seconds += disk_.DecodeSeconds(bytes, blob.codec);
+  ++stats->codec_decodes[static_cast<size_t>(blob.codec)];
   auto it = resident_.find(key);
   if (it != resident_.end()) {
     ++stats->pool_hits;
@@ -67,7 +58,7 @@ Result<BitmapCacheInterface::SharedBitmap> BitmapCache::TryFetchShared(
           BitmapStore::Blob corrupt = blob;
           injector_->CorruptPayload(key, &corrupt.bytes);
           TraceScope materialize_span(trace, "materialize");
-          return MaterializeShared(corrupt);
+          return TryMaterializeBlobResident(corrupt);
         }
         case FaultInjector::Fault::kLatencySpike: {
           TraceScope spike_span(trace, "spike");
@@ -84,7 +75,7 @@ Result<BitmapCacheInterface::SharedBitmap> BitmapCache::TryFetchShared(
   // Decode CPU (BBC decompression for compressed indexes) is measured by
   // the executor's end-to-end timer, not here, to avoid double counting.
   TraceScope materialize_span(trace, "materialize");
-  return MaterializeShared(blob);
+  return TryMaterializeBlobResident(blob);
 }
 
 void BitmapCache::DropPool() {

@@ -32,13 +32,16 @@ class BitmapCacheInterface {
   virtual ~BitmapCacheInterface() = default;
 
   // One bitmap scan: accounts I/O into *stats, updates the pool, and
-  // returns a shared handle to the decoded bitmap — or a typed error
-  // instead of aborting on data-dependent failures: InvalidArgument for an
-  // unknown key, Corruption for a checksum mismatch or malformed stored
-  // stream, Unavailable for an injected transient read error. Nothing is
-  // cached on failure, so a transient error leaves the pool clean for a
-  // retry. The referenced bitmap is immutable and stays valid for as long
-  // as the caller holds the handle, even across eviction.
+  // returns a shared handle to the bitmap in the form evaluation consumes —
+  // a plain Bitvector for verbatim/BBC/WAH blobs, container form for
+  // Roaring blobs (the operate-on-compressed path: no full decode on
+  // fetch). Failures are typed errors instead of aborts on data-dependent
+  // input: InvalidArgument for an unknown key, Corruption for a checksum
+  // mismatch or malformed stored stream, Unavailable for an injected
+  // transient read error. Nothing is cached on failure, so a transient
+  // error leaves the pool clean for a retry. The referenced bitmap is
+  // immutable and stays valid for as long as the caller holds the handle,
+  // even across eviction.
   //
   // `cancel` (nullable) is the query's deadline/cancellation budget,
   // checked before the fetch does any work: an expired or cancelled query
@@ -46,14 +49,34 @@ class BitmapCacheInterface {
   // read — the fetch is the serving stack's cancellation granularity.
   //
   // `trace` (nullable) is the query's trace sink: implementations open one
-  // "read" span per fetch attempt, with the stage that actually spends
-  // time — modeled I/O, modeled decode, injected latency spikes, the real
-  // decode in materialization — as leaf children, so a traced query's
-  // latency decomposes exactly (DESIGN.md section 13). nullptr traces
-  // nothing and must cost nothing (no allocations on the disabled path).
-  virtual Result<SharedBitmap> TryFetchShared(BitmapKey key, IoStats* stats,
-                                              const CancelToken* cancel,
-                                              TraceSink* trace) = 0;
+  // "read" span per fetch attempt tagged with the blob's codec, with the
+  // stage that actually spends time — modeled I/O, modeled decode,
+  // injected latency spikes, the real decode in materialization — as leaf
+  // children, so a traced query's latency decomposes exactly (DESIGN.md
+  // section 13). nullptr traces nothing and must cost nothing (no
+  // allocations on the disabled path).
+  virtual Result<DecodedBitmap> TryFetchDecoded(BitmapKey key, IoStats* stats,
+                                                const CancelToken* cancel,
+                                                TraceSink* trace) = 0;
+  Result<DecodedBitmap> TryFetchDecoded(BitmapKey key, IoStats* stats,
+                                        const CancelToken* cancel) {
+    return TryFetchDecoded(key, stats, cancel, nullptr);
+  }
+  Result<DecodedBitmap> TryFetchDecoded(BitmapKey key, IoStats* stats) {
+    return TryFetchDecoded(key, stats, nullptr, nullptr);
+  }
+
+  // Plain-form compatibility spine: fetches via TryFetchDecoded and
+  // expands Roaring handles to a Bitvector (a counted full decode — see
+  // RoaringStats). Callers that can consume containers directly use
+  // TryFetchDecoded; everything else keeps the exact pre-codec contract.
+  Result<SharedBitmap> TryFetchShared(BitmapKey key, IoStats* stats,
+                                      const CancelToken* cancel,
+                                      TraceSink* trace) {
+    Result<DecodedBitmap> r = TryFetchDecoded(key, stats, cancel, trace);
+    if (!r.ok()) return r.status();
+    return r.value().MaterializePlain();
+  }
   Result<SharedBitmap> TryFetchShared(BitmapKey key, IoStats* stats,
                                       const CancelToken* cancel) {
     return TryFetchShared(key, stats, cancel, nullptr);
@@ -111,11 +134,12 @@ class BitmapCache : public BitmapCacheInterface {
   // is integrity-checked (blob checksum + validating decode), so corrupt
   // stored bytes surface as Corruption for this fetch only. The pool holds
   // the *stored* form, so the handle owns a freshly decoded buffer — built
-  // once, never copied on the way out.
-  Result<SharedBitmap> TryFetchShared(BitmapKey key, IoStats* stats,
-                                      const CancelToken* cancel,
-                                      TraceSink* trace) override;
-  using BitmapCacheInterface::TryFetchShared;
+  // once, never copied on the way out. Roaring blobs come back in
+  // container form.
+  Result<DecodedBitmap> TryFetchDecoded(BitmapKey key, IoStats* stats,
+                                        const CancelToken* cancel,
+                                        TraceSink* trace) override;
+  using BitmapCacheInterface::TryFetchDecoded;
   using BitmapCacheInterface::Fetch;
 
   // Convenience for single-owner callers: accounts into the internal

@@ -2,7 +2,6 @@
 
 #include <string>
 
-#include "compress/bytes.h"
 #include "util/crc32c.h"
 #include "util/math.h"
 
@@ -19,29 +18,35 @@ std::string KeyString(BitmapKey key) {
          " slot=" + std::to_string(key.slot);
 }
 
+BitmapStore::Blob EncodeBlob(const Bitvector& bv, CodecId codec,
+                             bool auto_codec) {
+  BitmapStore::Blob blob;
+  blob.codec = codec;
+  blob.auto_codec = auto_codec;
+  blob.bit_count = bv.size();
+  blob.bytes = GetCodec(codec).Encode(bv);
+  StampCrc(&blob);
+  return blob;
+}
+
 }  // namespace
 
-void BitmapStore::PutUncompressed(BitmapKey key, const Bitvector& bv) {
+void BitmapStore::PutWithCodec(BitmapKey key, const Bitvector& bv,
+                               CodecId codec) {
   BIX_CHECK_MSG(!Contains(key), "duplicate bitmap key");
-  Blob blob;
-  blob.compressed = false;
-  blob.bit_count = bv.size();
-  blob.bytes = BitvectorToBytes(bv);
-  StampCrc(&blob);
+  Blob blob = EncodeBlob(bv, codec, /*auto_codec=*/false);
   total_bytes_ += blob.bytes.size();
   blobs_.emplace(key, std::move(blob));
 }
 
-void BitmapStore::PutCompressed(BitmapKey key, const Bitvector& bv) {
+CodecId BitmapStore::PutAuto(BitmapKey key, const Bitvector& bv,
+                             const CodecAdvisorOptions& options) {
   BIX_CHECK_MSG(!Contains(key), "duplicate bitmap key");
-  BbcEncoded enc = BbcEncode(bv);
-  Blob blob;
-  blob.compressed = true;
-  blob.bit_count = enc.bit_count;
-  blob.bytes = std::move(enc.data);
-  StampCrc(&blob);
+  const CodecId codec = AdviseCodec(AnalyzeBitmap(bv), options);
+  Blob blob = EncodeBlob(bv, codec, /*auto_codec=*/true);
   total_bytes_ += blob.bytes.size();
   blobs_.emplace(key, std::move(blob));
+  return codec;
 }
 
 void BitmapStore::Replace(BitmapKey key, const Bitvector& bv) {
@@ -49,14 +54,11 @@ void BitmapStore::Replace(BitmapKey key, const Bitvector& bv) {
   BIX_CHECK_MSG(it != blobs_.end(), "Replace of unknown bitmap key");
   Blob& blob = it->second;
   total_bytes_ -= blob.bytes.size();
-  if (blob.compressed) {
-    BbcEncoded enc = BbcEncode(bv);
-    blob.bit_count = enc.bit_count;
-    blob.bytes = std::move(enc.data);
-  } else {
-    blob.bit_count = bv.size();
-    blob.bytes = BitvectorToBytes(bv);
-  }
+  const CodecId codec =
+      blob.auto_codec ? AdviseCodec(AnalyzeBitmap(bv)) : blob.codec;
+  blob.codec = codec;
+  blob.bit_count = bv.size();
+  blob.bytes = GetCodec(codec).Encode(bv);
   StampCrc(&blob);
   total_bytes_ += blob.bytes.size();
 }
@@ -96,10 +98,7 @@ Result<const BitmapStore::Blob*> BitmapStore::TryGetBlob(BitmapKey key) const {
 
 Bitvector BitmapStore::Materialize(BitmapKey key) const {
   const Blob& blob = GetBlob(key);
-  if (!blob.compressed) {
-    return BitvectorFromBytes(blob.bytes, blob.bit_count);
-  }
-  return BbcDecodeUnchecked(blob.bytes, blob.bit_count);
+  return GetCodec(blob.codec).DecodeUnchecked(blob.bytes, blob.bit_count);
 }
 
 Result<Bitvector> BitmapStore::TryMaterialize(BitmapKey key) const {
@@ -108,27 +107,29 @@ Result<Bitvector> BitmapStore::TryMaterialize(BitmapKey key) const {
   return TryMaterializeBlob(*blob.value());
 }
 
-Result<Bitvector> TryMaterializeBlob(const BitmapStore::Blob& blob) {
+namespace {
+
+Status CheckBlobCrc(const BitmapStore::Blob& blob) {
   if (blob.crc_valid &&
       Crc32c(blob.bytes.data(), blob.bytes.size()) != blob.crc32c) {
     return Status::Corruption("bitmap blob checksum mismatch");
   }
-  if (blob.compressed) {
-    return BbcDecode(blob.bytes, blob.bit_count);
-  }
-  // Verbatim blobs: structural validation mirrors what BbcDecode enforces
-  // for compressed ones (exact byte count, clear padding bits), so an
-  // unchecksummed v1 blob still cannot abort or break Bitvector
-  // invariants.
-  if (blob.bytes.size() != CeilDiv(blob.bit_count, 8)) {
-    return Status::Corruption("verbatim bitmap byte count mismatch");
-  }
-  const uint64_t tail_bits = blob.bit_count & 7;
-  if (tail_bits != 0 && !blob.bytes.empty() &&
-      (blob.bytes.back() & ~((1u << tail_bits) - 1)) != 0) {
-    return Status::Corruption("nonzero padding bits in verbatim bitmap");
-  }
-  return BitvectorFromBytes(blob.bytes, blob.bit_count);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Bitvector> TryMaterializeBlob(const BitmapStore::Blob& blob) {
+  Status crc = CheckBlobCrc(blob);
+  if (!crc.ok()) return crc;
+  return GetCodec(blob.codec).Decode(blob.bytes, blob.bit_count);
+}
+
+Result<DecodedBitmap> TryMaterializeBlobResident(
+    const BitmapStore::Blob& blob) {
+  Status crc = CheckBlobCrc(blob);
+  if (!crc.ok()) return crc;
+  return GetCodec(blob.codec).DecodeResident(blob.bytes, blob.bit_count);
 }
 
 }  // namespace bix

@@ -7,6 +7,7 @@
 
 #include "bitvector/bitvector.h"
 #include "compress/bbc.h"
+#include "compress/codec.h"
 #include "util/status.h"
 
 namespace bix {
@@ -37,9 +38,10 @@ struct BitmapKeyHash {
 };
 
 // The "disk": an immutable-after-build container of stored bitmaps, each
-// either verbatim bytes or a BBC-compressed stream. It performs no cost
-// accounting itself — reads go through BitmapCache, which models the buffer
-// pool and the disk.
+// encoded with one of the registered codecs (verbatim, BBC, WAH, Roaring)
+// and tagged with the codec per blob. It performs no cost accounting
+// itself — reads go through BitmapCache, which models the buffer pool and
+// the disk.
 class BitmapStore {
  public:
   BitmapStore() = default;
@@ -49,12 +51,24 @@ class BitmapStore {
   BitmapStore(BitmapStore&&) = default;
   BitmapStore& operator=(BitmapStore&&) = default;
 
-  // Stores `bv` verbatim (CeilDiv(bits,8) bytes).
-  void PutUncompressed(BitmapKey key, const Bitvector& bv);
-  // Stores `bv` BBC-compressed.
-  void PutCompressed(BitmapKey key, const Bitvector& bv);
-  // Replaces an existing bitmap, keeping its storage form (used by index
-  // maintenance when records are appended).
+  // Stores `bv` encoded with the given codec.
+  void PutWithCodec(BitmapKey key, const Bitvector& bv, CodecId codec);
+  // Advisor-driven storage: analyzes the bitmap's density/run shape and
+  // stores it under AdviseCodec's pick. Returns the chosen codec. Blobs
+  // stored this way re-run the advisor on Replace (the shape may have
+  // changed), where PutWithCodec blobs keep their explicit codec.
+  CodecId PutAuto(BitmapKey key, const Bitvector& bv,
+                  const CodecAdvisorOptions& options = {});
+  // Compatibility shorthands for the paper's original binary choice.
+  void PutUncompressed(BitmapKey key, const Bitvector& bv) {
+    PutWithCodec(key, bv, CodecId::kVerbatim);
+  }
+  void PutCompressed(BitmapKey key, const Bitvector& bv) {
+    PutWithCodec(key, bv, CodecId::kBbc);
+  }
+  // Replaces an existing bitmap. Explicitly-coded blobs keep their codec
+  // (index maintenance preserves the storage form); advisor-chosen blobs
+  // re-pick, since an append can change the bitmap's shape.
   void Replace(BitmapKey key, const Bitvector& bv);
 
   bool Contains(BitmapKey key) const { return blobs_.count(key) > 0; }
@@ -79,7 +93,11 @@ class BitmapStore {
 
   // Raw stored payload, for the cache's byte accounting and serialization.
   struct Blob {
-    bool compressed = false;
+    // How `bytes` is encoded; the per-blob tag index_io v3 persists.
+    CodecId codec = CodecId::kVerbatim;
+    // True when the codec was chosen by the advisor (PutAuto): Replace
+    // re-runs the advisor instead of keeping the codec.
+    bool auto_codec = false;
     uint64_t bit_count = 0;
     std::vector<uint8_t> bytes;
     // CRC32C of `bytes`, stamped by the Put* paths and verified on every
@@ -89,6 +107,8 @@ class BitmapStore {
     // flagged "unverified" by the loader.
     uint32_t crc32c = 0;
     bool crc_valid = false;
+
+    bool compressed() const { return codec != CodecId::kVerbatim; }
   };
   const Blob& GetBlob(BitmapKey key) const;
   // Typed-error lookup: InvalidArgument on a missing key (the returned
@@ -113,6 +133,11 @@ class BitmapStore {
 // bytes to model a torn page — run exactly the verification the store
 // itself applies in TryMaterialize.
 Result<Bitvector> TryMaterializeBlob(const BitmapStore::Blob& blob);
+
+// Same verification, decoding into the form evaluation consumes: plain
+// codecs fully decode; Roaring blobs come back in container form (no full
+// decode), which is what the caches keep resident.
+Result<DecodedBitmap> TryMaterializeBlobResident(const BitmapStore::Blob& blob);
 
 }  // namespace bix
 

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "compress/codec.h"
+
 namespace bix {
 
 // Counters accumulated by the storage layer during query evaluation. The
@@ -18,6 +20,10 @@ struct IoStats {
   double io_seconds = 0.0;       // modeled disk time (DiskModel)
   double decode_seconds = 0.0;   // modeled decompression time (DiskModel)
   double cpu_seconds = 0.0;      // measured CPU time of bitmap operations
+  // Stored-form decodes by codec, indexed by CodecId: how many fetches
+  // materialized a blob of each encoding (per-codec observability for the
+  // mixed-codec stores PutAuto builds).
+  uint64_t codec_decodes[kNumCodecs] = {};
 
   double total_seconds() const {
     return io_seconds + decode_seconds + cpu_seconds;
@@ -37,13 +43,15 @@ struct IoStats {
     io_seconds += o.io_seconds;
     decode_seconds += o.decode_seconds;
     cpu_seconds += o.cpu_seconds;
+    for (size_t i = 0; i < kNumCodecs; ++i) codec_decodes[i] += o.codec_decodes[i];
   }
 };
 
 // Tripwire for Add() completeness: adding a counter to IoStats changes the
 // struct's size, which fails this assert until Add (and the roll-up test in
 // tests/storage_test.cc) are updated to merge the new field.
-static_assert(sizeof(IoStats) == 5 * sizeof(uint64_t) + 3 * sizeof(double),
+static_assert(sizeof(IoStats) == (5 + kNumCodecs) * sizeof(uint64_t) +
+                                     3 * sizeof(double),
               "IoStats gained a field; update IoStats::Add to merge it");
 
 }  // namespace bix

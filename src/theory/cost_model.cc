@@ -33,4 +33,53 @@ bool Dominates(const SpaceTimeCost& a, const SpaceTimeCost& b) {
   return no_worse && strictly_better;
 }
 
+uint64_t EstimateStoredBytes(CodecId codec, uint64_t bit_count,
+                             uint64_t set_bits, uint64_t runs) {
+  if (bit_count == 0) return 0;
+  switch (codec) {
+    case CodecId::kVerbatim:
+      return (bit_count + 7) / 8;
+    case CodecId::kBbc: {
+      // Each run costs ~1 header byte plus a literal tail of ~1 byte per 8
+      // set bits — but capped at a few bytes, because long 1-runs become
+      // fills too. Dense bitmaps degrade to the literal cap.
+      if (set_bits == 0) return 1;
+      const uint64_t avg_tail = set_bits / runs / 8 + 1;
+      const uint64_t per_run = 1 + (avg_tail < 4 ? avg_tail : 4);
+      const uint64_t est = runs * per_run + 1;
+      const uint64_t cap = (bit_count + 7) / 8 + (bit_count + 7) / 8 / 8 + 2;
+      return est < cap ? est : cap;
+    }
+    case CodecId::kWah: {
+      // Each run costs ~one 0-fill word plus ~one literal word per 31 set
+      // bits, capped at a few words per run since long 1-runs become
+      // 1-fills. Dense bitmaps degrade to one word per 31 bits.
+      if (set_bits == 0) return 8;
+      const uint64_t avg_words = set_bits / runs / 31 + 1;
+      const uint64_t per_run = 1 + (avg_words < 3 ? avg_words : 3);
+      const uint64_t est = 4 * (runs * per_run + 1);
+      const uint64_t cap = 4 * (bit_count / 31 + 2);
+      return est < cap ? est : cap;
+    }
+    case CodecId::kRoaring: {
+      // Per occupied 2^16-bit chunk: 9 bytes of header plus the cheapest
+      // container payload — 2 bytes per set bit (array), 8192 (bitset), or
+      // 4 bytes per run (run container) — assuming bits and runs spread
+      // evenly over the occupied chunks.
+      if (set_bits == 0) return 4;
+      uint64_t chunks = set_bits / 65536 + 1;
+      const uint64_t total_chunks = (bit_count + 65535) / 65536;
+      if (chunks > total_chunks) chunks = total_chunks;
+      const uint64_t array_payload = 2 * set_bits;
+      const uint64_t bitset_payload = 8192 * chunks;
+      const uint64_t run_payload = 4 * runs + 4 * chunks;
+      uint64_t payload = array_payload;
+      if (bitset_payload < payload) payload = bitset_payload;
+      if (run_payload < payload) payload = run_payload;
+      return 4 + 9 * chunks + payload;
+    }
+  }
+  return (bit_count + 7) / 8;
+}
+
 }  // namespace bix

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "compress/codec.h"
 #include "index/decomposition.h"
 #include "query/query.h"
 
@@ -27,6 +28,20 @@ SpaceTimeCost ComputeCost(const Decomposition& d, EncodingKind encoding,
 // True if `a` dominates `b`: a is no worse on both axes and strictly better
 // on at least one (the paper's optimality order, Section 3).
 bool Dominates(const SpaceTimeCost& a, const SpaceTimeCost& b);
+
+// Analytic stored-size estimate (bytes) for one bitmap of the given shape
+// under each codec — the byte-level refinement of the paper's
+// bitmap-count space metric, used to predict a mixed-codec index's
+// footprint without encoding anything. Estimates, not bounds: they track
+// the codecs' structural costs (verbatim: bit_count/8; BBC/WAH: headers
+// plus a fill-capped literal tail per run; Roaring: per-chunk min of
+// array/bitset/run container sizes assuming the runs spread evenly). The
+// differential test pins verbatim/Roaring to within a small factor of the
+// real encoders and BBC/WAH to within an order of magnitude — aggregate
+// (set_bits, runs) cannot see sub-word clustering, which swings the
+// run-length codecs' literal cost by ~10x.
+uint64_t EstimateStoredBytes(CodecId codec, uint64_t bit_count,
+                             uint64_t set_bits, uint64_t runs);
 
 }  // namespace bix
 

@@ -186,12 +186,12 @@ class IndexIoVersions : public ::testing::Test {
 };
 
 TEST_F(IndexIoVersions, CurrentFormatIsChecksummed) {
-  const std::string path = TempPath("v2.bix");
+  const std::string path = TempPath("v3.bix");
   ASSERT_TRUE(SaveIndex(*index_, path).ok());
   IndexLoadInfo info;
   Result<BitmapIndex> loaded = LoadIndex(path, &info);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  EXPECT_EQ(info.version, 2u);
+  EXPECT_EQ(info.version, 3u);
   EXPECT_TRUE(info.checksummed);
   // Every loaded blob carries a verified payload checksum that the storage
   // layer re-checks on materialization.
@@ -243,6 +243,99 @@ TEST_F(IndexIoVersions, RejectsSavingUnknownVersion) {
   ASSERT_FALSE(s.ok());
   EXPECT_EQ(s.code(), Status::Code::kNotSupported);
 }
+
+TEST_F(IndexIoVersions, V2FilesStillLoadWithCodecTags) {
+  // The previous on-disk format (boolean `compressed` slots) keeps loading;
+  // its bitmaps come back tagged with the matching CodecId.
+  const std::string path = TempPath("compat_v2.bix");
+  ASSERT_TRUE(SaveIndexAtVersion(*index_, path, 2).ok());
+  IndexLoadInfo info;
+  Result<BitmapIndex> loaded = LoadIndex(path, &info);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(info.version, 2u);
+  EXPECT_TRUE(info.checksummed);
+  EXPECT_EQ(loaded.value().storage_codec(), StorageCodec::kBbc);
+  loaded.value().store().ForEachBlob(
+      [](const BitmapKey&, const BitmapStore::Blob& blob) {
+        EXPECT_EQ(blob.codec, CodecId::kBbc);
+        EXPECT_FALSE(blob.auto_codec);
+      });
+  ExpectQueriesMatch(loaded.value());
+  std::remove(path.c_str());
+}
+
+TEST_F(IndexIoVersions, LegacyFormatsCannotCarryNewCodecs) {
+  // WAH, Roaring, and advisor-chosen storage have no representation in the
+  // boolean v1/v2 `compressed` slots; saving must fail loudly rather than
+  // silently mislabel the bytes.
+  for (StorageCodec codec : {StorageCodec::kWah, StorageCodec::kRoaring,
+                             StorageCodec::kAuto}) {
+    BitmapIndex index =
+        BitmapIndex::Build(col_, Decomposition::Make(16, {4, 4}).value(),
+                           EncodingKind::kRange, codec);
+    for (uint32_t version : {1u, 2u}) {
+      Status s = SaveIndexAtVersion(index, TempPath("legacy_codec.bix"),
+                                    version);
+      ASSERT_FALSE(s.ok())
+          << StorageCodecName(codec) << " as v" << version;
+      EXPECT_EQ(s.code(), Status::Code::kNotSupported);
+    }
+  }
+}
+
+class IndexIoCodecSweep : public ::testing::TestWithParam<StorageCodec> {};
+
+TEST_P(IndexIoCodecSweep, V3RoundTripPreservesCodecTags) {
+  const StorageCodec codec = GetParam();
+  Column col = GenerateZipfColumn(
+      {.rows = 3000, .cardinality = 20, .zipf_z = 1.2, .seed = 84});
+  BitmapIndex original =
+      BitmapIndex::Build(col, Decomposition::Make(20, {5, 4}).value(),
+                         EncodingKind::kInterval, codec);
+
+  const std::string path = TempPath("codec_roundtrip.bix");
+  ASSERT_TRUE(SaveIndex(original, path).ok());
+  IndexLoadInfo info;
+  Result<BitmapIndex> loaded = LoadIndex(path, &info);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(info.version, 3u);
+  EXPECT_EQ(loaded.value().storage_codec(), codec);
+  EXPECT_EQ(loaded.value().TotalStoredBytes(), original.TotalStoredBytes());
+
+  // Every blob keeps its exact codec tag and stored bytes across the
+  // round trip; under kAuto the loader re-flags blobs as advisor-managed.
+  size_t count = 0;
+  loaded.value().store().ForEachBlob([&](const BitmapKey& key,
+                                         const BitmapStore::Blob& blob) {
+    ++count;
+    Result<const BitmapStore::Blob*> orig = original.store().TryGetBlob(key);
+    ASSERT_TRUE(orig.ok());
+    EXPECT_EQ(blob.codec, orig.value()->codec);
+    EXPECT_EQ(blob.bytes, orig.value()->bytes);
+    EXPECT_EQ(blob.auto_codec, codec == StorageCodec::kAuto);
+    if (codec != StorageCodec::kAuto) {
+      EXPECT_EQ(blob.codec, static_cast<CodecId>(codec));
+    }
+  });
+  EXPECT_GT(count, 0u);
+
+  QueryExecutor exec(&loaded.value(), {});
+  for (uint32_t lo = 0; lo < 20; lo += 3) {
+    EXPECT_EQ(exec.EvaluateInterval({lo, 19}),
+              NaiveEvaluateInterval(col, {lo, 19}));
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, IndexIoCodecSweep,
+                         ::testing::Values(StorageCodec::kVerbatim,
+                                           StorageCodec::kBbc,
+                                           StorageCodec::kWah,
+                                           StorageCodec::kRoaring,
+                                           StorageCodec::kAuto),
+                         [](const ::testing::TestParamInfo<StorageCodec>& i) {
+                           return std::string(StorageCodecName(i.param));
+                         });
 
 }  // namespace
 }  // namespace bix

@@ -514,6 +514,10 @@ TEST_F(ObservabilityServiceTest, ExportMetricsFreshServiceMatchesGolden) {
             "io_bytes_read: 0.000000\n"
             "io_cpu_seconds: 0.000000\n"
             "io_decode_seconds: 0.000000\n"
+            "io_decodes_bbc: 0.000000\n"
+            "io_decodes_roaring: 0.000000\n"
+            "io_decodes_verbatim: 0.000000\n"
+            "io_decodes_wah: 0.000000\n"
             "io_disk_reads: 0.000000\n"
             "io_pool_hits: 0.000000\n"
             "io_rescans: 0.000000\n"
@@ -552,7 +556,9 @@ TEST_F(ObservabilityServiceTest, ExportMetricsFreshServiceMatchesGolden) {
       "\"gauges\":{\"breaker_open_seconds\":0.000000,"
       "\"breaker_opens\":0.000000,\"breaker_state\":0.000000,"
       "\"io_bytes_read\":0.000000,\"io_cpu_seconds\":0.000000,"
-      "\"io_decode_seconds\":0.000000,\"io_disk_reads\":0.000000,"
+      "\"io_decode_seconds\":0.000000,\"io_decodes_bbc\":0.000000,"
+      "\"io_decodes_roaring\":0.000000,\"io_decodes_verbatim\":0.000000,"
+      "\"io_decodes_wah\":0.000000,\"io_disk_reads\":0.000000,"
       "\"io_pool_hits\":0.000000,\"io_rescans\":0.000000,"
       "\"io_scans\":0.000000,\"io_seconds\":0.000000,"
       "\"pool_bytes_used\":0.000000},"

@@ -89,12 +89,12 @@ TEST(BitmapStoreTest, TryMaterializeValidatesUnverifiedBlobs) {
   // validating decoders: garbage can fail, but it cannot abort.
   BitmapStore store;
   BitmapStore::Blob garbage;
-  garbage.compressed = true;
+  garbage.codec = CodecId::kBbc;
   garbage.bit_count = 1000;
   garbage.bytes = {0x7F, 0x01, 0x02};  // malformed BBC atom stream
   store.PutBlob({1, 0}, std::move(garbage));
   BitmapStore::Blob short_verbatim;
-  short_verbatim.compressed = false;
+  short_verbatim.codec = CodecId::kVerbatim;
   short_verbatim.bit_count = 1000;
   short_verbatim.bytes.assign(100, 0);  // needs 125 bytes
   store.PutBlob({1, 1}, std::move(short_verbatim));
@@ -126,6 +126,56 @@ TEST(BitmapStoreTest, ReplaceKeepsTotalBytesConsistent) {
             store.StoredBytes({1, 0}) + store.StoredBytes({1, 1}));
   // Replaced blobs are re-stamped: materialization still verifies.
   EXPECT_EQ(store.TryMaterialize({1, 0}).value(), sparse);
+}
+
+TEST(BitmapStoreTest, PutWithCodecTagsAndRoundTripsEveryCodec) {
+  BitmapStore store;
+  Bitvector bv = MakeBitmap(20'000, 8, 0.02);
+  for (int c = 0; c < kNumCodecs; ++c) {
+    const CodecId codec = static_cast<CodecId>(c);
+    const BitmapKey key{1, static_cast<uint32_t>(c)};
+    store.PutWithCodec(key, bv, codec);
+    const BitmapStore::Blob& blob = store.GetBlob(key);
+    EXPECT_EQ(blob.codec, codec);
+    EXPECT_FALSE(blob.auto_codec);
+    EXPECT_TRUE(blob.crc_valid);
+    EXPECT_EQ(store.TryMaterialize(key).value(), bv) << CodecName(codec);
+    // The resident form only stays compressed for Roaring.
+    Result<DecodedBitmap> resident = TryMaterializeBlobResident(blob);
+    ASSERT_TRUE(resident.ok());
+    EXPECT_EQ(resident.value().is_roaring(), codec == CodecId::kRoaring);
+    EXPECT_EQ(*resident.value().MaterializePlain(), bv);
+  }
+  EXPECT_EQ(store.BitmapCount(), static_cast<uint64_t>(kNumCodecs));
+}
+
+TEST(BitmapStoreTest, PutAutoFollowsAdvisorAndReplaceReAdvises) {
+  BitmapStore store;
+  // Sparse: the advisor picks Roaring.
+  Bitvector sparse(100'000);
+  sparse.Set(3);
+  sparse.Set(50'000);
+  EXPECT_EQ(store.PutAuto({1, 0}, sparse), CodecId::kRoaring);
+  EXPECT_EQ(store.GetBlob({1, 0}).codec, CodecId::kRoaring);
+  EXPECT_TRUE(store.GetBlob({1, 0}).auto_codec);
+
+  // Replace with incompressible noise: the advisor re-picks verbatim.
+  Bitvector noise = MakeBitmap(100'000, 9, 0.5);
+  store.Replace({1, 0}, noise);
+  EXPECT_EQ(store.GetBlob({1, 0}).codec, CodecId::kVerbatim);
+  EXPECT_TRUE(store.GetBlob({1, 0}).auto_codec);
+  EXPECT_EQ(store.TryMaterialize({1, 0}).value(), noise);
+
+  // An explicitly-coded blob keeps its codec across the same replacement.
+  store.PutWithCodec({1, 1}, sparse, CodecId::kBbc);
+  store.Replace({1, 1}, noise);
+  EXPECT_EQ(store.GetBlob({1, 1}).codec, CodecId::kBbc);
+  EXPECT_FALSE(store.GetBlob({1, 1}).auto_codec);
+  EXPECT_EQ(store.TryMaterialize({1, 1}).value(), noise);
+
+  // Accounting stays consistent through the codec flips.
+  EXPECT_EQ(store.TotalStoredBytes(),
+            store.StoredBytes({1, 0}) + store.StoredBytes({1, 1}));
 }
 
 TEST(FaultInjectorTest, SameSeedReplaysSameFaultSequence) {
@@ -379,6 +429,34 @@ TEST(BitmapCacheTest2, UncompressedFetchChargesNoDecode) {
   EXPECT_DOUBLE_EQ(cache.stats().decode_seconds, 0.0);
 }
 
+TEST(BitmapCacheTest2, RoaringFetchChargesScaledDecodeAndTagsCodec) {
+  BitmapStore store;
+  Bitvector sparse(80'000);
+  sparse.Set(3);
+  sparse.Set(70'001);
+  store.PutWithCodec({1, 0}, sparse, CodecId::kRoaring);
+  store.PutCompressed({1, 1}, sparse);
+  store.PutUncompressed({1, 2}, MakeBitmap(1000, 1));
+  const uint64_t roaring_bytes = store.StoredBytes({1, 0});
+  DiskModel disk;
+  disk.decompress_bytes_per_second = 1000.0;
+  BitmapCache cache(&store, 1 << 20, disk);
+  IoStats stats;
+  ASSERT_TRUE(cache.TryFetch({1, 0}, &stats).ok());
+  // Roaring hands out container form, so its modeled decode cost is a
+  // fraction (roaring_decode_scale) of a full decompression pass.
+  EXPECT_DOUBLE_EQ(stats.decode_seconds,
+                   disk.roaring_decode_scale *
+                       static_cast<double>(roaring_bytes) / 1000.0);
+  ASSERT_TRUE(cache.TryFetch({1, 1}, &stats).ok());
+  ASSERT_TRUE(cache.TryFetch({1, 2}, &stats).ok());
+  // Every fetch is tallied under its blob's codec.
+  EXPECT_EQ(stats.codec_decodes[static_cast<size_t>(CodecId::kRoaring)], 1u);
+  EXPECT_EQ(stats.codec_decodes[static_cast<size_t>(CodecId::kBbc)], 1u);
+  EXPECT_EQ(stats.codec_decodes[static_cast<size_t>(CodecId::kVerbatim)], 1u);
+  EXPECT_EQ(stats.codec_decodes[static_cast<size_t>(CodecId::kWah)], 0u);
+}
+
 // Field-by-field roll-up of two fully populated blocks: the merge used
 // when per-worker stats are aggregated into service counters. Every
 // IoStats field is set to a distinct value so a counter dropped from Add()
@@ -393,6 +471,9 @@ TEST(IoStatsTest, AddMergesEveryFieldOfPopulatedBlocks) {
   a.io_seconds = 1.5;
   a.decode_seconds = 0.5;
   a.cpu_seconds = 0.25;
+  for (int c = 0; c < kNumCodecs; ++c) {
+    a.codec_decodes[c] = 100 + static_cast<uint64_t>(c);
+  }
   IoStats b;
   b.scans = 3;
   b.pool_hits = 1;
@@ -402,6 +483,9 @@ TEST(IoStatsTest, AddMergesEveryFieldOfPopulatedBlocks) {
   b.io_seconds = 0.75;
   b.decode_seconds = 0.125;
   b.cpu_seconds = 0.0625;
+  for (int c = 0; c < kNumCodecs; ++c) {
+    b.codec_decodes[c] = 10 * static_cast<uint64_t>(c) + 1;
+  }
   a.Add(b);
   EXPECT_EQ(a.scans, 13u);
   EXPECT_EQ(a.pool_hits, 5u);
@@ -411,6 +495,11 @@ TEST(IoStatsTest, AddMergesEveryFieldOfPopulatedBlocks) {
   EXPECT_DOUBLE_EQ(a.io_seconds, 2.25);
   EXPECT_DOUBLE_EQ(a.decode_seconds, 0.625);
   EXPECT_DOUBLE_EQ(a.cpu_seconds, 0.3125);
+  for (int c = 0; c < kNumCodecs; ++c) {
+    EXPECT_EQ(a.codec_decodes[c],
+              100 + static_cast<uint64_t>(c) + 10 * static_cast<uint64_t>(c) + 1)
+        << CodecName(static_cast<CodecId>(c));
+  }
   // b is untouched by the merge.
   EXPECT_EQ(b.scans, 3u);
   EXPECT_DOUBLE_EQ(b.io_seconds, 0.75);

@@ -227,6 +227,43 @@ TEST(CopyTripwireTest, CachedComponentWiseMembershipCopiesNothing) {
   EXPECT_EQ(count, warm.Count());
 }
 
+// The operate-on-compressed tripwire: once the sharded cache is warm, an
+// AND over Roaring-stored bitmaps runs entirely in the compressed domain —
+// container-vs-container kernels plus WriteInto of the computed result —
+// and performs ZERO full decodes of stored bitmaps (RoaringStats counts
+// every whole-bitmap expansion: ToBitvector, MaterializePlain, and the
+// codec Decode path).
+TEST(CopyTripwireTest, WarmedRoaringAndPerformsZeroFullDecodes) {
+  Column col = GenerateZipfColumn(
+      {.rows = 30000, .cardinality = 36, .zipf_z = 1.2, .seed = 13});
+  // Two components: each membership value rewrites to an AND of two leaves,
+  // so the warmed path exercises the compressed-domain conjunction.
+  BitmapIndex index =
+      BitmapIndex::Build(col, Decomposition::Make(36, {6, 6}).value(),
+                         EncodingKind::kEquality, StorageCodec::kRoaring);
+  ShardedBitmapCache cache(&index.store(), 64ull << 20, 4);
+  ExecutorOptions opts;
+  opts.strategy = EvalStrategy::kComponentWise;
+  opts.cold_pool_per_query = false;
+  QueryExecutor exec(&index, opts, &cache);
+  const std::vector<uint32_t> values = {1, 9, 17, 30};
+  std::vector<ExprPtr> exprs = exec.RewriteMembership(values);
+  exec.EvaluateRewritten(exprs);  // warm: every leaf now cache-resident
+
+  RoaringStats::Reset();
+  Bitvector warm = exec.EvaluateRewritten(exprs);
+  EXPECT_EQ(RoaringStats::full_decodes(), 0u)
+      << "a warmed Roaring AND expanded a whole stored bitmap";
+  EXPECT_EQ(warm, NaiveEvaluateMembership(col, values));
+
+  // Count-only over the same warm working set folds container
+  // cardinalities (AndCount) — also decode-free.
+  RoaringStats::Reset();
+  const uint64_t count = exec.EvaluateCountRewritten(exprs);
+  EXPECT_EQ(RoaringStats::full_decodes(), 0u);
+  EXPECT_EQ(count, warm.Count());
+}
+
 // ------------------------------------- cross-path bit-identical results --
 
 TEST(EvalPathEquivalenceTest, AllStrategiesAndCountAgreeOnSeededWorkload) {
