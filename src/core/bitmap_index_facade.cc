@@ -32,11 +32,8 @@ Result<std::vector<uint32_t>> SpaceOptimalBases(uint32_t cardinality,
   return d.value().BasesMsbFirst();
 }
 
-Result<std::unique_ptr<QueryService>> Serve(const BitmapIndex* index,
-                                            ServiceOptions options) {
-  if (index == nullptr) {
-    return Status::InvalidArgument("index must not be null");
-  }
+namespace {
+Status ValidateServiceOptions(const ServiceOptions& options) {
   if (options.num_workers == 0) {
     return Status::InvalidArgument("num_workers must be >= 1");
   }
@@ -74,7 +71,31 @@ Result<std::unique_ptr<QueryService>> Serve(const BitmapIndex* index,
       return Status::InvalidArgument("brownout open_seconds must be >= 0");
     }
   }
+  if (options.compaction_interval_seconds < 0.0) {
+    return Status::InvalidArgument("compaction_interval_seconds must be >= 0");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<std::unique_ptr<QueryService>> Serve(const BitmapIndex* index,
+                                            ServiceOptions options) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("index must not be null");
+  }
+  Status valid = ValidateServiceOptions(options);
+  if (!valid.ok()) return valid;
   return std::make_unique<QueryService>(index, options);
+}
+
+Result<std::unique_ptr<QueryService>> Serve(IndexSnapshotProvider* provider,
+                                            ServiceOptions options) {
+  if (provider == nullptr) {
+    return Status::InvalidArgument("provider must not be null");
+  }
+  Status valid = ValidateServiceOptions(options);
+  if (!valid.ok()) return valid;
+  return std::make_unique<QueryService>(provider, options);
 }
 
 }  // namespace bix

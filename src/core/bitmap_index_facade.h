@@ -45,6 +45,14 @@ Result<std::vector<uint32_t>> SpaceOptimalBases(uint32_t cardinality,
 Result<std::unique_ptr<QueryService>> Serve(const BitmapIndex* index,
                                             ServiceOptions options = {});
 
+// Writable-mode serving: same validation, but over an IndexSnapshotProvider
+// (e.g. a WritableBitmapIndex) — every query pins an epoch-consistent
+// {base, delta} snapshot and merges pending updates into its result, and a
+// positive options.compaction_interval_seconds starts the background fold.
+// The provider must outlive the returned service.
+Result<std::unique_ptr<QueryService>> Serve(IndexSnapshotProvider* provider,
+                                            ServiceOptions options = {});
+
 }  // namespace bix
 
 #endif  // BIX_CORE_BITMAP_INDEX_FACADE_H_

@@ -1,0 +1,45 @@
+#include "expr/delta_eval.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bix {
+
+ValueSet ValueSet::Members(std::vector<uint32_t> values) {
+  ValueSet s;
+  s.is_interval_ = false;
+  std::sort(values.begin(), values.end());
+  s.members_ = std::move(values);
+  return s;
+}
+
+bool ValueSet::Contains(uint32_t v) const {
+  if (is_interval_) return lo_ <= v && v <= hi_;
+  return std::binary_search(members_.begin(), members_.end(), v);
+}
+
+void MergeDeltaIntoResult(const DeltaView& view, const ValueSet& pred,
+                          Bitvector* result) {
+  BIX_CHECK_MSG(result->size() == view.base_rows,
+                "delta merge expects the base index's answer");
+  BIX_CHECK(view.total_rows == view.base_rows + view.appended->size());
+  result->Resize(view.total_rows);
+  // Overridden base rows: the bitmap answer reflects the base value, so
+  // re-decide each against the predicate directly.
+  for (const DeltaOverride& o : *view.overrides) {
+    if (pred.Contains(o.value)) {
+      result->Set(o.rid);
+    } else {
+      result->Clear(o.rid);
+    }
+  }
+  for (uint64_t i = 0; i < view.appended->size(); ++i) {
+    if (pred.Contains((*view.appended)[i])) result->Set(view.base_rows + i);
+  }
+  // Deletions last: encodings like Range have no bitmap state that can
+  // express an absent row, so the tombstone mask must always win.
+  result->AndNotWith(*view.dead);
+}
+
+}  // namespace bix

@@ -1,0 +1,72 @@
+#ifndef BIX_EXPR_DELTA_EVAL_H_
+#define BIX_EXPR_DELTA_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitvector/bitvector.h"
+
+namespace bix {
+
+// The set of attribute values a selection predicate accepts — the
+// evaluator-side mirror of interval and membership queries, used to decide
+// whether an overlaid row matches without consulting any bitmap.
+class ValueSet {
+ public:
+  static ValueSet Interval(uint32_t lo, uint32_t hi) {
+    ValueSet s;
+    s.is_interval_ = true;
+    s.lo_ = lo;
+    s.hi_ = hi;
+    return s;
+  }
+  static ValueSet Members(std::vector<uint32_t> values);
+
+  bool Contains(uint32_t v) const;
+
+ private:
+  bool is_interval_ = true;
+  uint32_t lo_ = 0;
+  uint32_t hi_ = 0;
+  std::vector<uint32_t> members_;  // sorted
+};
+
+// One updated base row: the row's value in the base index and its current
+// value in the overlay. `base_value` is carried so compaction can clear
+// the row's old digit slots without re-reading the column.
+struct DeltaOverride {
+  uint64_t rid = 0;
+  uint32_t base_value = 0;
+  uint32_t value = 0;
+};
+
+// A read-only, non-owning view of an index overlay, expressed entirely in
+// bitvector/value terms so this layer stays below src/index (DESIGN.md
+// section 6). Invariants the producer (DeltaSnapshot) maintains:
+//   - overrides is sorted by rid, each rid < base_rows, no duplicates;
+//   - appended[i] is the value of row base_rows + i;
+//   - dead->size() == total_rows == base_rows + appended->size().
+struct DeltaView {
+  uint64_t base_rows = 0;
+  uint64_t total_rows = 0;
+  const Bitvector* dead = nullptr;
+  const std::vector<DeltaOverride>* overrides = nullptr;
+  const std::vector<uint32_t>* appended = nullptr;
+
+  bool trivial() const {
+    return overrides->empty() && appended->empty() && dead->AllZero();
+  }
+};
+
+// Rewrites `result` — the base index's answer over base_rows bits — into
+// the overlay-consistent answer over total_rows bits: overridden rows are
+// re-decided against `pred`, appended rows are appended, and dead rows are
+// masked out last (deletions must win even for encodings whose bitmaps
+// cannot express an absent row). The output is bit-identical to evaluating
+// `pred` against a from-scratch rebuild of the updated column.
+void MergeDeltaIntoResult(const DeltaView& view, const ValueSet& pred,
+                          Bitvector* result);
+
+}  // namespace bix
+
+#endif  // BIX_EXPR_DELTA_EVAL_H_

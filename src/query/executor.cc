@@ -191,6 +191,23 @@ Result<uint64_t> QueryExecutor::TryEvaluateCountRewritten(
   return count;
 }
 
+Result<Bitvector> QueryExecutor::TryEvaluateRewrittenMerged(
+    const std::vector<ExprPtr>& exprs, const DeltaView& delta,
+    const ValueSet& pred, const CancelToken* cancel) {
+  Result<Bitvector> result = EvalCore(exprs, cancel, /*count_out=*/nullptr);
+  if (!result.ok()) return result;
+  Bitvector merged = std::move(result.value());
+  {
+    TraceScope scope(trace_, "delta_merge");
+    if (trace_ != nullptr) {
+      trace_->Tag("overrides", delta.overrides->size());
+      trace_->Tag("appended", delta.appended->size());
+    }
+    MergeDeltaIntoResult(delta, pred, &merged);
+  }
+  return merged;
+}
+
 Result<Bitvector> QueryExecutor::EvalCore(const std::vector<ExprPtr>& exprs,
                                           const CancelToken* cancel,
                                           uint64_t* count_out) {

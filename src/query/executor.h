@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "expr/delta_eval.h"
 #include "expr/evaluate.h"
 #include "index/bitmap_index.h"
 #include "query/query.h"
@@ -103,6 +104,15 @@ class QueryExecutor {
   // Fallible count-only variant (the serving path's COUNT entry point).
   Result<uint64_t> TryEvaluateCountRewritten(
       const std::vector<ExprPtr>& exprs, const CancelToken* cancel = nullptr);
+  // Delta-aware serving entry: evaluates `exprs` against the base index,
+  // then merges the writable-index overlay (src/expr/delta_eval) so the
+  // result covers overridden, appended, and tombstoned rows — bit-identical
+  // to evaluating against a from-scratch rebuild of the updated column.
+  // `pred` must be the value set of the same query `exprs` was rewritten
+  // from. The view (and what it points into) must stay alive for the call.
+  Result<Bitvector> TryEvaluateRewrittenMerged(
+      const std::vector<ExprPtr>& exprs, const DeltaView& delta,
+      const ValueSet& pred, const CancelToken* cancel = nullptr);
 
   // Rewrites without executing (for inspection, tests, cost analysis).
   // `cancel` stops the membership rewrite loop between constituents once

@@ -189,20 +189,42 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
   std::unordered_set<uint64_t> quarantine_;  // guarded by mu_
 };
 
+// One epoch's read stack. `base` keeps the epoch's index alive for as
+// long as any worker or in-flight query still points into it (read-only
+// mode uses a non-owning alias, since the caller owns that index).
+struct QueryService::EpochCache {
+  uint64_t epoch = 0;
+  std::shared_ptr<const BitmapIndex> base;
+  std::unique_ptr<ShardedBitmapCache> cache;
+  std::unique_ptr<FaultPolicyCache> policy;
+};
+
 QueryService::QueryService(const BitmapIndex* index, ServiceOptions options)
+    : QueryService(index, /*provider=*/nullptr, options) {}
+
+QueryService::QueryService(IndexSnapshotProvider* provider,
+                           ServiceOptions options)
+    : QueryService(/*index=*/nullptr, provider, options) {}
+
+QueryService::QueryService(const BitmapIndex* index,
+                           IndexSnapshotProvider* provider,
+                           ServiceOptions options)
     : index_(index),
+      provider_(provider),
       options_(options),
       clock_(options.clock != nullptr ? options.clock : RealClock::Get()),
-      cache_(std::make_unique<ShardedBitmapCache>(
-          &index->store(), options.buffer_pool_bytes, options.cache_shards,
-          options.disk, options.io_latency_scale, clock_)),
       breaker_(options.brownout.enabled
                    ? std::make_unique<BrownoutBreaker>(options.brownout)
                    : nullptr),
       queue_(options.queue_capacity),
       slow_log_(options.slow_query_log_size) {
-  BIX_CHECK(index != nullptr);
+  BIX_CHECK(index != nullptr || provider != nullptr);
   BIX_CHECK(options.num_workers > 0);
+  // The value domain is fixed for the service's lifetime even in writable
+  // mode: updates change row values, never the column's cardinality.
+  cardinality_ = index_ != nullptr
+                     ? index_->decomposition().cardinality()
+                     : provider_->Snapshot().base->decomposition().cardinality();
   // Register every named metric once and cache the handles; all hot-path
   // updates go through these pointers without touching the registry lock.
   m_.submitted = registry_.GetCounter("queries_submitted");
@@ -237,24 +259,78 @@ QueryService::QueryService(const BitmapIndex* index, ServiceOptions options)
   m_.stage_rewrite = registry_.GetHistogram("latency_rewrite");
   m_.stage_eval = registry_.GetHistogram("latency_eval");
   m_.latency_total = registry_.GetHistogram("latency_total");
-  // The policy cache increments registry counters, so it is built after
-  // the handles above (and before any worker can run).
-  policy_cache_ = std::make_unique<FaultPolicyCache>(
-      cache_.get(), options.max_fetch_retries, options.retry_backoff_seconds,
-      clock_, breaker_.get(), m_.retries, m_.corruptions, m_.quarantined);
-  if (options_.fault_injector != nullptr) {
-    cache_->SetFaultInjector(options_.fault_injector);
+  if (provider_ != nullptr) {
+    // Durability metrics exist only in writable mode, so read-only exports
+    // (and the observability goldens pinned against them) are unchanged.
+    m_.compactions_shed = registry_.GetCounter("compactions_shed");
+    m_.wal_appends = registry_.GetGauge("wal_appends");
+    m_.wal_bytes = registry_.GetGauge("wal_bytes");
+    m_.recovered_batches = registry_.GetGauge("recovered_batches");
+    m_.truncated_tail_records = registry_.GetGauge("truncated_tail_records");
+    m_.compactions = registry_.GetGauge("compactions");
+    m_.delta_rows = registry_.GetGauge("delta_rows");
+  }
+  // The per-epoch policy cache increments registry counters, so the first
+  // epoch is built after the handles above (and before any worker runs).
+  if (index_ != nullptr) {
+    // Read-only mode: one epoch forever, over a base the caller owns (the
+    // aliasing shared_ptr carries no ownership).
+    epoch_cache_ = MakeEpochCache(
+        0, std::shared_ptr<const BitmapIndex>(
+               std::shared_ptr<const BitmapIndex>(), index_));
+  } else {
+    IndexSnapshot snap = provider_->Snapshot();
+    epoch_cache_ = MakeEpochCache(snap.base_epoch, snap.base);
   }
   workers_.reserve(options_.num_workers);
   for (uint32_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  if (provider_ != nullptr && options_.compaction_interval_seconds > 0.0) {
+    compaction_cancel_ = CancelToken::Manual();
+    compaction_thread_ = std::thread([this] { CompactionLoop(); });
+  }
+}
+
+std::shared_ptr<QueryService::EpochCache> QueryService::MakeEpochCache(
+    uint64_t epoch, std::shared_ptr<const BitmapIndex> base) {
+  auto ec = std::make_shared<EpochCache>();
+  ec->epoch = epoch;
+  ec->base = std::move(base);
+  ec->cache = std::make_unique<ShardedBitmapCache>(
+      &ec->base->store(), options_.buffer_pool_bytes, options_.cache_shards,
+      options_.disk, options_.io_latency_scale, clock_);
+  if (options_.fault_injector != nullptr) {
+    ec->cache->SetFaultInjector(options_.fault_injector);
+  }
+  ec->policy = std::make_unique<FaultPolicyCache>(
+      ec->cache.get(), options_.max_fetch_retries,
+      options_.retry_backoff_seconds, clock_, breaker_.get(), m_.retries,
+      m_.corruptions, m_.quarantined);
+  return ec;
+}
+
+std::shared_ptr<QueryService::EpochCache> QueryService::EpochCacheFor(
+    const IndexSnapshot& snap) {
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    if (epoch_cache_->epoch == snap.base_epoch) return epoch_cache_;
+    if (epoch_cache_->epoch < snap.base_epoch) {
+      epoch_cache_ = MakeEpochCache(snap.base_epoch, snap.base);
+      return epoch_cache_;
+    }
+  }
+  // The snapshot lost the race with a concurrent compaction: the installed
+  // cache already serves a newer epoch. Installing the older one back would
+  // be the classic ABA; give this query a private throwaway stack instead —
+  // correct (its base is pinned by the snapshot), just uncached.
+  return MakeEpochCache(snap.base_epoch, snap.base);
 }
 
 QueryService::~QueryService() { Shutdown(); }
 
 Status QueryService::Validate(const ServiceQuery& query) const {
-  const uint32_t cardinality = index_->decomposition().cardinality();
+  const uint32_t cardinality = cardinality_;
   if (query.kind == ServiceQuery::Kind::kInterval) {
     if (query.interval.lo > query.interval.hi) {
       return Status::InvalidArgument("interval lo > hi");
@@ -379,6 +455,13 @@ void QueryService::Shutdown() {
   }
   lifecycle_ = Lifecycle::kShuttingDown;
   lock.unlock();
+  // Stop the background compactor first: a fold in flight finishes (the
+  // provider's Compact is synchronous), then the thread exits — workers
+  // still serving queries below simply rebind to the final epoch.
+  if (compaction_thread_.joinable()) {
+    compaction_cancel_->Cancel();
+    compaction_thread_.join();
+  }
   queue_.Close();  // workers drain the remaining queue, then exit
   for (std::thread& w : workers_) w.join();
   lock.lock();
@@ -397,9 +480,9 @@ ServiceStats QueryService::Stats() const {
   snapshot.deadline_exceeded = m_.deadline_exceeded->Value();
   snapshot.cancelled = m_.cancelled->Value();
   snapshot.shed_in_queue = m_.shed_in_queue->Value();
-  snapshot.retries = policy_cache_->retries();
-  snapshot.corruptions_detected = policy_cache_->corruptions_detected();
-  snapshot.quarantined_bitmaps = policy_cache_->quarantined_count();
+  snapshot.retries = m_.retries->Value();
+  snapshot.corruptions_detected = m_.corruptions->Value();
+  snapshot.quarantined_bitmaps = m_.quarantined->Value();
   if (breaker_ != nullptr) {
     snapshot.breaker_opens = breaker_->opens();
     snapshot.breaker_open_seconds = breaker_->OpenSecondsTotal(clock_->Now());
@@ -424,7 +507,21 @@ void QueryService::RefreshGauges() const {
     m_.breaker_opens->Set(static_cast<double>(breaker_->opens()));
     m_.breaker_open_seconds->Set(breaker_->OpenSecondsTotal(clock_->Now()));
   }
-  m_.pool_bytes_used->Set(static_cast<double>(cache_->pool_bytes_used()));
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    m_.pool_bytes_used->Set(
+        static_cast<double>(epoch_cache_->cache->pool_bytes_used()));
+  }
+  if (provider_ != nullptr) {
+    const DurabilityStats d = provider_->durability();
+    m_.wal_appends->Set(static_cast<double>(d.wal_appends));
+    m_.wal_bytes->Set(static_cast<double>(d.wal_bytes));
+    m_.recovered_batches->Set(static_cast<double>(d.recovered_batches));
+    m_.truncated_tail_records->Set(
+        static_cast<double>(d.truncated_tail_records));
+    m_.compactions->Set(static_cast<double>(d.compactions));
+    m_.delta_rows->Set(static_cast<double>(d.delta_rows));
+  }
   IoStats io;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -463,7 +560,17 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
   exec_options.strategy = options_.strategy;
   exec_options.cold_pool_per_query = false;  // the pool is shared and warm
   exec_options.clock = clock_;
-  QueryExecutor executor(index_, exec_options, policy_cache_.get());
+  // The worker's executor is bound to one epoch's {base, cache, policy}
+  // stack and rebuilt (cheap: no pool allocation happens up front) whenever
+  // the provider's epoch moves on. The pinned shared_ptr keeps a retired
+  // epoch's base alive until the last worker rebinds past it.
+  std::shared_ptr<EpochCache> ec;
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    ec = epoch_cache_;
+  }
+  std::optional<QueryExecutor> executor;
+  executor.emplace(ec->base.get(), exec_options, ec->policy.get());
   while (true) {
     std::optional<Task> task = queue_.Pop();
     if (!task.has_value()) break;  // closed and drained: deterministic exit
@@ -486,7 +593,20 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
         continue;
       }
     }
-    QueryResult result = Execute(&executor, *task);
+    // Writable mode: pin an epoch-consistent {base, delta} snapshot for
+    // this query before evaluating. The swap in the provider is atomic
+    // under its snapshot lock, so a query sees a batch entirely or not at
+    // all — never a torn overlay.
+    IndexSnapshot snap;
+    if (provider_ != nullptr) {
+      snap = provider_->Snapshot();
+      if (snap.base_epoch != ec->epoch) {
+        ec = EpochCacheFor(snap);
+        executor.emplace(ec->base.get(), exec_options, ec->policy.get());
+      }
+    }
+    QueryResult result =
+        Execute(&*executor, *task, provider_ != nullptr ? &snap : nullptr);
     // Record before resolving the future, so a caller that waited on the
     // result is guaranteed to see its query in the service counters.
     RecordCompletion(*task, result);
@@ -494,7 +614,8 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
   }
 }
 
-QueryResult QueryService::Execute(QueryExecutor* executor, const Task& task) {
+QueryResult QueryService::Execute(QueryExecutor* executor, const Task& task,
+                                  const IndexSnapshot* snap) {
   QueryResult result;
   const ClockInterface::TimePoint picked_up = clock_->Now();
   result.metrics.queue_seconds = SecondsBetween(task.enqueued, picked_up);
@@ -533,10 +654,34 @@ QueryResult QueryService::Execute(QueryExecutor* executor, const Task& task) {
     }
   }
   const ClockInterface::TimePoint t1 = clock_->Now();
+  // Writable mode with pending updates: evaluate against the base, then
+  // merge the pinned overlay so the answer matches a from-scratch rebuild
+  // of the updated column. A trivial (empty) overlay keeps the read-only
+  // fast paths — including count-only's no-materialization path —
+  // bit-for-bit.
+  const bool merged = snap != nullptr && !snap->delta->trivial();
   Status eval_status;
   {
     TraceScope eval_span(trace, "eval");
-    if (task.query.count_only) {
+    if (merged) {
+      const ValueSet pred =
+          task.query.kind == ServiceQuery::Kind::kInterval
+              ? ValueSet::Interval(task.query.interval.lo,
+                                   task.query.interval.hi)
+              : ValueSet::Members(task.query.values);
+      const DeltaView view = snap->delta->View();
+      Result<Bitvector> rows =
+          executor->TryEvaluateRewrittenMerged(exprs, view, pred, cancel);
+      if (rows.ok()) {
+        if (task.query.count_only) {
+          result.count = rows.value().Count();
+        } else {
+          result.rows = std::move(rows).value();
+          result.count = result.rows.Count();
+        }
+      }
+      eval_status = rows.status();
+    } else if (task.query.count_only) {
       // COUNT selection: the evaluator counts in place; no result bitmap is
       // materialized for the client.
       Result<uint64_t> count =
@@ -681,6 +826,40 @@ void QueryService::ShedForBrownout() {
       result.trace = std::make_shared<const TraceSpan>(sink.Finish());
     }
     task.promise.set_value(std::move(result));
+  }
+}
+
+const ShardedBitmapCache& QueryService::cache() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return *epoch_cache_->cache;
+}
+
+Status QueryService::CompactNow() {
+  if (provider_ == nullptr) {
+    return Status::InvalidArgument("CompactNow requires writable mode");
+  }
+  return provider_->Compact(nullptr);
+}
+
+void QueryService::CompactionLoop() {
+  const double interval = options_.compaction_interval_seconds;
+  while (true) {
+    clock_->SleepFor(interval, compaction_cancel_.get());
+    if (compaction_cancel_->cancelled()) break;
+    if (provider_->PendingDeltaOps() < options_.compaction_min_delta_ops) {
+      continue;
+    }
+    if (breaker_ != nullptr) {
+      breaker_->Poll(clock_->Now());
+      if (breaker_->state() != BrownoutBreaker::State::kClosed) {
+        // Compaction is the most deferrable work the service owns: under
+        // overload (open or probing breaker) skip the fold and let the
+        // delta ride until the storm passes.
+        m_.compactions_shed->Increment();
+        continue;
+      }
+    }
+    (void)provider_->Compact(nullptr);
   }
 }
 

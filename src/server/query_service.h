@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "index/bitmap_index.h"
+#include "index/delta_store.h"
 #include "query/executor.h"
 #include "server/brownout.h"
 #include "server/metrics.h"
@@ -157,6 +158,19 @@ struct ServiceOptions {
   // queries ExportMetrics retains (with rendered traces when available).
   // 0 disables the slow-query log.
   size_t slow_query_log_size = 8;
+
+  // Writable serving (the IndexSnapshotProvider constructor; DESIGN.md
+  // section 15). When compaction_interval_seconds > 0 a background task
+  // periodically folds the provider's delta overlay into the component
+  // bitmaps — unless the brownout breaker is open or probing, in which
+  // case the fold is skipped for that tick (compaction is the most
+  // deferrable work the service owns, so overload sheds it first;
+  // compactions_shed counts the skips). 0 disables the task; CompactNow()
+  // stays available either way. Ignored in read-only mode.
+  double compaction_interval_seconds = 0.0;
+  // Background compaction folds only once this many overlay ops are
+  // pending (folding a near-empty delta is all checkpoint cost, no gain).
+  uint64_t compaction_min_delta_ops = 1;
 };
 
 // Wire format of QueryService::ExportMetrics.
@@ -176,11 +190,24 @@ enum class MetricsFormat : uint8_t { kText, kJson };
 // stored data fails *that query* with a typed Status — it never aborts the
 // process or poisons other queries' results.
 //
-// The index must be immutable while the service is running (no Append);
-// it is read concurrently without locks.
+// Read-only mode (the BitmapIndex constructor): the index must be
+// immutable while the service is running (no Append); it is read
+// concurrently without locks.
+//
+// Writable mode (the IndexSnapshotProvider constructor): every query pins
+// an epoch-consistent {base index, delta overlay} snapshot before
+// evaluating, merges the overlay into its result, and never observes a
+// partially applied batch — writers swap immutable snapshots instead of
+// mutating shared state. When compaction retires an epoch, workers rebind
+// to a fresh per-epoch sharded cache (cache entries are keyed by
+// BitmapKey, whose meaning changes with the base); queries still in
+// flight on the old epoch keep its base alive via their pinned snapshot
+// and stay bit-identical to that epoch's rebuild.
 class QueryService {
  public:
   QueryService(const BitmapIndex* index, ServiceOptions options);
+  // Writable mode. The provider (not owned) must outlive the service.
+  QueryService(IndexSnapshotProvider* provider, ServiceOptions options);
   ~QueryService();  // implies Shutdown()
 
   QueryService(const QueryService&) = delete;
@@ -232,7 +259,15 @@ class QueryService {
     return slow_log_.Snapshot();
   }
 
-  const ShardedBitmapCache& cache() const { return *cache_; }
+  // Writable mode only: folds the provider's pending overlay into the
+  // bitmaps right now (synchronously, on the caller's thread), regardless
+  // of breaker state or the background task's schedule. InvalidArgument
+  // in read-only mode; otherwise the provider's Compact status.
+  Status CompactNow();
+
+  // The current epoch's shared cache. In writable mode the reference is
+  // only stable between compactions; read-only mode has a single epoch.
+  const ShardedBitmapCache& cache() const;
   uint32_t num_workers() const { return options_.num_workers; }
 
  private:
@@ -251,12 +286,34 @@ class QueryService {
   // Defined in query_service.cc; shared by all workers.
   class FaultPolicyCache;
 
+  // One epoch's read stack: the base index it serves, the sharded cache
+  // over that base's store, and the degradation policy (retry budget +
+  // quarantine — also per epoch, since keys change meaning when the base
+  // is refolded). Workers pin the current one per query and rebind when
+  // the provider's epoch moves on; in-flight queries keep retired epochs
+  // alive through their shared_ptr.
+  struct EpochCache;
+
+  QueryService(const BitmapIndex* index, IndexSnapshotProvider* provider,
+               ServiceOptions options);
+
+  std::shared_ptr<EpochCache> MakeEpochCache(
+      uint64_t epoch, std::shared_ptr<const BitmapIndex> base);
+  // The cache for `snap`'s epoch: the installed one when current, a newer
+  // one installed on first sight, or a private throwaway for a snapshot
+  // that lost the race with a concurrent compaction.
+  std::shared_ptr<EpochCache> EpochCacheFor(const IndexSnapshot& snap);
+
   // Validation at the admission edge, so malformed queries fail with a
   // Status instead of aborting a worker.
   Status Validate(const ServiceQuery& query) const;
   std::future<QueryResult> SubmitInternal(ServiceQuery query, bool blocking);
   void WorkerLoop(uint32_t worker_id);
-  QueryResult Execute(QueryExecutor* executor, const Task& task);
+  void CompactionLoop();
+  // `snap` is the query's pinned snapshot in writable mode, null in
+  // read-only mode.
+  QueryResult Execute(QueryExecutor* executor, const Task& task,
+                      const IndexSnapshot* snap);
   void RecordCompletion(const Task& task, const QueryResult& result);
   // Refreshes the point-in-time export gauges (breaker, degradation
   // counters owned by the policy cache, I/O roll-up, pool residency) just
@@ -269,14 +326,19 @@ class QueryService {
   // breaker opens; shed tasks resolve Unavailable without executing.
   void ShedForBrownout();
 
-  const BitmapIndex* index_;
+  const BitmapIndex* index_;                // read-only mode; else null
+  IndexSnapshotProvider* const provider_;   // writable mode; else null
   const ServiceOptions options_;
   ClockInterface* const clock_;
-  std::unique_ptr<ShardedBitmapCache> cache_;
+  uint32_t cardinality_ = 0;  // fixed for the service's lifetime
   std::unique_ptr<BrownoutBreaker> breaker_;  // null when brownout disabled
-  std::unique_ptr<FaultPolicyCache> policy_cache_;
+  mutable std::mutex epoch_mu_;
+  std::shared_ptr<EpochCache> epoch_cache_;  // guarded by epoch_mu_
   BoundedWorkQueue<Task> queue_;
   std::vector<std::thread> workers_;
+  // Background compaction (writable mode with a positive interval).
+  std::thread compaction_thread_;
+  std::shared_ptr<CancelToken> compaction_cancel_;
 
   // Named metrics (DESIGN.md section 13). Counter/gauge/histogram handles
   // are registered once in the constructor and cached here, so hot-path
@@ -316,6 +378,15 @@ class QueryService {
     StripedLatencyHistogram* stage_rewrite;
     StripedLatencyHistogram* stage_eval;
     StripedLatencyHistogram* latency_total;
+    // Writable mode only (registered by the provider constructor, so
+    // read-only exports — and their goldens — are unchanged).
+    MetricsCounter* compactions_shed = nullptr;
+    MetricsGauge* wal_appends = nullptr;
+    MetricsGauge* wal_bytes = nullptr;
+    MetricsGauge* recovered_batches = nullptr;
+    MetricsGauge* truncated_tail_records = nullptr;
+    MetricsGauge* compactions = nullptr;
+    MetricsGauge* delta_rows = nullptr;
   };
   Handles m_{};
 

@@ -28,6 +28,13 @@ FaultInjector::FaultInjector(FaultInjectorOptions options)
                             options.latency_spike_prob <=
                         1.0,
                 "fault probabilities must be >= 0 and sum to <= 1");
+  BIX_CHECK_MSG(options.short_write_prob >= 0.0 &&
+                    options.flush_fail_prob >= 0.0 &&
+                    options.rename_fail_prob >= 0.0 &&
+                    options.short_write_prob + options.flush_fail_prob +
+                            options.rename_fail_prob <=
+                        1.0,
+                "write fault probabilities must be >= 0 and sum to <= 1");
 }
 
 FaultInjector::Fault FaultInjector::OnRead(BitmapKey key) {
@@ -68,6 +75,71 @@ FaultInjector::Fault FaultInjector::OnRead(BitmapKey key) {
     }
   }
   return fault;
+}
+
+FaultInjector::WriteFault FaultInjector::OnWrite(WriteOp op) {
+  uint64_t attempt;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attempt = write_attempts_[static_cast<uint8_t>(op)]++;
+    ++counters_.writes;
+  }
+  // Which fault class can hit this op, and its deterministic prefix.
+  WriteFault applicable = WriteFault::kNone;
+  uint32_t first_attempts = 0;
+  double prob = 0.0;
+  switch (op) {
+    case WriteOp::kWalAppend:
+      applicable = WriteFault::kShortWrite;
+      first_attempts = options_.short_write_first_attempts;
+      prob = options_.short_write_prob;
+      break;
+    case WriteOp::kWalFlush:
+      applicable = WriteFault::kFailFlush;
+      first_attempts = options_.flush_fail_first_attempts;
+      prob = options_.flush_fail_prob;
+      break;
+    case WriteOp::kRename:
+    case WriteOp::kWalTruncate:
+      applicable = WriteFault::kFailRename;
+      first_attempts = options_.rename_fail_first_attempts;
+      prob = options_.rename_fail_prob;
+      break;
+  }
+  WriteFault fault = WriteFault::kNone;
+  if (attempt < first_attempts) {
+    fault = applicable;
+  } else {
+    // Salt keeps the write schedule independent of the read schedule.
+    const uint64_t packed = 0x57121BEEFull ^ static_cast<uint8_t>(op);
+    const double u = UniformDraw(options_.seed, packed, attempt);
+    if (u < prob) fault = applicable;
+  }
+  if (fault != WriteFault::kNone) {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (fault) {
+      case WriteFault::kShortWrite:
+        ++counters_.short_writes;
+        break;
+      case WriteFault::kFailFlush:
+        ++counters_.flush_failures;
+        break;
+      case WriteFault::kFailRename:
+        ++counters_.rename_failures;
+        break;
+      case WriteFault::kNone:
+        break;
+    }
+  }
+  return fault;
+}
+
+uint64_t FaultInjector::ShortWriteLength(uint64_t total_bytes,
+                                         uint64_t attempt) const {
+  if (total_bytes == 0) return 0;
+  const uint64_t h =
+      SplitMix64(options_.seed ^ 0x5403717EBull ^ SplitMix64(attempt));
+  return h % total_bytes;
 }
 
 void FaultInjector::CorruptPayload(BitmapKey key,

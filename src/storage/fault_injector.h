@@ -38,17 +38,58 @@ struct FaultInjectorOptions {
   // (e.g. N=2 with 3 retries: every cold fetch fails twice, then
   // succeeds).
   uint32_t unavailable_first_attempts = 0;
+
+  // --- Write path -------------------------------------------------------
+  // Per-write-attempt probabilities; their sum must be <= 1. Drawn per
+  // (seed, write op, per-op attempt) with the same determinism contract as
+  // the read path.
+  double short_write_prob = 0.0;  // append persists only a byte prefix
+  double flush_fail_prob = 0.0;   // fsync/flush reports failure
+  double rename_fail_prob = 0.0;  // atomic rename (commit point) fails
+  // Deterministic variants: the first N attempts of every write op fail
+  // with the given fault before the probabilistic draws apply.
+  uint32_t short_write_first_attempts = 0;
+  uint32_t flush_fail_first_attempts = 0;
+  uint32_t rename_fail_first_attempts = 0;
 };
 
 class FaultInjector {
  public:
   enum class Fault : uint8_t { kNone, kUnavailable, kBitFlip, kLatencySpike };
 
+  // Durability-sensitive write operations the injector can fail. Each op
+  // keeps its own attempt counter, so e.g. a retried WAL append sees a
+  // fresh draw while the rename schedule is untouched.
+  enum class WriteOp : uint8_t {
+    kWalAppend,    // appending a framed record to the WAL
+    kWalFlush,     // flushing/fsyncing the WAL after an append
+    kRename,       // atomic rename used as a checkpoint commit point
+    kWalTruncate,  // truncating the WAL after a durable checkpoint
+  };
+
+  enum class WriteFault : uint8_t {
+    kNone,
+    kShortWrite,  // only a prefix of the bytes reaches the file
+    kFailFlush,   // flush/fsync reports an I/O error
+    kFailRename,  // rename (or truncate) fails; target is untouched
+  };
+
   explicit FaultInjector(FaultInjectorOptions options);
 
   // Verdict for the next read attempt of `key` (advances the key's attempt
   // counter and the counters below).
   Fault OnRead(BitmapKey key);
+
+  // Verdict for the next attempt of write operation `op` (advances the
+  // op's attempt counter and the counters below). kShortWrite only applies
+  // to kWalAppend; kFailFlush to kWalFlush; kFailRename to kRename and
+  // kWalTruncate — a draw that lands on an inapplicable fault is kNone.
+  WriteFault OnWrite(WriteOp op);
+
+  // For kShortWrite: how many of `total_bytes` survive, in [0,
+  // total_bytes). Deterministic in (seed, op attempt number) so a crash
+  // sweep replays exactly.
+  uint64_t ShortWriteLength(uint64_t total_bytes, uint64_t attempt) const;
 
   // Flips one deterministically chosen bit of `bytes` (no-op when empty).
   void CorruptPayload(BitmapKey key, std::vector<uint8_t>* bytes) const;
@@ -62,6 +103,10 @@ class FaultInjector {
     uint64_t unavailable = 0;     // injected transient errors
     uint64_t bit_flips = 0;       // injected corruptions
     uint64_t latency_spikes = 0;  // injected slow reads
+    uint64_t writes = 0;          // OnWrite calls
+    uint64_t short_writes = 0;    // injected torn appends
+    uint64_t flush_failures = 0;  // injected fsync failures
+    uint64_t rename_failures = 0;  // injected rename/truncate failures
   };
   Counters counters() const;
 
@@ -70,6 +115,8 @@ class FaultInjector {
   mutable std::mutex mu_;
   // Per-key read-attempt numbers (guarded by mu_).
   std::unordered_map<uint64_t, uint64_t> attempts_;
+  // Per-op write-attempt numbers (guarded by mu_).
+  std::unordered_map<uint8_t, uint64_t> write_attempts_;
   Counters counters_;  // guarded by mu_
 };
 

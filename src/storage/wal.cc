@@ -1,0 +1,276 @@
+#include "storage/wal.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/crc32c.h"
+
+namespace bix {
+namespace {
+
+// Frame header: len u32 | crc u32.
+constexpr uint64_t kFrameHeaderBytes = 8;
+// Fixed payload prefix: seq u64 | first_rid u64 | three u32 counts.
+constexpr uint64_t kPayloadFixedBytes = 28;
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+// Repairs the log back to `size` after a failed or torn append, so the
+// writer's view stays record-aligned. Best effort: a failure here leaves a
+// torn tail that the next recovery pass trims the same way.
+void TruncateTo(std::FILE* f, uint64_t size) {
+  std::fflush(f);
+  (void)::ftruncate(fileno(f), static_cast<off_t>(size));
+}
+
+}  // namespace
+
+void UpdateBatch::SortByRid() {
+  // Stable: two updates to the same rid in one batch keep their order, so
+  // the later one wins exactly as it would have unsorted.
+  std::stable_sort(updates.begin(), updates.end(),
+                   [](const UpdateRecord& a, const UpdateRecord& b) {
+                     return a.rid < b.rid;
+                   });
+  std::sort(deletes.begin(), deletes.end());
+}
+
+std::vector<uint8_t> EncodeWalRecord(const UpdateBatch& batch) {
+  std::vector<uint8_t> payload;
+  payload.reserve(kPayloadFixedBytes + 4 * batch.inserts.size() +
+                  16 * batch.updates.size() + 8 * batch.deletes.size());
+  AppendU64(&payload, batch.seq);
+  AppendU64(&payload, batch.first_rid);
+  AppendU32(&payload, static_cast<uint32_t>(batch.inserts.size()));
+  AppendU32(&payload, static_cast<uint32_t>(batch.updates.size()));
+  AppendU32(&payload, static_cast<uint32_t>(batch.deletes.size()));
+  for (uint32_t v : batch.inserts) AppendU32(&payload, v);
+  for (const UpdateRecord& u : batch.updates) {
+    AppendU64(&payload, u.rid);
+    AppendU32(&payload, u.old_value);
+    AppendU32(&payload, u.value);
+  }
+  for (uint64_t rid : batch.deletes) AppendU64(&payload, rid);
+
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  AppendU32(&frame, static_cast<uint32_t>(payload.size()));
+  AppendU32(&frame, Crc32c(payload.data(), payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+Result<WalWriter> WalWriter::Open(const std::string& path, Options options) {
+  // "ab" keeps every write at the end of the file (O_APPEND), including
+  // after an ftruncate repair.
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open WAL for append: " + path);
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::InvalidArgument("cannot seek WAL: " + path);
+  }
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return Status::InvalidArgument("cannot size WAL: " + path);
+  }
+  WalWriter w;
+  w.f_ = f;
+  w.path_ = path;
+  w.options_ = options;
+  w.size_bytes_ = static_cast<uint64_t>(end);
+  return w;
+}
+
+WalWriter::~WalWriter() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept { *this = std::move(other); }
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this == &other) return *this;
+  if (f_ != nullptr) std::fclose(f_);
+  f_ = other.f_;
+  other.f_ = nullptr;
+  path_ = std::move(other.path_);
+  options_ = other.options_;
+  size_bytes_ = other.size_bytes_;
+  appends_ = other.appends_;
+  bytes_appended_ = other.bytes_appended_;
+  append_attempts_ = other.append_attempts_;
+  return *this;
+}
+
+Status WalWriter::Append(const UpdateBatch& batch, TraceSink* trace) {
+  if (f_ == nullptr) return Status::InvalidArgument("WAL writer not open");
+  TraceScope scope(trace, "wal_append");
+  if (trace != nullptr) {
+    trace->Tag("seq", batch.seq);
+    trace->Tag("ops", batch.ops());
+  }
+  const std::vector<uint8_t> frame = EncodeWalRecord(batch);
+  const uint64_t attempt = append_attempts_++;
+  FaultInjector* inj = options_.injector;
+  if (inj != nullptr &&
+      inj->OnWrite(FaultInjector::WriteOp::kWalAppend) ==
+          FaultInjector::WriteFault::kShortWrite) {
+    // Model a torn append: persist only a prefix, then repair and report a
+    // retryable failure (the process survived; only the bytes were torn).
+    const uint64_t n = inj->ShortWriteLength(frame.size(), attempt);
+    (void)std::fwrite(frame.data(), 1, n, f_);
+    TruncateTo(f_, size_bytes_);
+    return Status::Unavailable("injected short write on WAL append");
+  }
+  if (std::fwrite(frame.data(), 1, frame.size(), f_) != frame.size()) {
+    TruncateTo(f_, size_bytes_);
+    return Status::Unavailable("short write appending WAL record");
+  }
+  if (std::fflush(f_) != 0) {
+    TruncateTo(f_, size_bytes_);
+    return Status::Unavailable("flush failed appending WAL record");
+  }
+  if (options_.sync) {
+    if (inj != nullptr &&
+        inj->OnWrite(FaultInjector::WriteOp::kWalFlush) ==
+            FaultInjector::WriteFault::kFailFlush) {
+      TruncateTo(f_, size_bytes_);
+      return Status::Unavailable("injected fsync failure on WAL append");
+    }
+    if (::fsync(fileno(f_)) != 0) {
+      TruncateTo(f_, size_bytes_);
+      return Status::Unavailable("fsync failed appending WAL record");
+    }
+  }
+  size_bytes_ += frame.size();
+  bytes_appended_ += frame.size();
+  ++appends_;
+  if (trace != nullptr) trace->Tag("bytes", frame.size());
+  return Status::OK();
+}
+
+Status WalWriter::Truncate() {
+  if (f_ == nullptr) return Status::InvalidArgument("WAL writer not open");
+  if (options_.injector != nullptr &&
+      options_.injector->OnWrite(FaultInjector::WriteOp::kWalTruncate) ==
+          FaultInjector::WriteFault::kFailRename) {
+    return Status::Unavailable("injected WAL truncate failure");
+  }
+  std::fflush(f_);
+  if (::ftruncate(fileno(f_), 0) != 0) {
+    return Status::Unavailable("cannot truncate WAL: " + path_);
+  }
+  if (options_.sync) (void)::fsync(fileno(f_));
+  size_bytes_ = 0;
+  return Status::OK();
+}
+
+Result<WalReadResult> ReadWal(const std::string& path) {
+  WalReadResult result;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return result;  // missing file == empty log
+  std::vector<uint8_t> bytes;
+  {
+    uint8_t buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      bytes.insert(bytes.end(), buf, buf + n);
+    }
+  }
+  std::fclose(f);
+
+  uint64_t off = 0;
+  while (off < bytes.size()) {
+    const uint64_t remaining = bytes.size() - off;
+    if (remaining < kFrameHeaderBytes) {
+      // A few stray bytes at EOF: the crash landed inside a frame header.
+      result.truncated_tail_records = 1;
+      break;
+    }
+    const uint32_t len = ReadU32(&bytes[off]);
+    const uint32_t crc = ReadU32(&bytes[off + 4]);
+    if (remaining - kFrameHeaderBytes < len) {
+      // The final record's payload is incomplete — a torn append.
+      result.truncated_tail_records = 1;
+      break;
+    }
+    const uint8_t* payload = &bytes[off + kFrameHeaderBytes];
+    if (Crc32c(payload, len) != crc) {
+      // The record is fully present yet its bytes are wrong: that is
+      // mid-log corruption (a torn append only ever shortens the file).
+      return Status::Corruption("WAL record checksum mismatch");
+    }
+    if (len < kPayloadFixedBytes) {
+      return Status::Corruption("WAL record too short for its header");
+    }
+    UpdateBatch batch;
+    batch.seq = ReadU64(payload);
+    batch.first_rid = ReadU64(payload + 8);
+    const uint64_t n_ins = ReadU32(payload + 16);
+    const uint64_t n_upd = ReadU32(payload + 20);
+    const uint64_t n_del = ReadU32(payload + 24);
+    if (kPayloadFixedBytes + 4 * n_ins + 16 * n_upd + 8 * n_del != len) {
+      return Status::Corruption("WAL record counts disagree with length");
+    }
+    const uint8_t* p = payload + kPayloadFixedBytes;
+    batch.inserts.reserve(n_ins);
+    for (uint64_t i = 0; i < n_ins; ++i, p += 4) {
+      batch.inserts.push_back(ReadU32(p));
+    }
+    batch.updates.reserve(n_upd);
+    for (uint64_t i = 0; i < n_upd; ++i, p += 16) {
+      batch.updates.push_back(
+          UpdateRecord{ReadU64(p), ReadU32(p + 8), ReadU32(p + 12)});
+    }
+    batch.deletes.reserve(n_del);
+    for (uint64_t i = 0; i < n_del; ++i, p += 8) {
+      batch.deletes.push_back(ReadU64(p));
+    }
+    result.batches.push_back(std::move(batch));
+    off += kFrameHeaderBytes + len;
+    result.valid_bytes = off;
+  }
+  return result;
+}
+
+Status AtomicRename(const std::string& from, const std::string& to,
+                    FaultInjector* injector) {
+  if (injector != nullptr &&
+      injector->OnWrite(FaultInjector::WriteOp::kRename) ==
+          FaultInjector::WriteFault::kFailRename) {
+    return Status::Unavailable("injected rename failure: " + to);
+  }
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::Unavailable("rename failed: " + from + " -> " + to);
+  }
+  return Status::OK();
+}
+
+}  // namespace bix

@@ -1,0 +1,142 @@
+#ifndef BIX_STORAGE_WAL_H_
+#define BIX_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "storage/fault_injector.h"
+#include "util/status.h"
+#include "util/trace.h"
+
+namespace bix {
+
+// A value update for an existing row. The old value rides along so that
+// compaction can clear the row's previous digit slots without consulting
+// the base column (DESIGN.md section 15).
+struct UpdateRecord {
+  uint64_t rid = 0;
+  uint32_t old_value = 0;
+  uint32_t value = 0;
+};
+
+// One durable unit of index mutation: new rows appended at the tail,
+// value updates of existing rows, and deletions. Batches are the WAL's
+// record granularity — a batch is either fully recovered or not at all.
+struct UpdateBatch {
+  // Assigned by the writer when the batch is logged; recovery replays only
+  // batches with seq greater than the manifest's checkpoint_seq, so a
+  // crash between checkpoint-commit and WAL-truncate never double-applies.
+  uint64_t seq = 0;
+  // RID of inserts[0]; insert i becomes row first_rid + i.
+  uint64_t first_rid = 0;
+  std::vector<uint32_t> inserts;
+  std::vector<UpdateRecord> updates;
+  std::vector<uint64_t> deletes;
+
+  // Sorts updates and deletes by RID. Applying batches in RID order keeps
+  // set/cleared bits clustered, which run-friendly codecs reward
+  // (PAPERS.md: sorting improves word-aligned bitmap indexes).
+  void SortByRid();
+
+  uint64_t ops() const {
+    return inserts.size() + updates.size() + deletes.size();
+  }
+};
+
+// Append-only write-ahead log of UpdateBatches. Framing (all integers
+// little-endian):
+//
+//   record := len u32 | crc u32 | payload[len]
+//   payload := seq u64 | first_rid u64 | n_ins u32 | n_upd u32 | n_del u32
+//              | ins u32 * n_ins | { rid u64, old u32, value u32 } * n_upd
+//              | del u64 * n_del
+//
+// `crc` is CRC32C over the payload bytes. There is no file header: an
+// empty WAL is an empty file, and truncation after a checkpoint resets it
+// to zero length. A crash mid-append leaves a byte prefix of the final
+// record; the reader classifies exactly that shape as a torn tail
+// (recoverable) and anything else — a complete record whose checksum
+// fails, or garbage counts inside a checksummed payload — as Corruption.
+class WalWriter {
+ public:
+  struct Options {
+    // Flush + fsync after every append. Off only for tests/benches that
+    // accept losing the tail on a crash.
+    bool sync = true;
+    // Injects short writes / flush failures / truncate failures into the
+    // durability path. Optional.
+    FaultInjector* injector = nullptr;
+  };
+
+  // Opens (creating if absent) and positions at the end. The caller is
+  // responsible for having repaired a torn tail first (see ReadWal's
+  // valid_bytes; WritableBitmapIndex::Open does this).
+  static Result<WalWriter> Open(const std::string& path, Options options);
+  static Result<WalWriter> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Appends one framed record and (in sync mode) makes it durable before
+  // returning. On an injected short write or flush failure the file is
+  // repaired back to its pre-append length and Unavailable (retryable) is
+  // returned — the record is all-or-nothing from the writer's own view; a
+  // real crash mid-append is modeled by the recovery harness truncating
+  // the file at arbitrary byte offsets instead.
+  Status Append(const UpdateBatch& batch, TraceSink* trace = nullptr);
+
+  // Truncates the log to zero length, called only after a checkpoint is
+  // durable. An injected rename/truncate failure returns Unavailable and
+  // leaves the log intact (recovery then skips the stale records by seq).
+  Status Truncate();
+
+  uint64_t size_bytes() const { return size_bytes_; }
+  uint64_t appends() const { return appends_; }
+  uint64_t bytes_appended() const { return bytes_appended_; }
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::string path_;
+  Options options_;
+  uint64_t size_bytes_ = 0;
+  uint64_t appends_ = 0;
+  uint64_t bytes_appended_ = 0;
+  uint64_t append_attempts_ = 0;
+};
+
+// Serialized frame for one batch (len | crc | payload), exposed so tests
+// can compute exact record boundaries for the crash-point sweep.
+std::vector<uint8_t> EncodeWalRecord(const UpdateBatch& batch);
+
+struct WalReadResult {
+  std::vector<UpdateBatch> batches;
+  // 1 when the file ended inside a record (torn tail dropped), else 0.
+  uint64_t truncated_tail_records = 0;
+  // Byte length of the intact prefix; reopening for writing should
+  // truncate the file here first.
+  uint64_t valid_bytes = 0;
+};
+
+// Reads every intact record. A missing file reads as an empty log. A
+// partial record at EOF is reported as a torn tail, not an error; a
+// complete record that fails its checksum or parses inconsistently is
+// Corruption.
+Result<WalReadResult> ReadWal(const std::string& path);
+
+// Renames `from` onto `to` (the checkpoint commit point), routing through
+// the injector's kRename op when one is given. POSIX rename is atomic: a
+// crash leaves either the old target or the new one, never a mix.
+Status AtomicRename(const std::string& from, const std::string& to,
+                    FaultInjector* injector);
+
+}  // namespace bix
+
+#endif  // BIX_STORAGE_WAL_H_

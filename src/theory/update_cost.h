@@ -20,6 +20,32 @@ struct UpdateCost {
 
 UpdateCost ComputeUpdateCost(EncodingKind kind, uint32_t c);
 
+// Maintenance cost of the WAL + delta-overlay write path (DESIGN.md
+// section 15) versus the paper's in-place model above. In-place, every
+// arriving record immediately touches ComputeUpdateCost(kind, c).expected
+// bitmaps. Deferred, a record costs one WAL append at write time and its
+// bitmap touches are paid once per compaction — so the per-record bitmap
+// work amortizes to expected_touches (the fold still sets the same slots),
+// but the *latency-critical* path shrinks to a single sequential append.
+struct DeltaMaintenanceCost {
+  // Bitmaps touched per record when applied in place (the paper's expected
+  // update cost).
+  double inplace_touches = 0.0;
+  // Bitmap touches per record under WAL + deferred fold: the same expected
+  // slot count, paid at compaction instead of at write time. Folding N
+  // records into one pass costs the same touches but shares the per-slot
+  // decode/re-encode, so the per-record share of that fixed work is 1/N.
+  double amortized_touches = 0.0;
+  // WAL bytes appended on the critical path for a single-update batch
+  // (frame header + fixed payload + one update record).
+  uint64_t wal_bytes_per_record = 0;
+};
+
+// `records_per_compaction` is the expected batch of deferred records folded
+// together (>= 1); larger batches amortize the per-slot fixed cost.
+DeltaMaintenanceCost ComputeDeltaMaintenanceCost(EncodingKind kind, uint32_t c,
+                                                 uint64_t records_per_compaction);
+
 }  // namespace bix
 
 #endif  // BIX_THEORY_UPDATE_COST_H_

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
+#include "core/writable_index.h"
 #include "query/executor.h"
+#include "util/rng.h"
 #include "workload/column_gen.h"
 #include "workload/scan_baseline.h"
 
@@ -122,6 +126,196 @@ TEST(IndexUpdateTest, EmptyAppendIsNoop) {
   EXPECT_EQ(index.Append({}), 0u);
   EXPECT_EQ(index.row_count(), 12u);
   EXPECT_EQ(index.TotalStoredBytes(), bytes);
+}
+
+// --- Writable-index delta semantics (DESIGN.md section 15) --------------
+// Every scenario is checked the same way: merged query results (and, after
+// compaction, the stored bitmaps themselves) must be bit-identical to an
+// index rebuilt from scratch over the updated logical column.
+
+std::string FreshDeltaDir(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(path);
+  std::filesystem::create_directories(path);
+  return path;
+}
+
+// Evaluates every interval query through the base index + delta merge and
+// compares against the naive scan of the current logical column, with
+// tombstoned rows masked out.
+void ExpectAllQueriesMatchRebuild(const WritableBitmapIndex& index,
+                                  const std::string& context) {
+  const IndexSnapshot snap = index.Snapshot();
+  Column logical;
+  logical.cardinality = index.cardinality();
+  logical.values = index.LogicalValues();
+  const Bitvector live = index.LiveMask();
+  QueryExecutor exec(snap.base.get(), {});
+  for (uint32_t lo = 0; lo < logical.cardinality; ++lo) {
+    for (uint32_t hi = lo; hi < logical.cardinality; ++hi) {
+      std::vector<ExprPtr> exprs;
+      exprs.push_back(exec.Rewrite({lo, hi}));
+      Result<Bitvector> got = exec.TryEvaluateRewrittenMerged(
+          exprs, snap.delta->View(), ValueSet::Interval(lo, hi));
+      ASSERT_TRUE(got.ok()) << context;
+      Bitvector expected = NaiveEvaluateInterval(logical, {lo, hi});
+      expected.AndWith(live);
+      ASSERT_EQ(got.value(), expected)
+          << context << " [" << lo << "," << hi << "]";
+    }
+  }
+}
+
+void ExpectStoreMatchesRebuild(const WritableBitmapIndex& index,
+                               EncodingKind encoding,
+                               const IndexConfig& config) {
+  Column logical;
+  logical.cardinality = index.cardinality();
+  logical.values = index.LogicalValues();
+  Result<BitmapIndex> rebuilt = BuildIndex(logical, config);
+  ASSERT_TRUE(rebuilt.ok());
+  const BitmapIndex& base = *index.Snapshot().base;
+  const Decomposition& d = base.decomposition();
+  for (uint32_t comp = 1; comp <= d.num_components(); ++comp) {
+    const uint32_t slots = GetEncoding(encoding).NumBitmaps(d.base(comp));
+    for (uint32_t s = 0; s < slots; ++s) {
+      ASSERT_EQ(base.store().Materialize({comp, s}),
+                rebuilt.value().store().Materialize({comp, s}))
+          << "comp=" << comp << " slot=" << s;
+    }
+  }
+}
+
+TEST(WritableDeltaTest, DeleteThenReinsertSameRidMatchesRebuild) {
+  constexpr uint32_t kC = 10;
+  Column column = GenerateZipfColumn(
+      {.rows = 200, .cardinality = kC, .zipf_z = 0.7, .seed = 41});
+  IndexConfig config;
+  config.encoding = EncodingKind::kInterval;
+  auto index = WritableBitmapIndex::Create(
+      FreshDeltaDir("delete_reinsert"), column, config);
+  ASSERT_TRUE(index.ok());
+
+  UpdateBatch del;
+  del.deletes = {5, 6};
+  ASSERT_TRUE(index.value()->ApplyBatch(del).ok());
+  EXPECT_FALSE(index.value()->LiveMask().Get(5));
+  ExpectAllQueriesMatchRebuild(*index.value(), "after delete");
+
+  // Reinsert rid 5 with a different value; rid 6 stays dead.
+  UpdateBatch revive;
+  revive.updates = {{5, 0, (column.values[5] + 3) % kC}};
+  ASSERT_TRUE(index.value()->ApplyBatch(revive).ok());
+  EXPECT_TRUE(index.value()->LiveMask().Get(5));
+  EXPECT_FALSE(index.value()->LiveMask().Get(6));
+  EXPECT_EQ(index.value()->LogicalValues()[5], (column.values[5] + 3) % kC);
+  ExpectAllQueriesMatchRebuild(*index.value(), "after reinsert");
+
+  ASSERT_TRUE(index.value()->Compact(nullptr).ok());
+  ExpectAllQueriesMatchRebuild(*index.value(), "after compact");
+  ExpectStoreMatchesRebuild(*index.value(), config.encoding, config);
+}
+
+TEST(WritableDeltaTest, UpdateToSameValueIsANoop) {
+  constexpr uint32_t kC = 10;
+  Column column = GenerateZipfColumn(
+      {.rows = 150, .cardinality = kC, .zipf_z = 0.5, .seed = 43});
+  IndexConfig config;
+  config.encoding = EncodingKind::kRange;
+  auto index = WritableBitmapIndex::Create(
+      FreshDeltaDir("same_value"), column, config);
+  ASSERT_TRUE(index.ok());
+
+  UpdateBatch batch;
+  batch.updates = {{10, 0, column.values[10]}, {20, 0, column.values[20]}};
+  ASSERT_TRUE(index.value()->ApplyBatch(batch).ok());
+  ExpectAllQueriesMatchRebuild(*index.value(), "after same-value update");
+  EXPECT_EQ(index.value()->LogicalValues(), column.values);
+
+  // Folding the no-op overlay reproduces the original index exactly.
+  ASSERT_TRUE(index.value()->Compact(nullptr).ok());
+  Result<BitmapIndex> original = BuildIndex(column, config);
+  ASSERT_TRUE(original.ok());
+  const BitmapIndex& base = *index.value()->Snapshot().base;
+  EXPECT_EQ(base.TotalStoredBytes(), original.value().TotalStoredBytes());
+  ExpectStoreMatchesRebuild(*index.value(), config.encoding, config);
+}
+
+TEST(WritableDeltaTest, InterleavedBatchesStayBitIdenticalToRebuild) {
+  constexpr uint32_t kC = 8;
+  Column column = GenerateZipfColumn(
+      {.rows = 120, .cardinality = kC, .zipf_z = 1.0, .seed = 47});
+  IndexConfig config;
+  config.encoding = EncodingKind::kEqualityInterval;
+  config.codec = StorageCodec::kAuto;
+  auto index = WritableBitmapIndex::Create(
+      FreshDeltaDir("interleaved"), column, config);
+  ASSERT_TRUE(index.ok());
+
+  Rng rng(99);
+  uint64_t rows = column.row_count();
+  for (int round = 0; round < 6; ++round) {
+    UpdateBatch batch;
+    const uint32_t n_ins = static_cast<uint32_t>(rng.UniformInt(0, 3));
+    for (uint32_t i = 0; i < n_ins; ++i) {
+      batch.inserts.push_back(
+          static_cast<uint32_t>(rng.UniformInt(0, kC - 1)));
+    }
+    for (uint32_t i = 0; i < 3; ++i) {
+      batch.updates.push_back(
+          UpdateRecord{rng.UniformInt(0, rows - 1), 0,
+                       static_cast<uint32_t>(rng.UniformInt(0, kC - 1))});
+    }
+    batch.deletes = {rng.UniformInt(0, rows - 1)};
+    ASSERT_TRUE(index.value()->ApplyBatch(batch).ok());
+    rows += n_ins;
+    ExpectAllQueriesMatchRebuild(*index.value(),
+                                 "round " + std::to_string(round));
+    if (round == 2) {
+      // Compact mid-stream: later batches overlay the folded base.
+      ASSERT_TRUE(index.value()->Compact(nullptr).ok());
+      ExpectAllQueriesMatchRebuild(*index.value(), "mid-stream compact");
+    }
+  }
+  ASSERT_TRUE(index.value()->Compact(nullptr).ok());
+  ExpectAllQueriesMatchRebuild(*index.value(), "final compact");
+  ExpectStoreMatchesRebuild(*index.value(), config.encoding, config);
+}
+
+TEST(WritableDeltaTest, EmptyBatchIsAcceptedAndChangesNothing) {
+  Column column = GenerateZipfColumn(
+      {.rows = 50, .cardinality = 5, .zipf_z = 0.5, .seed = 51});
+  auto index = WritableBitmapIndex::Create(
+      FreshDeltaDir("empty_batch"), column, {});
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index.value()->ApplyBatch({}).ok());
+  EXPECT_EQ(index.value()->PendingDeltaOps(), 0u);
+  EXPECT_EQ(index.value()->durability().wal_appends, 0u);
+}
+
+TEST(WritableDeltaTest, InvalidBatchesAreRejectedWithoutSideEffects) {
+  constexpr uint32_t kC = 5;
+  Column column = GenerateZipfColumn(
+      {.rows = 50, .cardinality = kC, .zipf_z = 0.5, .seed = 53});
+  auto index = WritableBitmapIndex::Create(
+      FreshDeltaDir("invalid_batch"), column, {});
+  ASSERT_TRUE(index.ok());
+
+  UpdateBatch bad_value;
+  bad_value.inserts = {kC};  // out of domain
+  EXPECT_EQ(index.value()->ApplyBatch(bad_value).code(),
+            Status::Code::kInvalidArgument);
+  UpdateBatch bad_rid;
+  bad_rid.updates = {{500, 0, 1}};  // beyond the tail
+  EXPECT_EQ(index.value()->ApplyBatch(bad_rid).code(),
+            Status::Code::kInvalidArgument);
+  UpdateBatch bad_delete;
+  bad_delete.deletes = {50};
+  EXPECT_EQ(index.value()->ApplyBatch(bad_delete).code(),
+            Status::Code::kInvalidArgument);
+
+  EXPECT_EQ(index.value()->PendingDeltaOps(), 0u);
+  EXPECT_EQ(index.value()->LogicalValues(), column.values);
 }
 
 TEST(IndexUpdateTest, CompressedSizeTracksAfterAppend) {

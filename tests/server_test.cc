@@ -396,7 +396,10 @@ TEST_F(QueryServiceTest, FacadeServeValidatesOptions) {
   EXPECT_FALSE(Serve(&*index_, bad).ok());
   bad.brownout.enabled = false;  // disabled: breaker config is ignored
   EXPECT_TRUE(Serve(&*index_, bad).ok());
-  EXPECT_FALSE(Serve(nullptr, SmallService()).ok());
+  EXPECT_FALSE(
+      Serve(static_cast<const BitmapIndex*>(nullptr), SmallService()).ok());
+  EXPECT_FALSE(
+      Serve(static_cast<IndexSnapshotProvider*>(nullptr), SmallService()).ok());
 
   Result<std::unique_ptr<QueryService>> service = Serve(&*index_, SmallService());
   ASSERT_TRUE(service.ok());

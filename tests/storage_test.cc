@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+
 #include "storage/bitmap_cache.h"
 #include "storage/bitmap_store.h"
 #include "storage/fault_injector.h"
+#include "storage/wal.h"
 #include "util/rng.h"
 
 namespace bix {
@@ -539,6 +544,218 @@ TEST(IoStatsTest, AddAccumulates) {
   EXPECT_DOUBLE_EQ(a.io_seconds, 0.5);
   EXPECT_DOUBLE_EQ(a.cpu_seconds, 0.25);
   EXPECT_DOUBLE_EQ(a.total_seconds(), 0.75);
+}
+
+// --- WAL framing + write-side fault injection (DESIGN.md section 15) ----
+
+std::string WalPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+UpdateBatch SampleBatch(uint64_t seq) {
+  UpdateBatch batch;
+  batch.seq = seq;
+  batch.first_rid = 100;
+  batch.inserts = {3, 1, 4};
+  batch.updates = {{42, 7, 9}, {17, 2, 5}};
+  batch.deletes = {55, 12};
+  return batch;
+}
+
+TEST(WalTest, AppendReadRoundtrip) {
+  const std::string path = WalPath("roundtrip.wal");
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Append(SampleBatch(1)).ok());
+    ASSERT_TRUE(writer.value().Append(SampleBatch(2)).ok());
+    EXPECT_EQ(writer.value().appends(), 2u);
+    EXPECT_EQ(writer.value().size_bytes(), writer.value().bytes_appended());
+  }
+  auto read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().batches.size(), 2u);
+  EXPECT_EQ(read.value().truncated_tail_records, 0u);
+  const UpdateBatch& got = read.value().batches[1];
+  EXPECT_EQ(got.seq, 2u);
+  EXPECT_EQ(got.first_rid, 100u);
+  EXPECT_EQ(got.inserts, SampleBatch(2).inserts);
+  ASSERT_EQ(got.updates.size(), 2u);
+  EXPECT_EQ(got.updates[0].rid, 42u);
+  EXPECT_EQ(got.updates[0].old_value, 7u);
+  EXPECT_EQ(got.updates[0].value, 9u);
+  EXPECT_EQ(got.deletes, SampleBatch(2).deletes);
+}
+
+TEST(WalTest, MissingFileReadsAsEmptyLog) {
+  auto read = ReadWal(WalPath("nonexistent.wal"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read.value().batches.empty());
+  EXPECT_EQ(read.value().valid_bytes, 0u);
+}
+
+TEST(WalTest, SortByRidIsStableForDuplicateRids) {
+  UpdateBatch batch;
+  batch.updates = {{9, 0, 1}, {3, 0, 2}, {9, 0, 3}};
+  batch.deletes = {8, 2, 5};
+  batch.SortByRid();
+  ASSERT_EQ(batch.updates.size(), 3u);
+  EXPECT_EQ(batch.updates[0].rid, 3u);
+  // Both rid-9 updates survive in submission order: last-wins semantics
+  // depend on this stability.
+  EXPECT_EQ(batch.updates[1].value, 1u);
+  EXPECT_EQ(batch.updates[2].value, 3u);
+  EXPECT_EQ(batch.deletes, (std::vector<uint64_t>{2, 5, 8}));
+}
+
+TEST(WalTest, TornTailIsTrimmedNotFatal) {
+  const std::string path = WalPath("torn.wal");
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Append(SampleBatch(1)).ok());
+    ASSERT_TRUE(writer.value().Append(SampleBatch(2)).ok());
+  }
+  const uint64_t first_end = EncodeWalRecord(SampleBatch(1)).size();
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  // Keep the first record and 3 bytes of the second: a classic torn tail.
+  ASSERT_EQ(::ftruncate(fileno(f), static_cast<off_t>(first_end + 3)), 0);
+  std::fclose(f);
+
+  auto read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().batches.size(), 1u);
+  EXPECT_EQ(read.value().batches[0].seq, 1u);
+  EXPECT_EQ(read.value().truncated_tail_records, 1u);
+  EXPECT_EQ(read.value().valid_bytes, first_end);
+}
+
+TEST(WalTest, CorruptPayloadInCompleteRecordIsCorruption) {
+  const std::string path = WalPath("corrupt.wal");
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Append(SampleBatch(1)).ok());
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 20, SEEK_SET), 0);  // inside the payload
+  std::fputc(0xFF, f);
+  std::fclose(f);
+  auto read = ReadWal(path);
+  EXPECT_EQ(read.status().code(), Status::Code::kCorruption);
+}
+
+TEST(WalTest, InjectedShortWriteRepairsAndRetries) {
+  FaultInjector injector({.short_write_first_attempts = 1});
+  const std::string path = WalPath("short_write.wal");
+  auto writer = WalWriter::Open(path, {.sync = false, .injector = &injector});
+  ASSERT_TRUE(writer.ok());
+  Status s = writer.value().Append(SampleBatch(1));
+  EXPECT_EQ(s.code(), Status::Code::kUnavailable);
+  EXPECT_TRUE(s.IsRetryable());
+  // The torn prefix was repaired away: the log is exactly as before.
+  EXPECT_EQ(writer.value().size_bytes(), 0u);
+  EXPECT_EQ(injector.counters().short_writes, 1u);
+
+  ASSERT_TRUE(writer.value().Append(SampleBatch(1)).ok());
+  auto read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().batches.size(), 1u);
+  EXPECT_EQ(read.value().truncated_tail_records, 0u);
+}
+
+TEST(WalTest, InjectedTruncateFailureLeavesLogIntact) {
+  FaultInjector injector({.rename_fail_first_attempts = 1});
+  const std::string path = WalPath("truncate_fail.wal");
+  auto writer = WalWriter::Open(path, {.sync = false, .injector = &injector});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value().Append(SampleBatch(1)).ok());
+  const uint64_t size = writer.value().size_bytes();
+  EXPECT_EQ(writer.value().Truncate().code(), Status::Code::kUnavailable);
+  EXPECT_EQ(writer.value().size_bytes(), size);
+  ASSERT_TRUE(writer.value().Truncate().ok());
+  EXPECT_EQ(writer.value().size_bytes(), 0u);
+}
+
+TEST(FaultInjectorWriteTest, DeterministicInSeedOpAndAttempt) {
+  FaultInjectorOptions options;
+  options.seed = 99;
+  options.short_write_prob = 0.3;
+  options.flush_fail_prob = 0.2;
+  options.rename_fail_prob = 0.25;
+  // Two injectors with the same seed replay the same fault schedule per
+  // (op, attempt) regardless of interleaving with other ops.
+  FaultInjector a(options);
+  FaultInjector b(options);
+  std::vector<FaultInjector::WriteFault> seq_a, seq_b;
+  for (int i = 0; i < 64; ++i) {
+    seq_a.push_back(a.OnWrite(FaultInjector::WriteOp::kWalAppend));
+    a.OnWrite(FaultInjector::WriteOp::kRename);  // interleaved noise
+  }
+  for (int i = 0; i < 64; ++i) {
+    b.OnWrite(FaultInjector::WriteOp::kWalFlush);  // different noise
+    seq_b.push_back(b.OnWrite(FaultInjector::WriteOp::kWalAppend));
+  }
+  EXPECT_EQ(seq_a, seq_b);
+
+  FaultInjectorOptions other = options;
+  other.seed = 100;
+  FaultInjector c(other);
+  std::vector<FaultInjector::WriteFault> seq_c;
+  for (int i = 0; i < 64; ++i) {
+    seq_c.push_back(c.OnWrite(FaultInjector::WriteOp::kWalAppend));
+  }
+  EXPECT_NE(seq_a, seq_c);  // the schedule is seed-dependent
+}
+
+TEST(FaultInjectorWriteTest, FaultsOnlyApplyToTheirOps) {
+  // A short-write draw can only hit WAL appends, flush failures only the
+  // flush op, rename failures only rename/truncate — an inapplicable draw
+  // is kNone, never a different fault.
+  FaultInjectorOptions options;
+  options.seed = 7;
+  options.short_write_prob = 1.0;
+  FaultInjector injector(options);
+  EXPECT_EQ(injector.OnWrite(FaultInjector::WriteOp::kWalAppend),
+            FaultInjector::WriteFault::kShortWrite);
+  EXPECT_EQ(injector.OnWrite(FaultInjector::WriteOp::kWalFlush),
+            FaultInjector::WriteFault::kNone);
+  EXPECT_EQ(injector.OnWrite(FaultInjector::WriteOp::kRename),
+            FaultInjector::WriteFault::kNone);
+  EXPECT_EQ(injector.OnWrite(FaultInjector::WriteOp::kWalTruncate),
+            FaultInjector::WriteFault::kNone);
+  EXPECT_EQ(injector.counters().writes, 4u);
+  EXPECT_EQ(injector.counters().short_writes, 1u);
+}
+
+TEST(FaultInjectorWriteTest, FirstAttemptsFailDeterministically) {
+  FaultInjectorOptions options;
+  options.flush_fail_first_attempts = 2;
+  FaultInjector injector(options);
+  EXPECT_EQ(injector.OnWrite(FaultInjector::WriteOp::kWalFlush),
+            FaultInjector::WriteFault::kFailFlush);
+  EXPECT_EQ(injector.OnWrite(FaultInjector::WriteOp::kWalFlush),
+            FaultInjector::WriteFault::kFailFlush);
+  EXPECT_EQ(injector.OnWrite(FaultInjector::WriteOp::kWalFlush),
+            FaultInjector::WriteFault::kNone);
+  EXPECT_EQ(injector.counters().flush_failures, 2u);
+}
+
+TEST(FaultInjectorWriteTest, ShortWriteLengthIsDeterministicAndInRange) {
+  FaultInjectorOptions options;
+  options.seed = 31;
+  FaultInjector a(options);
+  FaultInjector b(options);
+  for (uint64_t attempt = 0; attempt < 32; ++attempt) {
+    const uint64_t len = a.ShortWriteLength(52, attempt);
+    EXPECT_EQ(len, b.ShortWriteLength(52, attempt));
+    EXPECT_LT(len, 52u);
+  }
+  EXPECT_EQ(a.ShortWriteLength(0, 3), 0u);
 }
 
 }  // namespace

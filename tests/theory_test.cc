@@ -334,5 +334,48 @@ TEST(UpdateCostTest, OrderingEIsBestIIsMiddleRIsWorst) {
   }
 }
 
+// --- Deferred maintenance (DESIGN.md section 15) ----------------------------
+
+TEST(DeltaMaintenanceCostTest, InplaceTouchesMatchUpdateCost) {
+  for (EncodingKind kind : AllEncodingKinds()) {
+    for (uint32_t c : {8u, 50u}) {
+      EXPECT_DOUBLE_EQ(ComputeDeltaMaintenanceCost(kind, c, 1).inplace_touches,
+                       ComputeUpdateCost(kind, c).expected)
+          << EncodingKindName(kind) << " c=" << c;
+    }
+  }
+}
+
+TEST(DeltaMaintenanceCostTest, AmortizedCostDecreasesTowardInplace) {
+  // The per-record share of the fold's fixed per-slot work shrinks as 1/N:
+  // strictly decreasing in the compaction batch size, never below the
+  // in-place expectation it converges to.
+  const uint32_t c = 50;
+  for (EncodingKind kind : AllEncodingKinds()) {
+    double prev = ComputeDeltaMaintenanceCost(kind, c, 1).amortized_touches;
+    for (uint64_t n : {10u, 100u, 10000u}) {
+      const DeltaMaintenanceCost cost = ComputeDeltaMaintenanceCost(kind, c, n);
+      EXPECT_LT(cost.amortized_touches, prev) << EncodingKindName(kind);
+      EXPECT_GT(cost.amortized_touches, cost.inplace_touches);
+      prev = cost.amortized_touches;
+    }
+    // At N = 10000 the fixed share is within one touch of fully amortized.
+    EXPECT_NEAR(prev, ComputeUpdateCost(kind, c).expected, 1.0);
+  }
+}
+
+TEST(DeltaMaintenanceCostTest, WalBytesMeasureTheRealFraming) {
+  // frame header (len + crc = 8) + fixed payload (seq, first_rid, counts =
+  // 28) + one update record (rid + old + new = 16). Measured through the
+  // actual encoder, identical across encodings and cardinalities.
+  const DeltaMaintenanceCost cost =
+      ComputeDeltaMaintenanceCost(EncodingKind::kEquality, 8, 1);
+  EXPECT_EQ(cost.wal_bytes_per_record, 52u);
+  EXPECT_EQ(
+      ComputeDeltaMaintenanceCost(EncodingKind::kRange, 500, 64)
+          .wal_bytes_per_record,
+      cost.wal_bytes_per_record);
+}
+
 }  // namespace
 }  // namespace bix
