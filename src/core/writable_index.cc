@@ -203,8 +203,16 @@ Status WriteManifest(const std::string& dir, const Manifest& m,
     return Status::Corruption("short write saving manifest to " + tmp);
   }
   Status s = AtomicRename(tmp, path, injector);
-  if (!s.ok()) std::remove(tmp.c_str());
-  return s;
+  if (!s.ok()) {
+    std::remove(tmp.c_str());
+    return s;
+  }
+  // The rename is the commit point for the process-crash model, but only
+  // the directory fsync makes it power-loss durable: until the dirent is on
+  // stable storage, a power cut can resurrect the *previous* manifest. On
+  // failure the checkpoint is reported not-durable and the caller keeps the
+  // WAL, so recovery replays onto whichever manifest the disk retained.
+  return FsyncDir(dir, injector);
 }
 
 Result<Manifest> ReadManifest(const std::string& dir) {
@@ -462,6 +470,12 @@ Status WritableBitmapIndex::WriteCheckpoint(
     std::remove((state_path + ".tmp").c_str());
     return s;
   }
+  // Make the payload dirents durable *before* the manifest commit: a
+  // durable manifest must never point at index/state files whose directory
+  // entries could still be lost. Uninjected — the injectable commit-point
+  // sync is the one inside WriteManifest.
+  s = FsyncDir(dir_, nullptr);
+  if (!s.ok()) return s;
   Manifest m;
   m.checkpoint_seq = seq;
   m.index_file = IndexFileName(seq);
@@ -491,7 +505,13 @@ Status WritableBitmapIndex::Compact(TraceSink* trace) {
   // loses nothing: replay skips records at or below checkpoint_seq.
   {
     TraceScope trunc_scope(trace, "wal_truncate");
-    (void)wal_.Truncate();
+    if (wal_.Truncate().ok()) {
+      // Truncation itself lives in the inode (the WAL file's own fsync
+      // covers it); the directory sync is the belt-and-braces flush for
+      // the checkpoint file churn that preceded it — best-effort, since
+      // the commit-point sync already succeeded inside WriteCheckpoint.
+      (void)FsyncDir(dir_, nullptr);
+    }
   }
   const std::string old_index = index_file_;
   const std::string old_state = state_file_;

@@ -1,0 +1,224 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace bix {
+namespace {
+
+int PollFor(int fd, short events, double seconds) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = events;
+  p.revents = 0;
+  const int timeout_ms =
+      seconds <= 0 ? 0 : static_cast<int>(seconds * 1000.0 + 0.5);
+  return ::poll(&p, 1, timeout_ms);
+}
+
+}  // namespace
+
+NetClient::~NetClient() { Close(); }
+
+NetClient::NetClient(NetClient&& other) noexcept { *this = std::move(other); }
+
+NetClient& NetClient::operator=(NetClient&& other) noexcept {
+  if (this == &other) return *this;
+  Close();
+  fd_ = other.fd_;
+  other.fd_ = -1;
+  options_ = other.options_;
+  parser_ = std::move(other.parser_);
+  calls_ = other.calls_;
+  next_request_id_ = other.next_request_id_;
+  return *this;
+}
+
+Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
+                                     NetClientOptions options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Unavailable("cannot create socket");
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Unavailable("connect failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  NetClient client;
+  client.fd_ = fd;
+  client.options_ = options;
+  client.parser_ = FrameParser(options.max_payload_bytes);
+  return client;
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void NetClient::Abort() {
+  if (fd_ < 0) return;
+  struct linger lg;
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Status NetClient::SendAll(const uint8_t* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<size_t>(r);
+      continue;
+    }
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int p = PollFor(fd_, POLLOUT, options_.io_timeout_seconds);
+      if (p <= 0) return Status::DeadlineExceeded("client send timeout");
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return Status::Unavailable("send failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status NetClient::SendBytes(const uint8_t* data, size_t n) {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  return SendAll(data, n);
+}
+
+Status NetClient::SendFrame(const std::vector<uint8_t>& frame,
+                            NetFaultInjector::SendFault* applied) {
+  NetFaultInjector::SendFault fault = NetFaultInjector::SendFault::kNone;
+  NetFaultInjector* inj = options_.injector;
+  const uint64_t op = calls_;
+  if (inj != nullptr) fault = inj->OnSend(options_.conn_id, op);
+  if (applied != nullptr) *applied = fault;
+  switch (fault) {
+    case NetFaultInjector::SendFault::kNone:
+      return SendAll(frame.data(), frame.size());
+    case NetFaultInjector::SendFault::kStall:
+      // A slow peer: pause, then deliver intact. The server's idle/read
+      // deadlines must tolerate this (it is below their thresholds in the
+      // chaos configs) and the response must still be bit-identical.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(inj->stall_seconds()));
+      return SendAll(frame.data(), frame.size());
+    case NetFaultInjector::SendFault::kChunk: {
+      // Dribble the frame in 1..max_chunk byte pieces so the server's
+      // parser sees every possible partial-read boundary.
+      size_t off = 0;
+      uint64_t piece = 0;
+      while (off < frame.size()) {
+        const size_t n = static_cast<size_t>(std::min<uint64_t>(
+            inj->ChunkLength(options_.conn_id, op, piece++),
+            frame.size() - off));
+        Status s = SendAll(frame.data() + off, n);
+        if (!s.ok()) return s;
+        off += n;
+      }
+      return Status::OK();
+    }
+    case NetFaultInjector::SendFault::kCorrupt: {
+      // Flip one byte in flight. The server must reject the frame with a
+      // typed error (CRC or header validation), never act on it.
+      std::vector<uint8_t> bad = frame;
+      const uint64_t i =
+          inj->CorruptByteIndex(options_.conn_id, op, bad.size());
+      bad[i] ^= 0x20;
+      return SendAll(bad.data(), bad.size());
+    }
+    case NetFaultInjector::SendFault::kReset: {
+      // Die mid-frame: send a prefix, then abort with RST. The server must
+      // cancel any in-flight work for this connection.
+      const uint64_t prefix =
+          inj->ResetPrefixLength(options_.conn_id, op, frame.size());
+      if (prefix > 0) {
+        Status s = SendAll(frame.data(), static_cast<size_t>(prefix));
+        if (!s.ok()) return s;
+      }
+      Abort();
+      return Status::Unavailable("injected client reset");
+    }
+  }
+  return Status::OK();
+}
+
+Result<NetResponse> NetClient::ReadResponse() {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  uint8_t buf[1 << 16];
+  while (true) {
+    if (parser_.HasFrame()) {
+      Result<NetResponse> resp = DecodeResponse(parser_.Next());
+      if (!resp.ok()) return resp.status();
+      return resp;
+    }
+    const int p = PollFor(fd_, POLLIN, options_.io_timeout_seconds);
+    if (p == 0) return Status::DeadlineExceeded("client receive timeout");
+    if (p < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("poll failed");
+    }
+    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r == 0) {
+      return Status::Unavailable("connection closed by server");
+    }
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::Unavailable("recv failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    Status s = parser_.Feed(buf, static_cast<size_t>(r));
+    if (!s.ok()) return s;
+  }
+}
+
+Result<NetResponse> NetClient::Call(const NetRequest& request,
+                                    NetFaultInjector::SendFault* applied) {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  NetRequest req = request;
+  if (req.request_id == 0) req.request_id = next_request_id_++;
+  const std::vector<uint8_t> frame = EncodeRequest(req);
+  Status sent = SendFrame(frame, applied);
+  ++calls_;
+  if (!sent.ok()) return sent;
+  while (true) {
+    Result<NetResponse> resp = ReadResponse();
+    if (!resp.ok()) return resp;
+    // Drop stale responses (an earlier request this client gave up on);
+    // the one we are waiting for matches by id.
+    if (resp.value().request_id == req.request_id ||
+        resp.value().request_id == 0) {
+      return resp;
+    }
+  }
+}
+
+}  // namespace bix

@@ -1,0 +1,79 @@
+#ifndef BIX_NET_CLIENT_H_
+#define BIX_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/net_fault_injector.h"
+#include "util/status.h"
+
+namespace bix {
+
+// A deliberately simple blocking client for tests, the chaos suite, and
+// the load generator: one socket, one request in flight at a time
+// (request_id still echoes, so pipelining clients can be built on the same
+// frames). Every receive runs under a real-time poll() budget — the client
+// can time out and report it, but never hang, which is what lets the chaos
+// suite assert "no client ever blocks past deadline + slack".
+struct NetClientOptions {
+  // Budget for each blocking socket wait (connect/send/receive).
+  double io_timeout_seconds = 5.0;
+  // Optional send-path chaos (see net_fault_injector.h). Not owned.
+  NetFaultInjector* injector = nullptr;
+  // This connection's stream id for the injector's deterministic draws.
+  uint64_t conn_id = 0;
+  uint64_t max_payload_bytes = kNetDefaultMaxPayloadBytes;
+};
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+  NetClient(NetClient&& other) noexcept;
+  NetClient& operator=(NetClient&& other) noexcept;
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  static Result<NetClient> Connect(const std::string& host, uint16_t port,
+                                   NetClientOptions options = {});
+
+  // Sends one request and blocks for its response (matched by request_id).
+  // `applied` (optional) reports the injected send fault, so a chaos
+  // harness knows whether this call was sabotaged. Typed failures:
+  //   Unavailable      — connection closed/reset under us
+  //   DeadlineExceeded — io_timeout elapsed waiting for bytes
+  //   InvalidArgument/Corruption — the server's bytes failed to parse
+  Result<NetResponse> Call(const NetRequest& request,
+                           NetFaultInjector::SendFault* applied = nullptr);
+
+  // Raw escape hatches for protocol tests: push arbitrary bytes, read one
+  // response frame.
+  Status SendBytes(const uint8_t* data, size_t n);
+  Result<NetResponse> ReadResponse();
+
+  // Orderly close (FIN).
+  void Close();
+  // Abort: SO_LINGER 0 close, so the peer sees RST — the chaos suite's
+  // "client died mid-query" move.
+  void Abort();
+
+  bool connected() const { return fd_ >= 0; }
+  uint64_t calls() const { return calls_; }
+
+ private:
+  Status SendAll(const uint8_t* data, size_t n);
+  Status SendFrame(const std::vector<uint8_t>& frame,
+                   NetFaultInjector::SendFault* applied);
+
+  int fd_ = -1;
+  NetClientOptions options_;
+  FrameParser parser_{kNetDefaultMaxPayloadBytes};
+  uint64_t calls_ = 0;
+  uint32_t next_request_id_ = 1;
+};
+
+}  // namespace bix
+
+#endif  // BIX_NET_CLIENT_H_

@@ -9,6 +9,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "util/backoff.h"
+
 namespace bix {
 
 namespace {
@@ -85,12 +87,15 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
   // policy cache increments them directly (relaxed atomic adds) so the hot
   // path never funnels through a service-level lock.
   FaultPolicyCache(BitmapCacheInterface* inner, uint32_t max_retries,
-                   double backoff_seconds, ClockInterface* clock,
+                   double backoff_seconds, uint64_t jitter_seed,
+                   double backoff_cap_seconds, ClockInterface* clock,
                    const BrownoutBreaker* breaker, MetricsCounter* retries,
                    MetricsCounter* corruptions, MetricsCounter* quarantined)
       : inner_(inner),
         max_retries_(max_retries),
         backoff_seconds_(backoff_seconds),
+        jitter_seed_(jitter_seed),
+        backoff_cap_seconds_(backoff_cap_seconds),
         clock_(clock),
         breaker_(breaker),
         retries_(retries),
@@ -115,6 +120,19 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
       }
     }
     double backoff = backoff_seconds_;
+    // Jittered mode: each policy-level fetch gets its own draw stream, so
+    // two workers retrying the *same* unavailable key sleep different
+    // durations and stop re-arriving at storage in phase (the retry storm
+    // the decorrelated schedule exists to break). The stream id mixes the
+    // key with a per-fetch sequence number; with a fixed seed and a fixed
+    // fetch order the whole schedule replays exactly.
+    const uint64_t stream =
+        jitter_seed_ != 0
+            ? key.Packed() ^ (0x9E3779B97F4A7C15ull *
+                              fetch_seq_.fetch_add(1,
+                                                   std::memory_order_relaxed))
+            : 0;
+    uint64_t sleep_index = 0;
     for (uint32_t attempt = 0;; ++attempt) {
       if (cancel != nullptr) {
         Status budget = cancel->CheckAt(clock_->Now());
@@ -161,7 +179,16 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
         // VirtualClock).
         TraceScope backoff_span(trace, "backoff");
         clock_->SleepFor(backoff, cancel);
-        backoff *= 2.0;
+        // The first sleep is always `base` in both schedules; from the
+        // second on, jittered mode draws from [base, 3 * previous] (capped)
+        // while legacy mode doubles deterministically.
+        if (jitter_seed_ != 0) {
+          backoff = DecorrelatedJitterBackoff(jitter_seed_, stream,
+                                              ++sleep_index, backoff_seconds_,
+                                              backoff, backoff_cap_seconds_);
+        } else {
+          backoff *= 2.0;
+        }
       }
     }
   }
@@ -180,6 +207,9 @@ class QueryService::FaultPolicyCache : public BitmapCacheInterface {
   BitmapCacheInterface* const inner_;
   const uint32_t max_retries_;
   const double backoff_seconds_;
+  const uint64_t jitter_seed_;         // 0 = legacy doubling schedule
+  const double backoff_cap_seconds_;   // 0 = uncapped
+  std::atomic<uint64_t> fetch_seq_{0};
   ClockInterface* const clock_;
   const BrownoutBreaker* const breaker_;  // null when brownout disabled
   MetricsCounter* const retries_;
@@ -305,7 +335,8 @@ std::shared_ptr<QueryService::EpochCache> QueryService::MakeEpochCache(
   }
   ec->policy = std::make_unique<FaultPolicyCache>(
       ec->cache.get(), options_.max_fetch_retries,
-      options_.retry_backoff_seconds, clock_, breaker_.get(), m_.retries,
+      options_.retry_backoff_seconds, options_.retry_jitter_seed,
+      options_.retry_backoff_max_seconds, clock_, breaker_.get(), m_.retries,
       m_.corruptions, m_.quarantined);
   return ec;
 }
@@ -352,20 +383,31 @@ Status QueryService::Validate(const ServiceQuery& query) const {
 }
 
 std::future<QueryResult> QueryService::SubmitInternal(ServiceQuery query,
-                                                      bool blocking) {
+                                                      bool blocking,
+                                                      ResultCallback done) {
   m_.submitted->Increment();
   const ClockInterface::TimePoint submitted = clock_->Now();
   Status valid = Validate(query);
   if (!valid.ok()) {
     m_.rejected_invalid->Increment();
+    if (done) {
+      QueryResult result;
+      result.status = std::move(valid);
+      done(std::move(result));
+      return {};
+    }
     return ResolvedWith(std::move(valid));
   }
 
   Task task;
   task.query = std::move(query);
+  task.done = std::move(done);
   task.submitted = submitted;
   task.enqueued = clock_->Now();
-  std::future<QueryResult> future = task.promise.get_future();
+  // Callback mode never touches the promise; the returned (invalid) future
+  // is discarded by SubmitCallback.
+  std::future<QueryResult> future;
+  if (!task.done) future = task.promise.get_future();
   {
     // Count the query as pending before pushing so Drain can never observe
     // an admitted-but-uncounted query.
@@ -414,7 +456,7 @@ std::future<QueryResult> QueryService::SubmitInternal(ServiceQuery query,
       result.status = Status::Unavailable(
           queue_.closed() ? "service is shut down" : "queue is full");
     }
-    task.promise.set_value(std::move(result));
+    task.Resolve(std::move(result));
   }
   return future;
 }
@@ -425,6 +467,20 @@ std::future<QueryResult> QueryService::Submit(ServiceQuery query) {
 
 std::future<QueryResult> QueryService::TrySubmit(ServiceQuery query) {
   return SubmitInternal(std::move(query), /*blocking=*/false);
+}
+
+void QueryService::SubmitCallback(ServiceQuery query, ResultCallback done) {
+  BIX_CHECK_MSG(done != nullptr, "SubmitCallback requires a callback");
+  // Non-blocking admission on purpose: the callers are event loops, and an
+  // event loop parked behind a full queue stops reading every socket it
+  // owns. Overload resolves the callback inline with a typed rejection.
+  (void)SubmitInternal(std::move(query), /*blocking=*/false, std::move(done));
+}
+
+bool QueryService::OverloadBrownout() const {
+  if (breaker_ == nullptr) return false;
+  breaker_->Poll(clock_->Now());
+  return breaker_->state() != BrownoutBreaker::State::kClosed;
 }
 
 std::vector<QueryResult> QueryService::ExecuteBatch(
@@ -607,10 +663,10 @@ void QueryService::WorkerLoop(uint32_t worker_id) {
     }
     QueryResult result =
         Execute(&*executor, *task, provider_ != nullptr ? &snap : nullptr);
-    // Record before resolving the future, so a caller that waited on the
-    // result is guaranteed to see its query in the service counters.
+    // Record before resolving, so a caller that waited on the result is
+    // guaranteed to see its query in the service counters.
     RecordCompletion(*task, result);
-    task->promise.set_value(std::move(result));
+    task->Resolve(std::move(result));
   }
 }
 
@@ -784,7 +840,7 @@ void QueryService::ResolveShed(Task* task, Status status) {
     sink.Tag("status", CodeName(result.status.code()));
     result.trace = std::make_shared<const TraceSpan>(sink.Finish());
   }
-  task->promise.set_value(std::move(result));
+  task->Resolve(std::move(result));
 }
 
 void QueryService::ShedForBrownout() {
@@ -825,7 +881,7 @@ void QueryService::ShedForBrownout() {
       sink.Tag("status", CodeName(result.status.code()));
       result.trace = std::make_shared<const TraceSpan>(sink.Finish());
     }
-    task.promise.set_value(std::move(result));
+    task.Resolve(std::move(result));
   }
 }
 

@@ -135,6 +135,18 @@ struct ServiceOptions {
   // known-bad storage.
   uint32_t max_fetch_retries = 3;
   double retry_backoff_seconds = 100e-6;
+  // Retry-storm decorrelation (DESIGN.md section 11): when nonzero, every
+  // backoff sleep after the first draws from the decorrelated-jitter
+  // schedule (util/backoff.h) seeded here, instead of deterministic
+  // doubling — concurrent retry loops against one unavailable blob stop
+  // re-arriving in phase. The schedule is a pure function of (seed,
+  // per-fetch stream, sleep index), so a fixed seed replays exact sleep
+  // sequences under a VirtualClock; 0 keeps the legacy exponential
+  // schedule (and the observability goldens pinned against it).
+  uint64_t retry_jitter_seed = 0;
+  // Cap on a single jittered backoff sleep; 0 = uncapped. Ignored by the
+  // legacy doubling schedule.
+  double retry_backoff_max_seconds = 0.0;
   // Optional deterministic fault injection on the shared cache's read path
   // (chaos tests, resilience benches). Not owned; must outlive the
   // service. nullptr serves clean.
@@ -226,6 +238,16 @@ class QueryService {
   // status instead of queueing unboundedly.
   std::future<QueryResult> TrySubmit(ServiceQuery query);
 
+  // Push-style admission for event-driven front ends (the TCP tier in
+  // src/net): instead of a future, `done` is invoked exactly once with the
+  // result — on the worker thread that completed or shed the query, or
+  // inline on this thread when admission rejects it. Non-blocking
+  // (TrySubmit semantics): an event loop must never park behind a full
+  // queue. `done` must not block for long and must not re-enter the
+  // service.
+  using ResultCallback = std::function<void(QueryResult)>;
+  void SubmitCallback(ServiceQuery query, ResultCallback done);
+
   // Convenience: blocking-submits the whole batch and waits for every
   // result (order matches the input).
   std::vector<QueryResult> ExecuteBatch(std::vector<ServiceQuery> batch);
@@ -259,6 +281,12 @@ class QueryService {
     return slow_log_.Snapshot();
   }
 
+  // True while the brownout breaker is not closed (open or probing). The
+  // network front end uses this as accept-backpressure: while the service
+  // is browning out, new connections are refused with a typed overload
+  // error instead of adding load. Always false when brownout is disabled.
+  bool OverloadBrownout() const;
+
   // Writable mode only: folds the provider's pending overlay into the
   // bitmaps right now (synchronously, on the caller's thread), regardless
   // of breaker state or the background task's schedule. InvalidArgument
@@ -274,11 +302,23 @@ class QueryService {
   struct Task {
     ServiceQuery query;
     std::promise<QueryResult> promise;
+    // Callback-mode resolution (SubmitCallback): when set, the result goes
+    // here and the promise is never touched.
+    ResultCallback done;
     // Admission-edge timestamps (service clock): Submit entry and queue
     // push. "admission" spans cover submitted->enqueued, "queue" spans
     // enqueued->worker pickup.
     std::chrono::steady_clock::time_point submitted;
     std::chrono::steady_clock::time_point enqueued;
+
+    // Exactly-once resolution, whichever channel the submitter chose.
+    void Resolve(QueryResult result) {
+      if (done) {
+        done(std::move(result));
+      } else {
+        promise.set_value(std::move(result));
+      }
+    }
   };
 
   // The degradation policy wrapped around the shared cache: bounded
@@ -307,7 +347,8 @@ class QueryService {
   // Validation at the admission edge, so malformed queries fail with a
   // Status instead of aborting a worker.
   Status Validate(const ServiceQuery& query) const;
-  std::future<QueryResult> SubmitInternal(ServiceQuery query, bool blocking);
+  std::future<QueryResult> SubmitInternal(ServiceQuery query, bool blocking,
+                                          ResultCallback done = nullptr);
   void WorkerLoop(uint32_t worker_id);
   void CompactionLoop();
   // `snap` is the query's pinned snapshot in writable mode, null in

@@ -35,6 +35,9 @@ FaultInjector::FaultInjector(FaultInjectorOptions options)
                             options.rename_fail_prob <=
                         1.0,
                 "write fault probabilities must be >= 0 and sum to <= 1");
+  BIX_CHECK_MSG(
+      options.dir_fsync_fail_prob >= 0.0 && options.dir_fsync_fail_prob <= 1.0,
+      "dir fsync fault probability must be in [0, 1]");
 }
 
 FaultInjector::Fault FaultInjector::OnRead(BitmapKey key) {
@@ -104,6 +107,11 @@ FaultInjector::WriteFault FaultInjector::OnWrite(WriteOp op) {
       applicable = WriteFault::kFailRename;
       first_attempts = options_.rename_fail_first_attempts;
       prob = options_.rename_fail_prob;
+      break;
+    case WriteOp::kDirFsync:
+      applicable = WriteFault::kFailFlush;
+      first_attempts = options_.dir_fsync_fail_first_attempts;
+      prob = options_.dir_fsync_fail_prob;
       break;
   }
   WriteFault fault = WriteFault::kNone;

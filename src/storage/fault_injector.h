@@ -46,11 +46,13 @@ struct FaultInjectorOptions {
   double short_write_prob = 0.0;  // append persists only a byte prefix
   double flush_fail_prob = 0.0;   // fsync/flush reports failure
   double rename_fail_prob = 0.0;  // atomic rename (commit point) fails
+  double dir_fsync_fail_prob = 0.0;  // directory fsync after a rename fails
   // Deterministic variants: the first N attempts of every write op fail
   // with the given fault before the probabilistic draws apply.
   uint32_t short_write_first_attempts = 0;
   uint32_t flush_fail_first_attempts = 0;
   uint32_t rename_fail_first_attempts = 0;
+  uint32_t dir_fsync_fail_first_attempts = 0;
 };
 
 class FaultInjector {
@@ -65,6 +67,7 @@ class FaultInjector {
     kWalFlush,     // flushing/fsyncing the WAL after an append
     kRename,       // atomic rename used as a checkpoint commit point
     kWalTruncate,  // truncating the WAL after a durable checkpoint
+    kDirFsync,     // fsync of the parent directory after a commit rename
   };
 
   enum class WriteFault : uint8_t {
@@ -105,7 +108,7 @@ class FaultInjector {
     uint64_t latency_spikes = 0;  // injected slow reads
     uint64_t writes = 0;          // OnWrite calls
     uint64_t short_writes = 0;    // injected torn appends
-    uint64_t flush_failures = 0;  // injected fsync failures
+    uint64_t flush_failures = 0;  // injected fsync/dir-fsync failures
     uint64_t rename_failures = 0;  // injected rename/truncate failures
   };
   Counters counters() const;

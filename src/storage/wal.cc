@@ -1,5 +1,6 @@
 #include "storage/wal.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -270,6 +271,20 @@ Status AtomicRename(const std::string& from, const std::string& to,
   if (std::rename(from.c_str(), to.c_str()) != 0) {
     return Status::Unavailable("rename failed: " + from + " -> " + to);
   }
+  return Status::OK();
+}
+
+Status FsyncDir(const std::string& dir, FaultInjector* injector) {
+  if (injector != nullptr &&
+      injector->OnWrite(FaultInjector::WriteOp::kDirFsync) ==
+          FaultInjector::WriteFault::kFailFlush) {
+    return Status::Unavailable("injected directory fsync failure: " + dir);
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::Unavailable("cannot open directory: " + dir);
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) return Status::Unavailable("directory fsync failed: " + dir);
   return Status::OK();
 }
 

@@ -137,6 +137,16 @@ Result<WalReadResult> ReadWal(const std::string& path);
 Status AtomicRename(const std::string& from, const std::string& to,
                     FaultInjector* injector);
 
+// Fsyncs the directory itself. A rename (or file creation) only becomes
+// power-loss durable once the *directory entry* reaches stable storage —
+// fsync of the file covers its bytes, not the dirent pointing at it. Every
+// atomic-rename commit point must be followed by this on the parent
+// directory, or a checkpoint can survive a process crash yet vanish on
+// power loss. Routes through the injector's kDirFsync op when one is
+// given; failure is Unavailable (the caller must treat the commit as not
+// yet durable and must not discard the WAL that re-creates it).
+Status FsyncDir(const std::string& dir, FaultInjector* injector);
+
 }  // namespace bix
 
 #endif  // BIX_STORAGE_WAL_H_

@@ -488,6 +488,86 @@ TEST(RecoveryTest, ReopenIsIdempotent) {
   }
 }
 
+// The rename-then-no-dirsync crash point: the checkpoint MANIFEST was
+// atomically renamed into place, but the *directory entry* never reached
+// the platter — on power loss the directory may still name the old
+// manifest. The injected dir-fsync failure makes Compact report exactly
+// that (Unavailable, nothing truncated), and restoring the old MANIFEST
+// bytes simulates the lost dirent: recovery must replay every WAL batch
+// onto the old checkpoint and land bit-identical to the oracle.
+TEST(RecoveryTest, CheckpointDirFsyncFailureSurvivesLostRename) {
+  const std::string dir = FreshDir("dir_fsync_crash");
+  Column column = SmallColumn();
+  {
+    auto created = WritableBitmapIndex::Create(dir, column, SmallConfig());
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+  }
+  // Injector attached on reopen, so the initial checkpoint stays clean;
+  // the first directory fsync it sees is Compact's commit-point sync.
+  FaultInjector injector({.dir_fsync_fail_first_attempts = 1});
+  auto index = WritableBitmapIndex::Open(dir, {.injector = &injector});
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  UpdateBatch one = BatchOne(5);
+  UpdateBatch two = BatchTwo(column.values.size() + one.inserts.size(), 5);
+  ASSERT_TRUE(index.value()->ApplyBatch(one).ok());
+  ASSERT_TRUE(index.value()->ApplyBatch(two).ok());
+  LogicalOracle oracle(column);
+  oracle.Apply(one);
+  oracle.Apply(two);
+
+  const std::vector<uint8_t> manifest_before =
+      ReadFileBytes(dir + "/MANIFEST");
+  const std::vector<uint8_t> wal_before = ReadFileBytes(dir + "/wal.log");
+
+  // The rename lands but its dirent sync fails: not durable, so Compact
+  // must refuse to declare the checkpoint committed or touch the WAL.
+  Status s = index.value()->Compact(nullptr);
+  EXPECT_EQ(s.code(), Status::Code::kUnavailable);
+  EXPECT_EQ(index.value()->PendingDeltaOps(), one.ops() + two.ops());
+  EXPECT_EQ(ReadFileBytes(dir + "/wal.log"), wal_before);
+  ExpectStateMatchesOracle(*index.value(), oracle, "after failed compact");
+  index.value().reset();
+
+  // Power loss: the directory forgot the rename. Replay carries recovery.
+  WriteFileBytes(dir + "/MANIFEST", manifest_before, manifest_before.size());
+  auto reopened = WritableBitmapIndex::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->recovery_info().recovered_batches, 2u);
+  ExpectStateMatchesOracle(*reopened.value(), oracle, "old manifest + replay");
+}
+
+// Same injected failure without the crash: the failed Compact is cleanly
+// retryable, and the retry's checkpoint makes replay unnecessary.
+TEST(RecoveryTest, CheckpointDirFsyncFailureIsRetryable) {
+  const std::string dir = FreshDir("dir_fsync_retry");
+  Column column = SmallColumn();
+  {
+    auto created = WritableBitmapIndex::Create(dir, column, SmallConfig());
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+  }
+  FaultInjector injector({.dir_fsync_fail_first_attempts = 1});
+  auto index = WritableBitmapIndex::Open(dir, {.injector = &injector});
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  UpdateBatch batch = BatchOne(5);
+  ASSERT_TRUE(index.value()->ApplyBatch(batch).ok());
+  LogicalOracle oracle(column);
+  oracle.Apply(batch);
+
+  EXPECT_EQ(index.value()->Compact(nullptr).code(),
+            Status::Code::kUnavailable);
+  ASSERT_TRUE(index.value()->Compact(nullptr).ok());
+  EXPECT_EQ(index.value()->PendingDeltaOps(), 0u);
+  EXPECT_EQ(injector.counters().flush_failures, 1u);
+
+  index.value().reset();
+  auto reopened = WritableBitmapIndex::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->recovery_info().recovered_batches, 0u);
+  ExpectStateMatchesOracle(*reopened.value(), oracle, "after retried compact");
+}
+
 // Create refuses a directory that already holds an index, and Open refuses
 // a directory that never held one.
 TEST(RecoveryTest, CreateAndOpenGuardRails) {
