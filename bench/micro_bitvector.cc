@@ -1,13 +1,57 @@
 // Microbenchmarks for the bit-vector substrate: the word-level operations
-// that dominate query CPU time.
+// that dominate query CPU time. The BM_*PerTier rows pin the kernel tier
+// (scalar / avx2 / avx512) for the run and report a bytes_per_cycle
+// counter alongside google-benchmark's GB/s, so tiers are comparable in
+// one report; the unsuffixed rows run whatever tier dispatch selected.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <utility>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
 #include "bitvector/bitvector.h"
+#include "bitvector/kernels.h"
 #include "util/rng.h"
 
 namespace bix {
 namespace {
+
+inline uint64_t Cycles() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return 0;
+#endif
+}
+
+// Pins a kernel tier for one benchmark run and publishes bytes/cycle from
+// an rdtsc reading across the timed loop.
+class TierScope {
+ public:
+  TierScope(benchmark::State& state, kernels::Tier tier)
+      : state_(state), saved_(kernels::ActiveTier()) {
+    kernels::SetActiveTier(tier);
+    start_cycles_ = Cycles();
+  }
+  ~TierScope() {
+    const uint64_t cycles = Cycles() - start_cycles_;
+    kernels::SetActiveTier(saved_);
+    if (cycles > 0 && state_.bytes_processed() > 0) {
+      state_.counters["bytes_per_cycle"] = benchmark::Counter(
+          static_cast<double>(state_.bytes_processed()) /
+          static_cast<double>(cycles));
+    }
+  }
+
+ private:
+  benchmark::State& state_;
+  kernels::Tier saved_;
+  uint64_t start_cycles_ = 0;
+};
 
 Bitvector MakeRandom(uint64_t bits, double density, uint64_t seed) {
   Rng rng(seed);
@@ -225,7 +269,85 @@ void BM_ForEachSetBit(benchmark::State& state) {
 }
 BENCHMARK(BM_ForEachSetBit);
 
+// --- Per-tier rows: the same hot kernels with the tier pinned, one row
+// per tier this CPU supports, each reporting bytes_per_cycle. ---
+
+void BM_AndPerTier(benchmark::State& state, kernels::Tier tier) {
+  const uint64_t bits = 6'000'000;
+  Bitvector a = MakeRandom(bits, 0.3, 1);
+  const Bitvector b = MakeRandom(bits, 0.3, 2);
+  TierScope scope(state, tier);
+  for (auto _ : state) {
+    a.AndWith(b);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetBytesProcessed(state.iterations() * (bits / 8) * 2);
+}
+
+void BM_CountPerTier(benchmark::State& state, kernels::Tier tier) {
+  const uint64_t bits = 6'000'000;
+  const Bitvector a = MakeRandom(bits, 0.5, 1);
+  TierScope scope(state, tier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Count());
+  }
+  state.SetBytesProcessed(state.iterations() * (bits / 8));
+}
+
+void BM_AndManyFusedPerTier(benchmark::State& state, kernels::Tier tier) {
+  const uint64_t bits = 6'000'000;
+  const size_t k = 4;
+  std::vector<Bitvector> ops;
+  for (size_t i = 0; i < k; ++i) ops.push_back(MakeRandom(bits, 0.5, i + 1));
+  std::vector<const Bitvector*> ptrs;
+  for (const Bitvector& op : ops) ptrs.push_back(&op);
+  Bitvector out;
+  TierScope scope(state, tier);
+  for (auto _ : state) {
+    Bitvector::AndManyInto(ptrs, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * (bits / 8) * k);
+}
+
+void BM_AndCountFusedPerTier(benchmark::State& state, kernels::Tier tier) {
+  const uint64_t bits = 6'000'000;
+  const Bitvector a = MakeRandom(bits, 0.5, 1);
+  const Bitvector b = MakeRandom(bits, 0.5, 2);
+  TierScope scope(state, tier);
+  for (auto _ : state) {
+    Bitvector r = a;
+    benchmark::DoNotOptimize(r.AndWithCount(b));
+  }
+  state.SetBytesProcessed(state.iterations() * (bits / 8) * 2);
+}
+
+void RegisterPerTierBenches() {
+  using Fn = void (*)(benchmark::State&, kernels::Tier);
+  const std::pair<const char*, Fn> benches[] = {
+      {"BM_AndPerTier", BM_AndPerTier},
+      {"BM_CountPerTier", BM_CountPerTier},
+      {"BM_AndManyFusedPerTier", BM_AndManyFusedPerTier},
+      {"BM_AndCountFusedPerTier", BM_AndCountFusedPerTier},
+  };
+  for (const auto& [name, fn] : benches) {
+    for (kernels::Tier t : {kernels::Tier::kScalar, kernels::Tier::kAvx2,
+                            kernels::Tier::kAvx512}) {
+      if (kernels::OpsForTier(t) == nullptr) continue;
+      benchmark::RegisterBenchmark(
+          (std::string(name) + "/" + kernels::TierName(t)).c_str(), fn, t);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace bix
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bix::RegisterPerTierBenches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "bitvector/kernels.h"
+
 namespace bix {
 
 std::atomic<uint64_t> BitvectorCopyStats::copies_{0};
@@ -52,9 +54,7 @@ void Bitvector::Resize(uint64_t new_size) {
 }
 
 uint64_t Bitvector::Count() const {
-  uint64_t total = 0;
-  for (uint64_t w : words_) total += static_cast<uint64_t>(__builtin_popcountll(w));
-  return total;
+  return kernels::Active().count(words_.data(), words_.size());
 }
 
 bool Bitvector::AllZero() const {
@@ -66,39 +66,38 @@ bool Bitvector::AllZero() const {
 
 void Bitvector::AndWith(const Bitvector& other) {
   BIX_CHECK(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  kernels::Active().and_words(words_.data(), other.words_.data(),
+                              words_.size());
 }
 
 void Bitvector::OrWith(const Bitvector& other) {
   BIX_CHECK(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  kernels::Active().or_words(words_.data(), other.words_.data(),
+                             words_.size());
 }
 
 void Bitvector::XorWith(const Bitvector& other) {
   BIX_CHECK(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  kernels::Active().xor_words(words_.data(), other.words_.data(),
+                              words_.size());
 }
 
 void Bitvector::AndNotWith(const Bitvector& other) {
   BIX_CHECK(size_ == other.size_);
   // other's trailing padding is zero, so ~other has trailing ones — and-ing
   // them in cannot set bits past size_.
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  kernels::Active().andnot_words(words_.data(), other.words_.data(),
+                                 words_.size());
 }
 
 uint64_t Bitvector::AndWithCount(const Bitvector& other) {
   BIX_CHECK(size_ == other.size_);
-  uint64_t total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    const uint64_t w = words_[i] & other.words_[i];
-    words_[i] = w;
-    total += static_cast<uint64_t>(__builtin_popcountll(w));
-  }
-  return total;
+  return kernels::Active().and_with_count(words_.data(), other.words_.data(),
+                                          words_.size());
 }
 
 void Bitvector::NotSelf() {
-  for (uint64_t& w : words_) w = ~w;
+  kernels::Active().not_words(words_.data(), words_.data(), words_.size());
   ClearTrailingBits();
 }
 
@@ -108,20 +107,15 @@ void Bitvector::NotInto(const Bitvector& src, Bitvector* out) {
   // copy-then-NotSelf: the evaluator uses this to negate a borrowed cache
   // handle without a payload copy. out == &src degrades to NotSelf.
   out->Resize(src.size_);
-  for (size_t i = 0; i < src.words_.size(); ++i) {
-    out->words_[i] = ~src.words_[i];
-  }
+  kernels::Active().not_words(out->words_.data(), src.words_.data(),
+                              src.words_.size());
   out->ClearTrailingBits();
 }
 
 uint64_t Bitvector::AndCount(const Bitvector& a, const Bitvector& b) {
   BIX_CHECK(a.size_ == b.size_);
-  uint64_t total = 0;
-  for (size_t i = 0; i < a.words_.size(); ++i) {
-    total +=
-        static_cast<uint64_t>(__builtin_popcountll(a.words_[i] & b.words_[i]));
-  }
-  return total;
+  return kernels::Active().and_count(a.words_.data(), b.words_.data(),
+                                     a.words_.size());
 }
 
 namespace {
@@ -138,38 +132,16 @@ void PrepareFusedOut(const std::vector<const Bitvector*>& operands,
   out->Resize(size);
 }
 
-}  // namespace
-
-namespace {
-
-// The fused kernels fold k operands block by block through an L1-resident
-// accumulator. A per-word inner loop over k indirect operand pointers
-// defeats auto-vectorization; per-operand passes over a 4 KiB stack block
-// keep the simple two-pointer loop shape the vectorizer handles, while the
-// block granularity keeps DRAM traffic at one read of each operand plus
-// one write of the output (the win over the k-pass naive fold once the
-// working set spills the cache). The accumulator is flushed to `out` only
-// after every operand's block has been read, so the output may alias any
-// operand.
-constexpr size_t kFuseBlockWords = 512;  // 4 KiB
-
-template <typename Fold>
-void FuseBlocked(const std::vector<const Bitvector*>& operands,
-                 std::vector<uint64_t>* out_words, Fold fold) {
-  const size_t k = operands.size();
-  const size_t nw = out_words->size();
-  uint64_t block[kFuseBlockWords];
-  for (size_t base = 0; base < nw; base += kFuseBlockWords) {
-    const size_t n = std::min(kFuseBlockWords, nw - base);
-    const uint64_t* src0 = operands[0]->words().data() + base;
-    for (size_t w = 0; w < n; ++w) block[w] = src0[w];
-    for (size_t i = 1; i < k; ++i) {
-      const uint64_t* src = operands[i]->words().data() + base;
-      fold(block, src, n);
-    }
-    uint64_t* dst = out_words->data() + base;
-    for (size_t w = 0; w < n; ++w) dst[w] = block[w];
+// Collects the raw word pointers the k-ary kernels consume. The kernels
+// read every operand's word for a stride before writing that stride of the
+// output, so `out` aliasing one of the operands stays safe.
+std::vector<const uint64_t*> OperandWords(
+    const std::vector<const Bitvector*>& operands) {
+  std::vector<const uint64_t*> srcs(operands.size());
+  for (size_t i = 0; i < operands.size(); ++i) {
+    srcs[i] = operands[i]->words().data();
   }
+  return srcs;
 }
 
 }  // namespace
@@ -177,28 +149,22 @@ void FuseBlocked(const std::vector<const Bitvector*>& operands,
 void Bitvector::AndManyInto(const std::vector<const Bitvector*>& operands,
                             Bitvector* out) {
   PrepareFusedOut(operands, out);
-  FuseBlocked(operands, &out->words_,
-              [](uint64_t* acc, const uint64_t* src, size_t n) {
-                for (size_t w = 0; w < n; ++w) acc[w] &= src[w];
-              });
+  kernels::Active().and_many(OperandWords(operands).data(), operands.size(),
+                             out->words_.data(), out->words_.size());
 }
 
 void Bitvector::OrManyInto(const std::vector<const Bitvector*>& operands,
                            Bitvector* out) {
   PrepareFusedOut(operands, out);
-  FuseBlocked(operands, &out->words_,
-              [](uint64_t* acc, const uint64_t* src, size_t n) {
-                for (size_t w = 0; w < n; ++w) acc[w] |= src[w];
-              });
+  kernels::Active().or_many(OperandWords(operands).data(), operands.size(),
+                            out->words_.data(), out->words_.size());
 }
 
 void Bitvector::XorManyInto(const std::vector<const Bitvector*>& operands,
                             Bitvector* out) {
   PrepareFusedOut(operands, out);
-  FuseBlocked(operands, &out->words_,
-              [](uint64_t* acc, const uint64_t* src, size_t n) {
-                for (size_t w = 0; w < n; ++w) acc[w] ^= src[w];
-              });
+  kernels::Active().xor_many(OperandWords(operands).data(), operands.size(),
+                             out->words_.data(), out->words_.size());
 }
 
 Bitvector Bitvector::And(const Bitvector& a, const Bitvector& b) {

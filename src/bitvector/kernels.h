@@ -1,0 +1,92 @@
+#ifndef BIX_BITVECTOR_KERNELS_H_
+#define BIX_BITVECTOR_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bix {
+namespace kernels {
+
+// The word-level kernel tier behind every hot bitmap loop (DESIGN.md
+// section 17). All kernels operate on raw 64-bit word arrays — the
+// Bitvector layer and the Roaring bitset containers both dispatch here —
+// and every tier is bit-identical to the scalar reference (enforced by the
+// differential oracle in tests/simd_kernels_test.cc).
+//
+// Tier selection happens once, at first use: CPUID feature detection picks
+// the widest tier the hardware supports, overridable for testing via the
+// environment (BIX_FORCE_SCALAR=1, or BIX_KERNEL_TIER=scalar|avx2|avx512).
+// The scalar tier is always available and is the behavioural reference.
+enum class Tier : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+// Short lowercase name ("scalar", "avx2", "avx512") for bench columns,
+// trace tags, and the BENCH_simd.json artifact.
+const char* TierName(Tier t);
+
+// A tier's kernel table. Contracts shared by all implementations:
+//  - `n` counts 64-bit words; n == 0 is valid everywhere.
+//  - Pairwise ops are in-place on dst; dst == src is allowed.
+//  - The k-ary folds read every operand's word for a stride before writing
+//    that stride of dst, so dst may alias any srcs[i] exactly (partial
+//    overlap is not supported, matching Bitvector buffers). k >= 1.
+//  - Kernels never touch bits the caller didn't pass: a Bitvector caller
+//    re-establishes its trailing-bit invariant (only NOT-family kernels can
+//    set trailing bits; AND/OR/XOR of zero-padded tails stay zero-padded).
+//  - intersect_u16 intersects two sorted, duplicate-free uint16 arrays;
+//    `out` must not alias the inputs and must have room for min(na, nb).
+struct Ops {
+  // dst[i] &= src[i]  (and |=, ^=, &= ~ respectively)
+  void (*and_words)(uint64_t* dst, const uint64_t* src, size_t n);
+  void (*or_words)(uint64_t* dst, const uint64_t* src, size_t n);
+  void (*xor_words)(uint64_t* dst, const uint64_t* src, size_t n);
+  void (*andnot_words)(uint64_t* dst, const uint64_t* src, size_t n);
+  // dst[i] = ~src[i]
+  void (*not_words)(uint64_t* dst, const uint64_t* src, size_t n);
+  // dst[i] = srcs[0][i] op srcs[1][i] op ... op srcs[k-1][i] in one pass:
+  // each word is read from all k operands and written once.
+  void (*and_many)(const uint64_t* const* srcs, size_t k, uint64_t* dst,
+                   size_t n);
+  void (*or_many)(const uint64_t* const* srcs, size_t k, uint64_t* dst,
+                  size_t n);
+  void (*xor_many)(const uint64_t* const* srcs, size_t k, uint64_t* dst,
+                   size_t n);
+  // popcount(w)
+  uint64_t (*count)(const uint64_t* w, size_t n);
+  // popcount(a & b) without materializing the conjunction
+  uint64_t (*and_count)(const uint64_t* a, const uint64_t* b, size_t n);
+  // dst &= src, returning popcount(dst) from the same pass
+  uint64_t (*and_with_count)(uint64_t* dst, const uint64_t* src, size_t n);
+  // Sorted-set intersection for Roaring array containers: writes the
+  // common values to out, returns how many. Gallops when the sizes are
+  // lopsided (scalar) or scans SIMD-width windows (vector tiers).
+  size_t (*intersect_u16)(const uint16_t* a, size_t na, const uint16_t* b,
+                          size_t nb, uint16_t* out);
+};
+
+// The active tier's table. First call runs detection (cheap, cached);
+// subsequent calls are a single relaxed atomic load.
+const Ops& Active();
+Tier ActiveTier();
+
+// Widest tier this CPU supports (compile-time availability AND runtime
+// CPUID agree).
+Tier MaxSupportedTier();
+
+// The table for a specific tier, or nullptr when this build/CPU can't run
+// it. The differential oracle iterates supported tiers against kScalar.
+const Ops* OpsForTier(Tier t);
+
+// Forces the active tier (testing/bench only; returns false and leaves the
+// active tier unchanged when unsupported). Not synchronized against
+// concurrently running kernels — call from a quiesced process, the way the
+// oracle and the per-tier benches do.
+bool SetActiveTier(Tier t);
+
+}  // namespace kernels
+}  // namespace bix
+
+#endif  // BIX_BITVECTOR_KERNELS_H_

@@ -1,0 +1,242 @@
+// AVX2 kernel tier. This translation unit is compiled with -mavx2 (see
+// CMakeLists.txt) and must only be *selected* after __builtin_cpu_supports
+// confirms the running CPU has AVX2 — nothing outside GetAvx2Ops() may call
+// into it.
+//
+// Strides are 256-bit (4 words), unrolled x2 where the loop is pure
+// load/op/store; tails fall back to scalar words. Popcounts use the
+// pshufb nibble-LUT + psadbw reduction (Mula), which needs no instruction
+// beyond AVX2 itself.
+
+#include "bitvector/kernels.h"
+
+#if !defined(__AVX2__)
+#error "kernels_avx2.cc must be compiled with -mavx2"
+#endif
+
+#include <immintrin.h>
+
+namespace bix {
+namespace kernels {
+namespace {
+
+inline __m256i LoadU(const uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+inline void StoreU(uint64_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+void Avx2And(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    StoreU(dst + i, _mm256_and_si256(LoadU(dst + i), LoadU(src + i)));
+    StoreU(dst + i + 4, _mm256_and_si256(LoadU(dst + i + 4), LoadU(src + i + 4)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    StoreU(dst + i, _mm256_and_si256(LoadU(dst + i), LoadU(src + i)));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+void Avx2Or(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    StoreU(dst + i, _mm256_or_si256(LoadU(dst + i), LoadU(src + i)));
+    StoreU(dst + i + 4, _mm256_or_si256(LoadU(dst + i + 4), LoadU(src + i + 4)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    StoreU(dst + i, _mm256_or_si256(LoadU(dst + i), LoadU(src + i)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+void Avx2Xor(uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    StoreU(dst + i, _mm256_xor_si256(LoadU(dst + i), LoadU(src + i)));
+    StoreU(dst + i + 4, _mm256_xor_si256(LoadU(dst + i + 4), LoadU(src + i + 4)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    StoreU(dst + i, _mm256_xor_si256(LoadU(dst + i), LoadU(src + i)));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void Avx2AndNot(uint64_t* dst, const uint64_t* src, size_t n) {
+  // vpandn computes ~a & b, so src goes in the first slot.
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    StoreU(dst + i, _mm256_andnot_si256(LoadU(src + i), LoadU(dst + i)));
+    StoreU(dst + i + 4,
+           _mm256_andnot_si256(LoadU(src + i + 4), LoadU(dst + i + 4)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    StoreU(dst + i, _mm256_andnot_si256(LoadU(src + i), LoadU(dst + i)));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+void Avx2Not(uint64_t* dst, const uint64_t* src, size_t n) {
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    StoreU(dst + i, _mm256_xor_si256(LoadU(src + i), ones));
+    StoreU(dst + i + 4, _mm256_xor_si256(LoadU(src + i + 4), ones));
+  }
+  for (; i + 4 <= n; i += 4) {
+    StoreU(dst + i, _mm256_xor_si256(LoadU(src + i), ones));
+  }
+  for (; i < n; ++i) dst[i] = ~src[i];
+}
+
+// k-ary folds: one 4-word stride stays in a register while all k operands
+// are read, so dst may alias any operand (the stride's loads all precede
+// its store).
+template <typename VecOp, typename WordOp>
+void Avx2Fold(const uint64_t* const* srcs, size_t k, uint64_t* dst, size_t n,
+              VecOp vec_op, WordOp word_op) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i acc = LoadU(srcs[0] + i);
+    for (size_t j = 1; j < k; ++j) acc = vec_op(acc, LoadU(srcs[j] + i));
+    StoreU(dst + i, acc);
+  }
+  for (; i < n; ++i) {
+    uint64_t acc = srcs[0][i];
+    for (size_t j = 1; j < k; ++j) acc = word_op(acc, srcs[j][i]);
+    dst[i] = acc;
+  }
+}
+
+void Avx2AndMany(const uint64_t* const* srcs, size_t k, uint64_t* dst,
+                 size_t n) {
+  Avx2Fold(srcs, k, dst, n,
+           [](__m256i a, __m256i b) { return _mm256_and_si256(a, b); },
+           [](uint64_t a, uint64_t b) { return a & b; });
+}
+
+void Avx2OrMany(const uint64_t* const* srcs, size_t k, uint64_t* dst,
+                size_t n) {
+  Avx2Fold(srcs, k, dst, n,
+           [](__m256i a, __m256i b) { return _mm256_or_si256(a, b); },
+           [](uint64_t a, uint64_t b) { return a | b; });
+}
+
+void Avx2XorMany(const uint64_t* const* srcs, size_t k, uint64_t* dst,
+                 size_t n) {
+  Avx2Fold(srcs, k, dst, n,
+           [](__m256i a, __m256i b) { return _mm256_xor_si256(a, b); },
+           [](uint64_t a, uint64_t b) { return a ^ b; });
+}
+
+// Per-byte popcount of a vector via two pshufb nibble lookups, reduced to
+// four u64 partial sums by psadbw against zero.
+inline __m256i PopcountLanes(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low);
+  const __m256i cnt =
+      _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+inline uint64_t HorizontalSum(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return static_cast<uint64_t>(_mm_extract_epi64(s, 0)) +
+         static_cast<uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+uint64_t Avx2Count(const uint64_t* w, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(acc, PopcountLanes(LoadU(w + i)));
+  }
+  uint64_t total = HorizontalSum(acc);
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(w[i]));
+  }
+  return total;
+}
+
+uint64_t Avx2AndCount(const uint64_t* a, const uint64_t* b, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, PopcountLanes(_mm256_and_si256(LoadU(a + i), LoadU(b + i))));
+  }
+  uint64_t total = HorizontalSum(acc);
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return total;
+}
+
+uint64_t Avx2AndWithCount(uint64_t* dst, const uint64_t* src, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i w = _mm256_and_si256(LoadU(dst + i), LoadU(src + i));
+    StoreU(dst + i, w);
+    acc = _mm256_add_epi64(acc, PopcountLanes(w));
+  }
+  uint64_t total = HorizontalSum(acc);
+  for (; i < n; ++i) {
+    const uint64_t w = dst[i] & src[i];
+    dst[i] = w;
+    total += static_cast<uint64_t>(__builtin_popcountll(w));
+  }
+  return total;
+}
+
+// Sorted-set intersection: walk the smaller array one value at a time,
+// sliding a 16-value window over the larger array (skip a whole window
+// while its max is below the probe, then one 16-wide compare answers
+// membership). O(ns + nl/16) — the vector analogue of galloping.
+size_t Avx2IntersectU16(const uint16_t* a, size_t na, const uint16_t* b,
+                        size_t nb, uint16_t* out) {
+  const uint16_t* small = na <= nb ? a : b;
+  const uint16_t* large = na <= nb ? b : a;
+  const size_t nsmall = na <= nb ? na : nb;
+  const uint16_t* w = large;
+  const uint16_t* const lend = large + (na <= nb ? nb : na);
+  size_t count = 0;
+  for (size_t i = 0; i < nsmall; ++i) {
+    const uint16_t v = small[i];
+    while (lend - w >= 16 && w[15] < v) w += 16;
+    if (lend - w >= 16) {
+      const __m256i window =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+      const __m256i key = _mm256_set1_epi16(static_cast<short>(v));
+      if (_mm256_movemask_epi8(_mm256_cmpeq_epi16(window, key)) != 0) {
+        out[count++] = v;
+      }
+    } else {
+      while (w != lend && *w < v) ++w;
+      if (w == lend) break;
+      if (*w == v) out[count++] = v;
+    }
+  }
+  return count;
+}
+
+constexpr Ops kAvx2Ops = {
+    Avx2And,    Avx2Or,      Avx2Xor,     Avx2AndNot,
+    Avx2Not,    Avx2AndMany, Avx2OrMany,  Avx2XorMany,
+    Avx2Count,  Avx2AndCount, Avx2AndWithCount,
+    Avx2IntersectU16,
+};
+
+}  // namespace
+
+const Ops* GetAvx2Ops() { return &kAvx2Ops; }
+
+}  // namespace kernels
+}  // namespace bix

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 
+#include "bitvector/kernels.h"
 #include "util/check.h"
 #include "util/math.h"
 
@@ -144,7 +145,7 @@ void OrIntoWords(const Container& c, uint64_t* w) {
       for (uint16_t v : c.array) w[v >> 6] |= uint64_t{1} << (v & 63);
       break;
     case ContainerType::kBitset:
-      for (uint32_t i = 0; i < kChunkWords; ++i) w[i] |= c.words[i];
+      kernels::Active().or_words(w, c.words.data(), kChunkWords);
       break;
     case ContainerType::kRun:
       for (const Run& r : c.runs) {
@@ -161,7 +162,7 @@ void XorIntoWords(const Container& c, uint64_t* w) {
       for (uint16_t v : c.array) w[v >> 6] ^= uint64_t{1} << (v & 63);
       break;
     case ContainerType::kBitset:
-      for (uint32_t i = 0; i < kChunkWords; ++i) w[i] ^= c.words[i];
+      kernels::Active().xor_words(w, c.words.data(), kChunkWords);
       break;
     case ContainerType::kRun:
       for (const Run& r : c.runs) {
@@ -178,7 +179,7 @@ void ClearIntoWords(const Container& c, uint64_t* w) {
       for (uint16_t v : c.array) w[v >> 6] &= ~(uint64_t{1} << (v & 63));
       break;
     case ContainerType::kBitset:
-      for (uint32_t i = 0; i < kChunkWords; ++i) w[i] &= ~c.words[i];
+      kernels::Active().andnot_words(w, c.words.data(), kChunkWords);
       break;
     case ContainerType::kRun:
       for (const Run& r : c.runs) {
@@ -253,35 +254,17 @@ Container CanonicalizeRuns(uint32_t key, const std::vector<Run>& runs) {
   return c;
 }
 
-// Sorted-array intersection; gallops (binary search per probe) when the
-// sizes are lopsided, merges otherwise.
+// Sorted-array intersection via the active kernel tier: the scalar tier
+// gallops (binary search per probe, cursor advanced past each hit) when the
+// sizes are lopsided and merges otherwise; the vector tiers scan
+// SIMD-width windows of the larger array. `out` must be empty.
 void IntersectArrays(const std::vector<uint16_t>& a,
                      const std::vector<uint16_t>& b,
                      std::vector<uint16_t>* out) {
-  const std::vector<uint16_t>& small = a.size() <= b.size() ? a : b;
-  const std::vector<uint16_t>& large = a.size() <= b.size() ? b : a;
-  if (large.size() / 32 > small.size()) {
-    auto lo = large.begin();
-    for (uint16_t v : small) {
-      lo = std::lower_bound(lo, large.end(), v);
-      if (lo == large.end()) break;
-      if (*lo == v) out->push_back(v);
-    }
-    return;
-  }
-  size_t i = 0;
-  size_t j = 0;
-  while (i < small.size() && j < large.size()) {
-    if (small[i] < large[j]) {
-      ++i;
-    } else if (large[j] < small[i]) {
-      ++j;
-    } else {
-      out->push_back(small[i]);
-      ++i;
-      ++j;
-    }
-  }
+  out->resize(std::min(a.size(), b.size()));
+  const size_t n = kernels::Active().intersect_u16(
+      a.data(), a.size(), b.data(), b.size(), out->data());
+  out->resize(n);
 }
 
 // Interval intersection of two canonical run lists.
@@ -354,7 +337,8 @@ Container PairAnd(const Container& a, const Container& b) {
   }
   if (a.type == ContainerType::kBitset && b.type == ContainerType::kBitset) {
     uint64_t w[kChunkWords];
-    for (uint32_t i = 0; i < kChunkWords; ++i) w[i] = a.words[i] & b.words[i];
+    std::memcpy(w, a.words.data(), sizeof(w));
+    kernels::Active().and_words(w, b.words.data(), kChunkWords);
     return CanonicalizeFromWords(a.key, w);
   }
   if (a.type == ContainerType::kBitset) {  // bitset & run
@@ -447,11 +431,8 @@ uint64_t PairAndCardinality(const Container& a, const Container& b) {
     return n;
   }
   if (a.type == ContainerType::kBitset && b.type == ContainerType::kBitset) {
-    uint64_t n = 0;
-    for (uint32_t i = 0; i < kChunkWords; ++i) {
-      n += std::popcount(a.words[i] & b.words[i]);
-    }
-    return n;
+    return kernels::Active().and_count(a.words.data(), b.words.data(),
+                                       kChunkWords);
   }
   if (a.type == ContainerType::kBitset) {  // bitset & run
     uint64_t n = 0;
@@ -703,9 +684,7 @@ uint64_t RoaringBitmap::AndCount(const Bitvector& plain) const {
       case ContainerType::kBitset: {
         const uint32_t nw = static_cast<uint32_t>(
             std::min<uint64_t>(kChunkWords, w.size() - off));
-        for (uint32_t i = 0; i < nw; ++i) {
-          n += std::popcount(c.words[i] & w[off + i]);
-        }
+        n += kernels::Active().and_count(c.words.data(), w.data() + off, nw);
         break;
       }
       case ContainerType::kRun:
@@ -735,7 +714,7 @@ void RoaringBitmap::OrInto(Bitvector* acc) const {
       case ContainerType::kBitset: {
         const uint32_t nw = static_cast<uint32_t>(
             std::min<uint64_t>(kChunkWords, w.size() - off));
-        for (uint32_t i = 0; i < nw; ++i) w[off + i] |= c.words[i];
+        kernels::Active().or_words(w.data() + off, c.words.data(), nw);
         break;
       }
       case ContainerType::kRun:
@@ -762,7 +741,7 @@ void RoaringBitmap::XorInto(Bitvector* acc) const {
       case ContainerType::kBitset: {
         const uint32_t nw = static_cast<uint32_t>(
             std::min<uint64_t>(kChunkWords, w.size() - off));
-        for (uint32_t i = 0; i < nw; ++i) w[off + i] ^= c.words[i];
+        kernels::Active().xor_words(w.data() + off, c.words.data(), nw);
         break;
       }
       case ContainerType::kRun:
@@ -790,7 +769,7 @@ void RoaringBitmap::AndInPlace(Bitvector* acc) const {
     }
     const Container& c = containers_[ci++];
     if (c.type == ContainerType::kBitset) {
-      for (uint32_t i = 0; i < nw; ++i) w[off + i] &= c.words[i];
+      kernels::Active().and_words(w.data() + off, c.words.data(), nw);
       continue;
     }
     // Array/run containers: expand this chunk into a scratch buffer and
@@ -798,7 +777,7 @@ void RoaringBitmap::AndInPlace(Bitvector* acc) const {
     uint64_t buf[kChunkWords];
     std::memset(buf, 0, static_cast<size_t>(nw) * sizeof(uint64_t));
     OrIntoWords(c, buf);
-    for (uint32_t i = 0; i < nw; ++i) w[off + i] &= buf[i];
+    kernels::Active().and_words(w.data() + off, buf, nw);
   }
 }
 
@@ -816,7 +795,7 @@ void RoaringBitmap::NotInto(Bitvector* out) const {
       case ContainerType::kBitset: {
         const uint32_t nw = static_cast<uint32_t>(
             std::min<uint64_t>(kChunkWords, w.size() - off));
-        for (uint32_t i = 0; i < nw; ++i) w[off + i] &= ~c.words[i];
+        kernels::Active().andnot_words(w.data() + off, c.words.data(), nw);
         break;
       }
       case ContainerType::kRun:

@@ -170,6 +170,15 @@ class Evaluator {
     size_t plain_count = 0;
     for (const Value& v : vals) plain_count += v.is_roaring() ? 0 : 1;
     TraceScope kernel(trace_, "kernel");
+    // Operand mix for slow-query forensics: how many children went through
+    // the fused word kernels vs the Roaring container kernels. (The SIMD
+    // tier those kernels dispatch to is process-wide — kernels::ActiveTier —
+    // not per-span, and tagging it here would make traces machine-shaped.)
+    if (trace_ != nullptr) {
+      trace_->Tag("plain_operands", static_cast<uint64_t>(plain_count));
+      trace_->Tag("roaring_operands",
+                  static_cast<uint64_t>(vals.size() - plain_count));
+    }
     if (plain_count == 0) return NaryAllRoaring(e->op, vals);
     if (plain_count == vals.size()) return NaryAllPlain(e->op, vals);
     return NaryMixed(e->op, vals, plain_count);

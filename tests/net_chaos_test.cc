@@ -268,7 +268,13 @@ TEST(NetChaosTest, AbortedClientsCancelInFlightWorkOthersUnaffected) {
         req.lo = 0;
         req.hi = 63;
         const std::vector<uint8_t> bytes = EncodeRequest(req);
-        (void)c.value().SendBytes(bytes.data(), bytes.size());
+        // Pipeline a burst before dying: a single query can finish before
+        // the server notices the disconnect (the faster the kernels, the
+        // narrower that window), but a queued burst cannot all drain, so
+        // some query is reliably in flight when the socket vanishes.
+        for (int burst = 0; burst < 8; ++burst) {
+          (void)c.value().SendBytes(bytes.data(), bytes.size());
+        }
         if (t % 2 == 0) {
           c.value().Abort();  // RST
         } else {

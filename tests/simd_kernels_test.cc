@@ -1,0 +1,643 @@
+// Differential oracle for the SIMD kernel tiers (DESIGN.md section 17):
+// every tier the build+CPU can run must be bit-identical to the scalar
+// reference on adversarial shapes — ragged tails, aliasing destinations,
+// k=1..32 operand lists, all-zero/all-one words — at the raw word level,
+// through the Bitvector API (trailing-bit invariant), through the Roaring
+// container ops, and through full query evaluation over every encoding
+// scheme and storage codec.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "bitvector/bitvector.h"
+#include "bitvector/kernels.h"
+#include "compress/codec.h"
+#include "compress/roaring.h"
+#include "encoding/encoding_scheme.h"
+#include "expr/evaluate.h"
+#include "util/rng.h"
+
+namespace bix {
+namespace {
+
+using kernels::Ops;
+using kernels::Tier;
+
+std::vector<Tier> SupportedTiers() {
+  std::vector<Tier> tiers;
+  for (Tier t : {Tier::kScalar, Tier::kAvx2, Tier::kAvx512}) {
+    if (kernels::OpsForTier(t) != nullptr) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+std::vector<Tier> VectorTiers() {
+  std::vector<Tier> tiers = SupportedTiers();
+  tiers.erase(std::remove(tiers.begin(), tiers.end(), Tier::kScalar),
+              tiers.end());
+  return tiers;
+}
+
+// Flips the process-wide active tier for a scope, restoring on exit, so
+// Bitvector/Roaring/evaluator paths run under the tier being checked.
+class TierGuard {
+ public:
+  explicit TierGuard(Tier t) : saved_(kernels::ActiveTier()) {
+    EXPECT_TRUE(kernels::SetActiveTier(t));
+  }
+  ~TierGuard() { kernels::SetActiveTier(saved_); }
+
+ private:
+  Tier saved_;
+};
+
+// Word-array fill shapes the tails and unrolled strides must survive: pure
+// random, all-zero, all-one, and random with zero/one words mixed in.
+enum class Fill { kRandom, kZero, kOnes, kMixed };
+
+std::vector<uint64_t> MakeWords(size_t n, Fill fill, Rng* rng) {
+  std::vector<uint64_t> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (fill) {
+      case Fill::kRandom:
+        w[i] = rng->engine()();
+        break;
+      case Fill::kZero:
+        w[i] = 0;
+        break;
+      case Fill::kOnes:
+        w[i] = ~uint64_t{0};
+        break;
+      case Fill::kMixed: {
+        const uint64_t pick = rng->UniformInt(0, 3);
+        w[i] = pick == 0 ? 0 : pick == 1 ? ~uint64_t{0} : rng->engine()();
+        break;
+      }
+    }
+  }
+  return w;
+}
+
+// The adversarial word counts from the issue's checklist: bit sizes 0, 1,
+// 63, 64, 65, 511*64, 513*64 map to these word counts, padded with sizes
+// that straddle every tier's stride and unroll boundaries (4/8/16 words).
+const size_t kWordSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 511, 513};
+
+const Fill kFills[] = {Fill::kRandom, Fill::kZero, Fill::kOnes, Fill::kMixed};
+
+TEST(SimdKernelsOracle, PairwiseOpsMatchScalar) {
+  const Ops& scalar = *kernels::OpsForTier(Tier::kScalar);
+  Rng rng(1001);
+  for (Tier t : VectorTiers()) {
+    const Ops& ops = *kernels::OpsForTier(t);
+    for (size_t n : kWordSizes) {
+      for (Fill fill : kFills) {
+        const std::vector<uint64_t> a = MakeWords(n, fill, &rng);
+        const std::vector<uint64_t> b = MakeWords(n, Fill::kRandom, &rng);
+        const auto check = [&](void (*vec)(uint64_t*, const uint64_t*,
+                                           size_t),
+                               void (*ref)(uint64_t*, const uint64_t*,
+                                           size_t),
+                               const char* name) {
+          std::vector<uint64_t> got = a;
+          std::vector<uint64_t> want = a;
+          vec(got.data(), b.data(), n);
+          ref(want.data(), b.data(), n);
+          EXPECT_EQ(got, want)
+              << name << " tier=" << kernels::TierName(t) << " n=" << n;
+          // dst == src aliasing (the contract allows it).
+          std::vector<uint64_t> self = a;
+          std::vector<uint64_t> self_want = a;
+          vec(self.data(), self.data(), n);
+          ref(self_want.data(), self_want.data(), n);
+          EXPECT_EQ(self, self_want)
+              << name << " aliased tier=" << kernels::TierName(t)
+              << " n=" << n;
+        };
+        check(ops.and_words, scalar.and_words, "and");
+        check(ops.or_words, scalar.or_words, "or");
+        check(ops.xor_words, scalar.xor_words, "xor");
+        check(ops.andnot_words, scalar.andnot_words, "andnot");
+        // not_words: out-of-place and fully aliased.
+        std::vector<uint64_t> got(n);
+        std::vector<uint64_t> want(n);
+        ops.not_words(got.data(), a.data(), n);
+        scalar.not_words(want.data(), a.data(), n);
+        EXPECT_EQ(got, want) << "not tier=" << kernels::TierName(t);
+        std::vector<uint64_t> self = a;
+        ops.not_words(self.data(), self.data(), n);
+        EXPECT_EQ(self, want) << "not aliased tier=" << kernels::TierName(t);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsOracle, CountKernelsMatchScalar) {
+  const Ops& scalar = *kernels::OpsForTier(Tier::kScalar);
+  Rng rng(1002);
+  for (Tier t : VectorTiers()) {
+    const Ops& ops = *kernels::OpsForTier(t);
+    for (size_t n : kWordSizes) {
+      for (Fill fill : kFills) {
+        const std::vector<uint64_t> a = MakeWords(n, fill, &rng);
+        const std::vector<uint64_t> b = MakeWords(n, Fill::kMixed, &rng);
+        EXPECT_EQ(ops.count(a.data(), n), scalar.count(a.data(), n))
+            << "count tier=" << kernels::TierName(t) << " n=" << n;
+        EXPECT_EQ(ops.and_count(a.data(), b.data(), n),
+                  scalar.and_count(a.data(), b.data(), n))
+            << "and_count tier=" << kernels::TierName(t) << " n=" << n;
+        std::vector<uint64_t> got = a;
+        std::vector<uint64_t> want = a;
+        const uint64_t got_c = ops.and_with_count(got.data(), b.data(), n);
+        const uint64_t want_c =
+            scalar.and_with_count(want.data(), b.data(), n);
+        EXPECT_EQ(got, want)
+            << "and_with_count words tier=" << kernels::TierName(t);
+        EXPECT_EQ(got_c, want_c)
+            << "and_with_count count tier=" << kernels::TierName(t);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsOracle, FoldKernelsMatchScalarForEveryWidthAndAlias) {
+  const Ops& scalar = *kernels::OpsForTier(Tier::kScalar);
+  Rng rng(1003);
+  const size_t widths[] = {1, 2, 3, 4, 5, 8, 16, 32};
+  const size_t sizes[] = {0, 1, 9, 65, 513};
+  for (Tier t : VectorTiers()) {
+    const Ops& ops = *kernels::OpsForTier(t);
+    for (size_t k : widths) {
+      for (size_t n : sizes) {
+        std::vector<std::vector<uint64_t>> operands;
+        for (size_t i = 0; i < k; ++i) {
+          operands.push_back(MakeWords(n, kFills[i % 4], &rng));
+        }
+        std::vector<const uint64_t*> srcs;
+        for (const auto& op : operands) srcs.push_back(op.data());
+        const auto check = [&](void (*vec)(const uint64_t* const*, size_t,
+                                           uint64_t*, size_t),
+                               void (*ref)(const uint64_t* const*, size_t,
+                                           uint64_t*, size_t),
+                               const char* name) {
+          std::vector<uint64_t> want(n, 0xA5A5A5A5A5A5A5A5ull);
+          ref(srcs.data(), k, want.data(), n);
+          std::vector<uint64_t> got(n, 0x5A5A5A5A5A5A5A5Aull);
+          vec(srcs.data(), k, got.data(), n);
+          EXPECT_EQ(got, want) << name << " tier=" << kernels::TierName(t)
+                               << " k=" << k << " n=" << n;
+          // dst aliasing each operand in turn (first, middle, last).
+          for (size_t alias : {size_t{0}, k / 2, k - 1}) {
+            std::vector<std::vector<uint64_t>> copy = operands;
+            std::vector<const uint64_t*> copy_srcs;
+            for (const auto& op : copy) copy_srcs.push_back(op.data());
+            vec(copy_srcs.data(), k, copy[alias].data(), n);
+            EXPECT_EQ(copy[alias], want)
+                << name << " aliased op " << alias
+                << " tier=" << kernels::TierName(t) << " k=" << k
+                << " n=" << n;
+          }
+        };
+        check(ops.and_many, scalar.and_many, "and_many");
+        check(ops.or_many, scalar.or_many, "or_many");
+        check(ops.xor_many, scalar.xor_many, "xor_many");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sorted-set intersection.
+// ---------------------------------------------------------------------------
+
+// Independent reference: the textbook two-pointer merge, written here so
+// the gallop branch (and the vector windows) are pinned against a second
+// implementation, not against themselves.
+std::vector<uint16_t> MergeIntersect(const std::vector<uint16_t>& a,
+                                     const std::vector<uint16_t>& b) {
+  std::vector<uint16_t> out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<uint16_t> SortedDistinct(size_t n, Rng* rng) {
+  std::vector<uint16_t> v;
+  uint32_t next = 0;
+  while (v.size() < n && next < 65536) {
+    if (rng->Bernoulli(0.3)) v.push_back(static_cast<uint16_t>(next));
+    ++next;
+  }
+  return v;
+}
+
+void CheckIntersect(const std::vector<uint16_t>& a,
+                    const std::vector<uint16_t>& b, const char* label) {
+  const std::vector<uint16_t> want = MergeIntersect(a, b);
+  for (Tier t : SupportedTiers()) {
+    const Ops& ops = *kernels::OpsForTier(t);
+    std::vector<uint16_t> out(std::min(a.size(), b.size()) + 1, 0xBEEF);
+    const size_t n =
+        ops.intersect_u16(a.data(), a.size(), b.data(), b.size(), out.data());
+    ASSERT_EQ(n, want.size())
+        << label << " tier=" << kernels::TierName(t) << " na=" << a.size()
+        << " nb=" << b.size();
+    EXPECT_TRUE(std::equal(want.begin(), want.end(), out.begin()))
+        << label << " tier=" << kernels::TierName(t);
+    // Symmetric call: intersection is commutative.
+    std::vector<uint16_t> rev(out.size(), 0xBEEF);
+    const size_t rn =
+        ops.intersect_u16(b.data(), b.size(), a.data(), a.size(), rev.data());
+    EXPECT_EQ(rn, want.size()) << label << " reversed";
+    EXPECT_TRUE(std::equal(want.begin(), want.end(), rev.begin()))
+        << label << " reversed tier=" << kernels::TierName(t);
+  }
+}
+
+TEST(SimdKernelsOracle, IntersectU16MatchesMergeReference) {
+  Rng rng(1004);
+  CheckIntersect({}, {}, "both empty");
+  CheckIntersect({}, {1, 2, 3}, "one empty");
+  const std::vector<uint16_t> dense = [] {
+    std::vector<uint16_t> v(4096);
+    for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<uint16_t>(i);
+    return v;
+  }();
+  CheckIntersect(dense, dense, "identical dense");
+  CheckIntersect(dense, {0, 4095, 9000}, "dense vs endpoints");
+  const std::vector<uint16_t> evens = [] {
+    std::vector<uint16_t> v;
+    for (uint32_t i = 0; i < 8192; i += 2) {
+      v.push_back(static_cast<uint16_t>(i));
+    }
+    return v;
+  }();
+  const std::vector<uint16_t> odds = [] {
+    std::vector<uint16_t> v;
+    for (uint32_t i = 1; i < 8192; i += 2) {
+      v.push_back(static_cast<uint16_t>(i));
+    }
+    return v;
+  }();
+  CheckIntersect(evens, odds, "disjoint interleaved");
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::vector<uint16_t> a =
+        SortedDistinct(rng.UniformInt(0, 3000), &rng);
+    const std::vector<uint16_t> b =
+        SortedDistinct(rng.UniformInt(0, 3000), &rng);
+    CheckIntersect(a, b, "random");
+  }
+}
+
+// Regression for the galloping branch of IntersectArrays: the cursor never
+// advanced past a matched element, so every later lower_bound re-scanned
+// it. Correctness was unaffected (lower_bound still found later probes),
+// but the lopsided shape below pins the fixed path's output — every small
+// element present in the large array, probes landing on consecutive large
+// elements — against the merge reference for all tiers.
+TEST(SimdKernelsOracle, IntersectGallopRegressionLopsidedSubset) {
+  // nlarge/32 > nsmall forces the scalar gallop path: 60 probes into a
+  // 4000-element array. The small array is a subset, so *every* probe hits
+  // and the cursor must advance past each match to find the next.
+  std::vector<uint16_t> large;
+  for (uint32_t i = 0; i < 4000; ++i) {
+    large.push_back(static_cast<uint16_t>(i * 3));
+  }
+  std::vector<uint16_t> small;
+  for (uint32_t i = 0; i < 60; ++i) {
+    // First 30 consecutive elements of large, then a spread tail.
+    small.push_back(i < 30 ? large[i] : large[30 + (i - 30) * 100]);
+  }
+  CheckIntersect(small, large, "gallop subset");
+  // Adjacent-value probes where the match is the immediate next element:
+  // a cursor stuck on the previous match would still be correct but this
+  // shape plus the subset one exercises both the hit and post-hit seams.
+  std::vector<uint16_t> adjacent(small);
+  for (uint16_t& v : adjacent) v = static_cast<uint16_t>(v + 1);
+  CheckIntersect(adjacent, large, "gallop near-misses");
+  // Probe set extending past the large array's end: the gallop must stop
+  // cleanly at lo == end.
+  std::vector<uint16_t> overshoot = {0, 3, 60000, 65535};
+  CheckIntersect(overshoot, large, "gallop overshoot");
+}
+
+// ---------------------------------------------------------------------------
+// Bitvector layer: trailing-bit invariant and cross-tier equality.
+// ---------------------------------------------------------------------------
+
+// The bit sizes from the issue's checklist, verbatim.
+const uint64_t kBitSizes[] = {0, 1, 63, 64, 65, 511 * 64, 513 * 64};
+
+Bitvector RandomBitvector(uint64_t bits, double density, Rng* rng) {
+  Bitvector bv(bits);
+  for (uint64_t i = 0; i < bits; ++i) {
+    if (rng->Bernoulli(density)) bv.Set(i);
+  }
+  return bv;
+}
+
+void ExpectTrailingClear(const Bitvector& bv, const char* label) {
+  const uint64_t tail = bv.size() & 63;
+  if (tail == 0 || bv.words().empty()) return;
+  EXPECT_EQ(bv.words().back() >> tail, 0u)
+      << label << " size=" << bv.size()
+      << " tier=" << kernels::TierName(kernels::ActiveTier());
+}
+
+TEST(SimdKernelsOracle, BitvectorOpsBitIdenticalAcrossTiers) {
+  Rng rng(1005);
+  for (uint64_t bits : kBitSizes) {
+    const Bitvector a = RandomBitvector(bits, 0.4, &rng);
+    const Bitvector b = RandomBitvector(bits, 0.1, &rng);
+    const std::vector<const Bitvector*> operands = {&a, &b, &a};
+
+    // Scalar-tier reference results.
+    Bitvector want_and;
+    Bitvector want_not;
+    Bitvector want_fused;
+    uint64_t want_count = 0;
+    uint64_t want_and_count = 0;
+    {
+      TierGuard g(Tier::kScalar);
+      want_and = a;
+      want_and.AndWith(b);
+      Bitvector::NotInto(a, &want_not);
+      Bitvector::OrManyInto(operands, &want_fused);
+      want_count = a.Count();
+      want_and_count = Bitvector::AndCount(a, b);
+    }
+
+    for (Tier t : VectorTiers()) {
+      TierGuard g(t);
+      Bitvector got = a;
+      got.AndWith(b);
+      EXPECT_EQ(got, want_and) << "AndWith bits=" << bits;
+      got = a;
+      got.OrWith(b);
+      got.XorWith(b);
+      got.AndNotWith(b);
+      // OrWith/XorWith/AndNotWith round-trip: (a|b)^b & ~b == a & ~b.
+      Bitvector ref = a;
+      {
+        TierGuard s(Tier::kScalar);
+        ref.OrWith(b);
+        ref.XorWith(b);
+        ref.AndNotWith(b);
+      }
+      EXPECT_EQ(got, ref) << "Or/Xor/AndNot chain bits=" << bits;
+      Bitvector got_not;
+      Bitvector::NotInto(a, &got_not);
+      EXPECT_EQ(got_not, want_not) << "NotInto bits=" << bits;
+      ExpectTrailingClear(got_not, "NotInto");
+      Bitvector self_not = a;
+      self_not.NotSelf();
+      EXPECT_EQ(self_not, want_not) << "NotSelf bits=" << bits;
+      ExpectTrailingClear(self_not, "NotSelf");
+      Bitvector got_fused;
+      Bitvector::OrManyInto(operands, &got_fused);
+      EXPECT_EQ(got_fused, want_fused) << "OrManyInto bits=" << bits;
+      ExpectTrailingClear(got_fused, "OrManyInto");
+      // Fused with the output aliasing an operand.
+      Bitvector alias = a;
+      Bitvector::OrManyInto({&alias, &b, &alias}, &alias);
+      EXPECT_EQ(alias, want_fused) << "OrManyInto aliased bits=" << bits;
+      EXPECT_EQ(a.Count(), want_count) << "Count bits=" << bits;
+      EXPECT_EQ(Bitvector::AndCount(a, b), want_and_count)
+          << "AndCount bits=" << bits;
+      Bitvector awc = a;
+      EXPECT_EQ(awc.AndWithCount(b), want_and_count)
+          << "AndWithCount bits=" << bits;
+      EXPECT_EQ(awc, want_and) << "AndWithCount words bits=" << bits;
+    }
+  }
+}
+
+TEST(SimdKernelsOracle, TrailingBitsStayClearAfterEverySimdStorePath) {
+  Rng rng(1006);
+  for (Tier t : SupportedTiers()) {
+    TierGuard g(t);
+    for (uint64_t bits : kBitSizes) {
+      Bitvector all = Bitvector::AllOnes(bits);
+      ExpectTrailingClear(all, "AllOnes");
+      Bitvector inv = all;
+      inv.NotSelf();
+      ExpectTrailingClear(inv, "Not(AllOnes)");
+      EXPECT_EQ(inv.Count(), 0u) << "Not(AllOnes) bits=" << bits;
+      const Bitvector r = RandomBitvector(bits, 0.5, &rng);
+      Bitvector n;
+      Bitvector::NotInto(r, &n);
+      ExpectTrailingClear(n, "NotInto(random)");
+      EXPECT_EQ(n.Count() + r.Count(), bits) << "complement count";
+      // Fused NOT-free paths preserve zero-padded tails by construction;
+      // verify Count (which trusts the invariant) agrees with a bit loop.
+      Bitvector fused;
+      Bitvector::AndManyInto({&r, &all, &r}, &fused);
+      ExpectTrailingClear(fused, "AndManyInto");
+      EXPECT_EQ(fused, r) << "AND with all-ones identity bits=" << bits;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Roaring container ops under every tier.
+// ---------------------------------------------------------------------------
+
+// Shapes chosen to materialize all three container types: sparse chunk
+// (array), dense chunk (bitset), and solid-run chunk (run).
+Bitvector MixedContainerBitmap(uint64_t bits, uint64_t seed) {
+  Rng rng(seed);
+  Bitvector bv(bits);
+  const uint64_t chunk = RoaringBitmap::kChunkBits;
+  for (uint64_t base = 0; base < bits; base += chunk) {
+    const uint64_t end = std::min(bits, base + chunk);
+    switch ((base / chunk + seed) % 3) {
+      case 0:  // sparse -> array container
+        for (int i = 0; i < 300; ++i) {
+          bv.Set(base + rng.UniformInt(0, end - base - 1));
+        }
+        break;
+      case 1:  // dense noise -> bitset container
+        for (uint64_t p = base; p < end; ++p) {
+          if (rng.Bernoulli(0.45)) bv.Set(p);
+        }
+        break;
+      case 2:  // long runs -> run container
+        for (uint64_t p = base; p < end; ++p) {
+          if ((p / 5000) % 2 == 0) bv.Set(p);
+        }
+        break;
+    }
+  }
+  return bv;
+}
+
+TEST(SimdKernelsOracle, RoaringOpsBitIdenticalAcrossTiers) {
+  const uint64_t bits = 5 * RoaringBitmap::kChunkBits + 777;
+  const Bitvector pa = MixedContainerBitmap(bits, 1);
+  const Bitvector pb = MixedContainerBitmap(bits, 2);
+  const RoaringBitmap ra = RoaringBitmap::FromBitvector(pa);
+  const RoaringBitmap rb = RoaringBitmap::FromBitvector(pb);
+
+  struct Snapshot {
+    Bitvector and_bv, or_bv, xor_bv, andnot_bv, not_bv, and_in_place;
+    uint64_t and_count_rr = 0;
+    uint64_t and_count_rp = 0;
+  };
+  const auto run = [&]() {
+    Snapshot s;
+    s.and_bv = RoaringBitmap::And(ra, rb).ToBitvector();
+    s.or_bv = RoaringBitmap::Or(ra, rb).ToBitvector();
+    s.xor_bv = RoaringBitmap::Xor(ra, rb).ToBitvector();
+    s.andnot_bv = RoaringBitmap::AndNot(ra, rb).ToBitvector();
+    ra.NotInto(&s.not_bv);
+    s.and_in_place = pb;
+    ra.AndInPlace(&s.and_in_place);
+    s.and_count_rr = RoaringBitmap::AndCount(ra, rb);
+    s.and_count_rp = ra.AndCount(pb);
+    return s;
+  };
+
+  Snapshot want;
+  {
+    TierGuard g(Tier::kScalar);
+    want = run();
+  }
+  // Plain-domain cross-check of the scalar snapshot itself.
+  EXPECT_EQ(want.and_bv, Bitvector::And(pa, pb));
+  EXPECT_EQ(want.or_bv, Bitvector::Or(pa, pb));
+  EXPECT_EQ(want.xor_bv, Bitvector::Xor(pa, pb));
+  EXPECT_EQ(want.and_count_rr, Bitvector::AndCount(pa, pb));
+
+  for (Tier t : VectorTiers()) {
+    TierGuard g(t);
+    const Snapshot got = run();
+    EXPECT_EQ(got.and_bv, want.and_bv) << kernels::TierName(t);
+    EXPECT_EQ(got.or_bv, want.or_bv) << kernels::TierName(t);
+    EXPECT_EQ(got.xor_bv, want.xor_bv) << kernels::TierName(t);
+    EXPECT_EQ(got.andnot_bv, want.andnot_bv) << kernels::TierName(t);
+    EXPECT_EQ(got.not_bv, want.not_bv) << kernels::TierName(t);
+    EXPECT_EQ(got.and_in_place, want.and_in_place) << kernels::TierName(t);
+    EXPECT_EQ(got.and_count_rr, want.and_count_rr) << kernels::TierName(t);
+    EXPECT_EQ(got.and_count_rp, want.and_count_rp) << kernels::TierName(t);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Query-level sweep: all 7 encodings x all 4 codecs x every tier.
+// ---------------------------------------------------------------------------
+
+// A column large enough that bitmaps span multiple words and codecs have
+// real structure to compress, small enough to sweep exhaustively.
+struct SweepIndex {
+  uint64_t rows;
+  uint32_t c;
+  std::vector<uint32_t> values;          // row -> value
+  std::vector<Bitvector> bitmaps;        // slot -> bitmap
+
+  SweepIndex(const EncodingScheme& scheme, uint32_t cardinality,
+             uint64_t row_count, uint64_t seed)
+      : rows(row_count), c(cardinality) {
+    Rng rng(seed);
+    values.reserve(rows);
+    for (uint64_t r = 0; r < rows; ++r) {
+      // Clustered values (runs) so BBC/WAH/Roaring all compress.
+      const uint32_t v = static_cast<uint32_t>(
+          (r / 97 + rng.UniformInt(0, 2)) % c);
+      values.push_back(v);
+    }
+    bitmaps.assign(scheme.NumBitmaps(c), Bitvector(rows));
+    std::vector<uint32_t> slots;
+    for (uint64_t r = 0; r < rows; ++r) {
+      slots.clear();
+      scheme.SlotsForValue(c, values[r], &slots);
+      for (uint32_t s : slots) bitmaps[s].Set(r);
+    }
+  }
+
+  Bitvector Naive(uint32_t lo, uint32_t hi) const {
+    Bitvector bv(rows);
+    for (uint64_t r = 0; r < rows; ++r) {
+      if (values[r] >= lo && values[r] <= hi) bv.Set(r);
+    }
+    return bv;
+  }
+};
+
+TEST(SimdKernelsOracle, QuerySweepAllEncodingsCodecsTiers) {
+  constexpr uint32_t kCardinality = 18;
+  constexpr uint64_t kRows = 20'000;
+  const std::vector<std::pair<uint32_t, uint32_t>> queries = {
+      {0, 0}, {0, 8}, {3, 3}, {3, 11}, {9, 17}, {17, 17}, {0, 17}};
+  for (EncodingKind kind : AllEncodingKinds()) {
+    const EncodingScheme& scheme = GetEncoding(kind);
+    const SweepIndex idx(scheme, kCardinality, kRows, 42);
+    for (int codec_raw = 0; codec_raw < kNumCodecs; ++codec_raw) {
+      const CodecId codec_id = static_cast<CodecId>(codec_raw);
+      const CodecInterface& codec = GetCodec(codec_id);
+      // Encode once (under whatever tier is active — encoding is not a
+      // kernel path under test here), decode+evaluate under every tier.
+      std::vector<std::vector<uint8_t>> blobs;
+      blobs.reserve(idx.bitmaps.size());
+      for (const Bitvector& bv : idx.bitmaps) blobs.push_back(codec.Encode(bv));
+      for (Tier t : SupportedTiers()) {
+        TierGuard g(t);
+        const DecodedLeafFetcher fetch = [&](BitmapKey key) {
+          Result<DecodedBitmap> d =
+              codec.DecodeResident(blobs[key.slot], idx.rows);
+          EXPECT_TRUE(d.ok());
+          return d.value();
+        };
+        for (const auto& [lo, hi] : queries) {
+          const ExprPtr e = scheme.IntervalExpr(1, kCardinality, lo, hi);
+          const Bitvector got =
+              EvaluateExprDecoded(e, idx.rows, fetch).Take();
+          const Bitvector want = idx.Naive(lo, hi);
+          EXPECT_EQ(got, want)
+              << scheme.name() << " codec=" << codec.name()
+              << " tier=" << kernels::TierName(t) << " [" << lo << "," << hi
+              << "]";
+          EXPECT_EQ(EvaluateExprDecodedCount(e, idx.rows, fetch),
+                    want.Count())
+              << scheme.name() << " codec=" << codec.name() << " count"
+              << " tier=" << kernels::TierName(t);
+        }
+      }
+    }
+  }
+}
+
+// Tier plumbing itself: detection, names, and the forced override.
+TEST(SimdKernelsDispatch, TierTablesAndNames) {
+  EXPECT_NE(kernels::OpsForTier(Tier::kScalar), nullptr);
+  EXPECT_STREQ(kernels::TierName(Tier::kScalar), "scalar");
+  EXPECT_STREQ(kernels::TierName(Tier::kAvx2), "avx2");
+  EXPECT_STREQ(kernels::TierName(Tier::kAvx512), "avx512");
+  const Tier max = kernels::MaxSupportedTier();
+  EXPECT_NE(kernels::OpsForTier(max), nullptr);
+  // Every tier at or below max that reports a table must be selectable,
+  // and the active tier must round-trip through SetActiveTier.
+  const Tier before = kernels::ActiveTier();
+  for (Tier t : SupportedTiers()) {
+    EXPECT_TRUE(kernels::SetActiveTier(t));
+    EXPECT_EQ(kernels::ActiveTier(), t);
+    EXPECT_EQ(&kernels::Active(), kernels::OpsForTier(t));
+  }
+  EXPECT_TRUE(kernels::SetActiveTier(before));
+}
+
+}  // namespace
+}  // namespace bix
