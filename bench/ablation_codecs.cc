@@ -19,6 +19,7 @@
 #include "bench_support.h"
 #include "compress/codec.h"
 #include "core/bitmap_index_facade.h"
+#include "index/reorder.h"
 #include "workload/column_gen.h"
 
 namespace bix {
@@ -33,10 +34,20 @@ struct CodecPoint {
   double zipf_z = 0.0;
   EncodingKind encoding = EncodingKind::kEquality;
   CodecId codec = CodecId::kVerbatim;
+  ReorderStrategy reorder = ReorderStrategy::kNone;
   uint64_t stored_bytes = 0;
   double encode_mb_per_s = 0.0;
   double decode_mb_per_s = 0.0;
 };
+
+// kNone first: the unreordered row is the baseline every reordered series
+// point is gated against in CI.
+std::vector<ReorderStrategy> SweepStrategies() {
+  std::vector<ReorderStrategy> all = {ReorderStrategy::kNone};
+  all.insert(all.end(), AllReorderStrategies().begin(),
+             AllReorderStrategies().end());
+  return all;
+}
 
 void Run(const bench::BenchArgs& args) {
   const uint32_t c = args.cardinality;
@@ -49,13 +60,16 @@ void Run(const bench::BenchArgs& args) {
                              : std::vector<double>{0.0, 1.0, 3.0}) {
     Column col = GenerateZipfColumn(
         {.rows = args.rows, .cardinality = c, .zipf_z = z, .seed = args.seed});
-    std::printf("--- z = %.0f ---\n", z);
+    for (ReorderStrategy strategy : SweepStrategies()) {
+    std::printf("--- z = %.0f, reorder = %s ---\n", z,
+                ReorderStrategyName(strategy));
+    const Decomposition d = Decomposition::SingleComponent(c);
+    const Column swept = ApplyRowOrder(col, ComputeRowOrder(col, d, strategy));
     bench::TablePrinter table({"encoding", "verbatim(MB)", "bbc(MB)",
                                "wah(MB)", "roaring(MB)", "bbc dec(MB/s)",
                                "wah dec(MB/s)", "roar dec(MB/s)"});
     for (EncodingKind enc : AllEncodingKinds()) {
-      BitmapIndex index = BitmapIndex::Build(
-          col, Decomposition::SingleComponent(c), enc, false);
+      BitmapIndex index = BitmapIndex::Build(swept, d, enc, false);
       uint64_t bytes[kNumCodecs] = {};
       double enc_s[kNumCodecs] = {};
       double dec_s[kNumCodecs] = {};
@@ -87,17 +101,21 @@ void Run(const bench::BenchArgs& args) {
            bench::FormatDouble(mbs(dec_s[2]), 0),
            bench::FormatDouble(mbs(dec_s[3]), 0)});
       for (int ci = 0; ci < kNumCodecs; ++ci) {
-        points.push_back({z, enc, static_cast<CodecId>(ci), bytes[ci],
-                          mbs(enc_s[ci]), mbs(dec_s[ci])});
+        points.push_back({z, enc, static_cast<CodecId>(ci), strategy,
+                          bytes[ci], mbs(enc_s[ci]), mbs(dec_s[ci])});
       }
     }
     table.Print();
     std::printf("\n");
+    }
   }
   std::printf("Expected: compressed-size ordering E < R < I under every\n"
               "codec; BBC slightly tighter than WAH on sparse bitmaps (byte\n"
               "vs 31-bit granularity); Roaring competitive on space at every\n"
-              "skew with by far the fastest decode (containers, not runs).\n");
+              "skew with by far the fastest decode (containers, not runs).\n"
+              "Every reordering strategy shrinks every run-length codec\n"
+              "versus reorder=none (equal values become contiguous runs);\n"
+              "CI gates BBC/WAH/Roaring on exactly that monotonicity.\n");
 
   if (!args.json_path.empty()) {
     std::FILE* f = std::fopen(args.json_path.c_str(), "w");
@@ -116,9 +134,11 @@ void Run(const bench::BenchArgs& args) {
       std::fprintf(
           f,
           "    {\"zipf_z\": %.1f, \"encoding\": \"%s\", \"codec\": \"%s\", "
+          "\"reorder\": \"%s\", "
           "\"stored_bytes\": %llu, \"encode_mb_per_s\": %.1f, "
           "\"decode_mb_per_s\": %.1f}%s\n",
           p.zipf_z, EncodingKindName(p.encoding), CodecName(p.codec),
+          ReorderStrategyName(p.reorder),
           static_cast<unsigned long long>(p.stored_bytes), p.encode_mb_per_s,
           p.decode_mb_per_s, i + 1 < points.size() ? "," : "");
     }

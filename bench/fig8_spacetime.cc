@@ -16,6 +16,7 @@
 
 #include "bench_support.h"
 #include "core/bitmap_index_facade.h"
+#include "index/reorder.h"
 #include "workload/column_gen.h"
 
 namespace bix {
@@ -39,21 +40,35 @@ void Run(const bench::BenchArgs& args) {
     BitmapIndex index;
   };
   // Third tier alongside the paper's binary choice: Roaring containers
-  // ("roa"), which evaluate on the compressed form.
-  const std::vector<std::pair<StorageCodec, const char*>> codecs = {
-      {StorageCodec::kVerbatim, "unc"},
-      {StorageCodec::kBbc, "cmp"},
-      {StorageCodec::kRoaring, "roa"}};
+  // ("roa"), which evaluate on the compressed form. Fourth tier: BBC over
+  // Gray-code row reordering ("reo", DESIGN.md section 18) — same codec as
+  // "cmp" but the rows are clustered before the bitmaps are built, so the
+  // runs are longer and the permutation maps results back to original
+  // RIDs.
+  struct Tier {
+    StorageCodec codec;
+    ReorderStrategy reorder;
+    const char* tag;
+  };
+  const std::vector<Tier> tiers = {
+      {StorageCodec::kVerbatim, ReorderStrategy::kNone, "unc"},
+      {StorageCodec::kBbc, ReorderStrategy::kNone, "cmp"},
+      {StorageCodec::kRoaring, ReorderStrategy::kNone, "roa"},
+      {StorageCodec::kBbc, ReorderStrategy::kGrayCode, "reo"}};
   std::vector<Config> configs;
   for (EncodingKind enc : BasicEncodingKinds()) {
     for (uint32_t n : ns) {
       Result<Decomposition> d = ChooseSpaceOptimalBases(c, n, enc);
       if (!d.ok()) continue;
-      for (const auto& [codec, tag] : codecs) {
-        std::string label = std::string(tag) + " " + EncodingKindName(enc) +
-                            " n=" + std::to_string(n);
-        configs.push_back({std::move(label),
-                           BitmapIndex::Build(col, d.value(), enc, codec)});
+      for (const auto& tier : tiers) {
+        std::string label = std::string(tier.tag) + " " +
+                            EncodingKindName(enc) + " n=" + std::to_string(n);
+        std::vector<uint32_t> order =
+            ComputeRowOrder(col, d.value(), tier.reorder);
+        BitmapIndex index = BitmapIndex::Build(ApplyRowOrder(col, order),
+                                               d.value(), enc, tier.codec);
+        index.SetRowOrder(std::move(order));
+        configs.push_back({std::move(label), std::move(index)});
       }
     }
   }

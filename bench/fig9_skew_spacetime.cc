@@ -16,10 +16,32 @@
 
 #include "bench_support.h"
 #include "core/bitmap_index_facade.h"
+#include "index/reorder.h"
 #include "workload/column_gen.h"
 
 namespace bix {
 namespace {
+
+// One space-time tier: a storage codec plus an optional row-reordering
+// preprocessing pass (DESIGN.md section 18). The reordered tier carries
+// its permutation so RunQueries still answers in original RIDs.
+struct Tier {
+  StorageCodec codec;
+  ReorderStrategy reorder;
+  const char* tag;
+};
+
+BitmapIndex BuildTier(const Column& col, const Decomposition& d,
+                      EncodingKind enc, const Tier& tier) {
+  if (tier.reorder == ReorderStrategy::kNone) {
+    return BitmapIndex::Build(col, d, enc, tier.codec);
+  }
+  std::vector<uint32_t> order = ComputeRowOrder(col, d, tier.reorder);
+  BitmapIndex index =
+      BitmapIndex::Build(ApplyRowOrder(col, order), d, enc, tier.codec);
+  index.SetRowOrder(std::move(order));
+  return index;
+}
 
 void Run(const bench::BenchArgs& args) {
   const uint32_t c = args.cardinality;
@@ -44,17 +66,21 @@ void Run(const bench::BenchArgs& args) {
     // Track, per encoding at n=1, which form is faster (the paper's
     // compressed-vs-uncompressed crossover).
     // Third tier alongside the paper's binary choice: Roaring containers
-    // ("roa"), which evaluate on the compressed form.
-    const std::vector<std::pair<StorageCodec, const char*>> codecs = {
-        {StorageCodec::kVerbatim, "unc"},
-        {StorageCodec::kBbc, "cmp"},
-        {StorageCodec::kRoaring, "roa"}};
+    // ("roa"), which evaluate on the compressed form. Fourth tier: BBC
+    // over Gray-code row reordering ("reo") — the preprocessing pass that
+    // clusters equal values before the bitmaps are built.
+    const std::vector<Tier> tiers = {
+        {StorageCodec::kVerbatim, ReorderStrategy::kNone, "unc"},
+        {StorageCodec::kBbc, ReorderStrategy::kNone, "cmp"},
+        {StorageCodec::kRoaring, ReorderStrategy::kNone, "roa"},
+        {StorageCodec::kBbc, ReorderStrategy::kGrayCode, "reo"}};
     for (EncodingKind enc : BasicEncodingKinds()) {
       for (uint32_t n : ns) {
         Result<Decomposition> d = ChooseSpaceOptimalBases(c, n, enc);
         if (!d.ok()) continue;
-        for (const auto& [codec, tag] : codecs) {
-          BitmapIndex index = BitmapIndex::Build(col, d.value(), enc, codec);
+        for (const auto& tier : tiers) {
+          const char* tag = tier.tag;
+          BitmapIndex index = BuildTier(col, d.value(), enc, tier);
           bench::QueryRunCost cost = bench::RunQueries(index, queries);
           std::string label = std::string(tag) + " " +
                               EncodingKindName(enc) + " n=" +

@@ -20,7 +20,26 @@ Result<BitmapIndex> BuildIndex(const Column& column,
                                  ? *config.codec
                                  : (config.compressed ? StorageCodec::kBbc
                                                       : StorageCodec::kVerbatim);
-  return BitmapIndex::Build(column, d.value(), config.encoding, codec);
+  if (config.reorder == ReorderStrategy::kNone) {
+    return BitmapIndex::Build(column, d.value(), config.encoding, codec);
+  }
+  // Reorder preprocessing: build over the permuted column and attach the
+  // permutation so results map back to original RIDs (DESIGN.md section
+  // 18). An order that comes out identity (already-sorted input) is
+  // dropped — the index serves the zero-overhead unreordered path.
+  std::vector<uint32_t> order =
+      ComputeRowOrder(column, d.value(), config.reorder);
+  bool identity = true;
+  for (uint32_t j = 0; j < order.size(); ++j) {
+    if (order[j] != j) {
+      identity = false;
+      break;
+    }
+  }
+  BitmapIndex index = BitmapIndex::Build(ApplyRowOrder(column, order),
+                                         d.value(), config.encoding, codec);
+  if (!identity) index.SetRowOrder(std::move(order));
+  return index;
 }
 
 Result<std::vector<uint32_t>> SpaceOptimalBases(uint32_t cardinality,

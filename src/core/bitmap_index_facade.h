@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "index/bitmap_index.h"
+#include "index/reorder.h"
 #include "query/executor.h"
 #include "server/query_service.h"
 #include "util/status.h"
@@ -27,6 +28,12 @@ struct IndexConfig {
   // StorageCodec::kAuto to let the per-bitmap advisor pick. Unset falls
   // back to `compressed`.
   std::optional<StorageCodec> codec;
+  // Offline row-reordering preprocessing (src/index/reorder, DESIGN.md
+  // section 18): permutes the rows to cluster equal values before the
+  // bitmaps are built, shrinking every run-length-sensitive codec. The
+  // built index carries the permutation and every query result is mapped
+  // back to original RIDs, so the reorder is invisible to callers.
+  ReorderStrategy reorder = ReorderStrategy::kNone;
 };
 
 // Validates the config against the column and builds the index.

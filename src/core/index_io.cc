@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "index/reorder.h"
 #include "util/crc32c.h"
 
 namespace bix {
@@ -11,7 +12,8 @@ namespace {
 constexpr char kMagic[4] = {'B', 'I', 'X', 'I'};
 constexpr uint32_t kVersionLegacy = 1;       // no checksums
 constexpr uint32_t kVersionChecksummed = 2;  // header CRC + per-record CRCs
-constexpr uint32_t kVersionCurrent = 3;      // + per-bitmap codec tags
+constexpr uint32_t kVersionCodecTagged = 3;  // + per-bitmap codec tags
+constexpr uint32_t kVersionCurrent = 4;      // + row-order section
 
 // The v3 header's storage-policy byte: 0-3 are CodecId values (every blob
 // uses that codec), 4 means the advisor chose per bitmap. v1/v2 reuse the
@@ -103,20 +105,26 @@ uint64_t FileSize(std::FILE* f) {
 
 Status SaveIndexAtVersion(const BitmapIndex& index, const std::string& path,
                           uint32_t version) {
-  if (version != kVersionLegacy && version != kVersionChecksummed &&
-      version != kVersionCurrent) {
+  if (version < kVersionLegacy || version > kVersionCurrent) {
     return Status::NotSupported("unknown index file version to write");
   }
   // Legacy formats have a one-bit codec axis: their `compressed` bytes can
   // say only verbatim or BBC. WAH/Roaring/advisor-chosen indexes need the
   // v3 codec tags.
-  if (version < kVersionCurrent &&
+  if (version < kVersionCodecTagged &&
       index.storage_codec() != StorageCodec::kVerbatim &&
       index.storage_codec() != StorageCodec::kBbc) {
     return Status::NotSupported(
         std::string("index file v") + std::to_string(version) +
         " cannot carry storage codec " +
         StorageCodecName(index.storage_codec()));
+  }
+  // Only v4 has a slot for the row permutation; silently dropping it would
+  // hand back an index whose results no longer map to original RIDs.
+  if (version < kVersionCurrent && index.reordered()) {
+    return Status::NotSupported(
+        std::string("index file v") + std::to_string(version) +
+        " cannot carry a row order (reordered index needs v4)");
   }
   const bool checksummed = version >= kVersionChecksummed;
   std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -135,6 +143,11 @@ Status SaveIndexAtVersion(const BitmapIndex& index, const std::string& path,
   const std::vector<uint32_t> bases = index.decomposition().BasesMsbFirst();
   w.U32(static_cast<uint32_t>(bases.size()));
   for (uint32_t b : bases) w.U32(b);
+  if (version >= kVersionCurrent) {
+    const std::vector<uint32_t>& order = index.row_order();
+    w.U64(order.size());
+    if (!order.empty()) w.Bytes(order.data(), order.size() * sizeof(uint32_t));
+  }
   w.U64(index.BitmapCount());
   if (checksummed) w.U32(w.crc());
   index.store().ForEachBlob(
@@ -176,13 +189,12 @@ Result<BitmapIndex> LoadIndex(const std::string& path, IndexLoadInfo* info) {
     return Status::Corruption("not a bix index file");
   }
   const uint32_t version = r.U32();
-  if (version != kVersionLegacy && version != kVersionChecksummed &&
-      version != kVersionCurrent) {
+  if (version < kVersionLegacy || version > kVersionCurrent) {
     std::fclose(f);
     return Status::NotSupported("unknown index file version");
   }
   const bool checksummed = version >= kVersionChecksummed;
-  const bool codec_tagged = version >= kVersionCurrent;
+  const bool codec_tagged = version >= kVersionCodecTagged;
   if (info != nullptr) {
     info->version = version;
     info->checksummed = checksummed;
@@ -215,6 +227,21 @@ Result<BitmapIndex> LoadIndex(const std::string& path, IndexLoadInfo* info) {
   }
   std::vector<uint32_t> bases(n);
   for (uint32_t i = 0; i < n; ++i) bases[i] = r.U32();
+  std::vector<uint32_t> row_order;
+  if (version >= kVersionCurrent) {
+    const uint64_t order_count = r.U64();
+    // Bound the allocation by the file itself before trusting the count
+    // (the byte_len discipline below, applied to the header).
+    if (!r.ok() || order_count > row_count ||
+        order_count * sizeof(uint32_t) > file_size) {
+      std::fclose(f);
+      return Status::Corruption("bad row-order count");
+    }
+    row_order.resize(order_count);
+    if (order_count > 0) {
+      r.Bytes(row_order.data(), order_count * sizeof(uint32_t));
+    }
+  }
   const uint64_t bitmap_count = r.U64();
   // Verify the header checksum before interpreting the header any further:
   // a flipped bit in, say, a base or the cardinality must surface as
@@ -226,6 +253,13 @@ Result<BitmapIndex> LoadIndex(const std::string& path, IndexLoadInfo* info) {
       std::fclose(f);
       return Status::Corruption("index header checksum mismatch");
     }
+  }
+  // Interpreting the row order waits until after the CRC check above, like
+  // every other header field: a flipped permutation byte is Corruption,
+  // not a mysterious non-bijection.
+  if (!row_order.empty() && !ValidateRowOrder(row_order)) {
+    std::fclose(f);
+    return Status::Corruption("row order is not a permutation");
   }
   Result<Decomposition> d = Decomposition::Make(cardinality, bases);
   if (!d.ok()) {
@@ -296,8 +330,11 @@ Result<BitmapIndex> LoadIndex(const std::string& path, IndexLoadInfo* info) {
     store.PutBlob(key, std::move(blob));
   }
   std::fclose(f);
-  return BitmapIndex::FromParts(std::move(d.value()), encoding, storage_codec,
-                                row_count, std::move(store));
+  BitmapIndex index =
+      BitmapIndex::FromParts(std::move(d.value()), encoding, storage_codec,
+                             row_count, std::move(store));
+  index.SetRowOrder(std::move(row_order));
+  return index;
 }
 
 }  // namespace bix

@@ -1,8 +1,24 @@
 #include "index/bitmap_index.h"
 
+#include <utility>
 #include <vector>
 
+#include "index/reorder.h"
+
 namespace bix {
+
+void BitmapIndex::SetRowOrder(std::vector<uint32_t> new_to_old) {
+  if (new_to_old.empty()) {
+    row_order_.clear();
+    return;
+  }
+  // <= not ==: an index that grew by appends (writable path) keeps the
+  // order of its original prefix; appended rows sit at identity positions.
+  BIX_CHECK_MSG(new_to_old.size() <= row_count_,
+                "row order larger than the indexed row count");
+  BIX_CHECK_MSG(ValidateRowOrder(new_to_old), "row order is not a permutation");
+  row_order_ = std::move(new_to_old);
+}
 
 const char* StorageCodecName(StorageCodec codec) {
   if (codec == StorageCodec::kAuto) return "auto";

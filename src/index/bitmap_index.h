@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "index/column.h"
 #include "index/decomposition.h"
@@ -61,6 +62,16 @@ class BitmapIndex {
   BitmapIndex(const BitmapIndex&) = delete;
   BitmapIndex& operator=(const BitmapIndex&) = delete;
 
+  // Row-reordering preprocessing (src/index/reorder, DESIGN.md section
+  // 18): when the index was built over a permuted column, it carries the
+  // new_to_old order so results can be mapped back to original RIDs. The
+  // empty vector is the identity (unreordered) order. `new_to_old` must be
+  // a bijection of [0, new_to_old.size()) with size() <= row_count()
+  // (BIX_CHECK); rows appended later take identity positions beyond it.
+  void SetRowOrder(std::vector<uint32_t> new_to_old);
+  const std::vector<uint32_t>& row_order() const { return row_order_; }
+  bool reordered() const { return !row_order_.empty(); }
+
   const Decomposition& decomposition() const { return decomposition_; }
   EncodingKind encoding_kind() const { return encoding_; }
   const EncodingScheme& encoding() const { return GetEncoding(encoding_); }
@@ -99,6 +110,8 @@ class BitmapIndex {
   EncodingKind encoding_;
   StorageCodec storage_codec_;
   uint64_t row_count_;
+  // new_to_old row permutation; empty = identity (see SetRowOrder).
+  std::vector<uint32_t> row_order_;
   BitmapStore store_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "index/reorder.h"
 #include "util/check.h"
 
 namespace bix {
@@ -84,6 +85,17 @@ FoldedIndex FoldDelta(const BitmapIndex& base, const DeltaSnapshot& delta) {
   const uint64_t base_rows = base.row_count();
   const uint64_t total_rows = delta.total_rows();
   const StorageCodec codec = base.storage_codec();
+  // The overlay is keyed by original RIDs, but a reordered base's bitmaps
+  // are positional in the permuted row file — translate override positions
+  // through the inverse permutation. Appends land past the covered prefix,
+  // where the order is the identity, so base_rows + i needs no translation.
+  const std::vector<uint32_t>& new_to_old = base.row_order();
+  std::vector<uint32_t> old_to_new;
+  if (!new_to_old.empty()) old_to_new = InvertRowOrder(new_to_old);
+  const auto base_pos = [&](uint64_t rid) -> uint64_t {
+    if (old_to_new.empty() || rid >= old_to_new.size()) return rid;
+    return old_to_new[rid];
+  };
 
   BitmapStore store;
   for (uint32_t comp = 1; comp <= d.num_components(); ++comp) {
@@ -93,19 +105,21 @@ FoldedIndex FoldDelta(const BitmapIndex& base, const DeltaSnapshot& delta) {
     for (uint32_t digit = 0; digit < comp_base; ++digit) {
       scheme.SlotsForValue(comp_base, digit, &slots_by_digit[digit]);
     }
-    // Per-slot bit diffs. Overrides and appends are rid-sorted, so each
-    // slot's position list comes out sorted — friendly to run codecs.
+    // Per-slot bit diffs, as positions in the (possibly reordered) base
+    // bitmaps. Application order is irrelevant — the diffs are poked into a
+    // materialized bitvector before re-encoding.
     std::vector<std::vector<uint64_t>> clears(num_slots);
     std::vector<std::vector<uint64_t>> sets(num_slots);
     for (const DeltaOverride& o : delta.overrides()) {
       const uint32_t old_digit = d.Digit(o.base_value, comp);
       const uint32_t new_digit = d.Digit(o.value, comp);
       if (old_digit == new_digit) continue;
+      const uint64_t pos = base_pos(o.rid);
       for (uint32_t slot : slots_by_digit[old_digit]) {
-        clears[slot].push_back(o.rid);
+        clears[slot].push_back(pos);
       }
       for (uint32_t slot : slots_by_digit[new_digit]) {
-        sets[slot].push_back(o.rid);
+        sets[slot].push_back(pos);
       }
     }
     const std::vector<uint32_t>& appended = delta.appended();
@@ -135,6 +149,9 @@ FoldedIndex FoldDelta(const BitmapIndex& base, const DeltaSnapshot& delta) {
       BitmapIndex::FromParts(d, base.encoding_kind(), codec, total_rows,
                              std::move(store)),
       {}};
+  // Appended rows sit at identity positions past the order, so the base's
+  // permutation still describes the folded index as-is.
+  out.index.SetRowOrder(new_to_old);
   out.tombstones.reserve(delta.dead().Count());
   delta.dead().ForEachSetBit(
       [&](uint64_t rid) { out.tombstones.push_back(rid); });

@@ -1,0 +1,160 @@
+#include "index/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace bix {
+
+const char* ReorderStrategyName(ReorderStrategy strategy) {
+  switch (strategy) {
+    case ReorderStrategy::kNone: return "none";
+    case ReorderStrategy::kLexicographic: return "lex";
+    case ReorderStrategy::kGrayCode: return "gray";
+    case ReorderStrategy::kHistogram: return "hist";
+  }
+  return "?";
+}
+
+const std::vector<ReorderStrategy>& AllReorderStrategies() {
+  static const std::vector<ReorderStrategy> kAll = {
+      ReorderStrategy::kLexicographic, ReorderStrategy::kGrayCode,
+      ReorderStrategy::kHistogram};
+  return kAll;
+}
+
+uint64_t GrayRank(const Decomposition& d, uint32_t value) {
+  // Reflected mixed-radix Gray decode, msb first. A gray digit is the
+  // code's position digit *within its enclosing sublist*, so it both picks
+  // the sublist (odd ones are enumerated backwards, reflecting everything
+  // below) and, under an enclosing reflection, complements into the final
+  // rank digit.
+  uint64_t rank = 0;
+  bool reflected = false;
+  for (uint32_t comp = d.num_components(); comp >= 1; --comp) {
+    const uint32_t base = d.base(comp);
+    const uint32_t gray_digit = d.Digit(value, comp);
+    const uint32_t index_digit = reflected ? base - 1 - gray_digit : gray_digit;
+    rank = rank * base + index_digit;
+    if ((gray_digit & 1) != 0) reflected = !reflected;
+  }
+  return rank;
+}
+
+namespace {
+
+// Stable counting sort of the rows by a per-value key: values are ranked
+// by (key, value), then one pass over the column buckets every row. O(N +
+// C log C) and deterministic — rows with equal values keep arrival order.
+std::vector<uint32_t> OrderByValueKey(const Column& column,
+                                      const std::vector<uint64_t>& key_of_value) {
+  const uint32_t c = column.cardinality;
+  std::vector<uint32_t> rank_order(c);
+  std::iota(rank_order.begin(), rank_order.end(), 0u);
+  std::sort(rank_order.begin(), rank_order.end(),
+            [&](uint32_t a, uint32_t b) {
+              if (key_of_value[a] != key_of_value[b]) {
+                return key_of_value[a] < key_of_value[b];
+              }
+              return a < b;
+            });
+  std::vector<uint32_t> rank_of_value(c);
+  for (uint32_t r = 0; r < c; ++r) rank_of_value[rank_order[r]] = r;
+
+  std::vector<uint64_t> counts(c, 0);
+  for (uint32_t v : column.values) ++counts[rank_of_value[v]];
+  std::vector<uint64_t> offsets(c, 0);
+  uint64_t sum = 0;
+  for (uint32_t r = 0; r < c; ++r) {
+    offsets[r] = sum;
+    sum += counts[r];
+  }
+  std::vector<uint32_t> new_to_old(column.row_count());
+  for (uint64_t row = 0; row < column.row_count(); ++row) {
+    new_to_old[offsets[rank_of_value[column.values[row]]]++] =
+        static_cast<uint32_t>(row);
+  }
+  return new_to_old;
+}
+
+}  // namespace
+
+std::vector<uint32_t> ComputeRowOrder(const Column& column,
+                                      const Decomposition& d,
+                                      ReorderStrategy strategy) {
+  if (strategy == ReorderStrategy::kNone) return {};
+  BIX_CHECK_MSG(column.row_count() <= UINT32_MAX,
+                "row order is limited to 2^32 rows");
+  BIX_CHECK(d.cardinality() == column.cardinality);
+  const uint32_t c = column.cardinality;
+  std::vector<uint64_t> key(c);
+  switch (strategy) {
+    case ReorderStrategy::kLexicographic:
+      for (uint32_t v = 0; v < c; ++v) key[v] = v;
+      break;
+    case ReorderStrategy::kGrayCode:
+      for (uint32_t v = 0; v < c; ++v) key[v] = GrayRank(d, v);
+      break;
+    case ReorderStrategy::kHistogram: {
+      // Descending frequency; OrderByValueKey breaks key ties by value.
+      std::vector<uint64_t> counts(c, 0);
+      for (uint32_t v : column.values) ++counts[v];
+      for (uint32_t v = 0; v < c; ++v) {
+        key[v] = column.row_count() - counts[v];
+      }
+      break;
+    }
+    case ReorderStrategy::kNone:
+      break;  // unreachable
+  }
+  return OrderByValueKey(column, key);
+}
+
+Column ApplyRowOrder(const Column& column,
+                     const std::vector<uint32_t>& new_to_old) {
+  if (new_to_old.empty()) return column;
+  BIX_CHECK_MSG(new_to_old.size() == column.row_count(),
+                "row order does not cover the column");
+  Column out;
+  out.cardinality = column.cardinality;
+  out.values.resize(column.values.size());
+  for (uint64_t j = 0; j < new_to_old.size(); ++j) {
+    out.values[j] = column.values[new_to_old[j]];
+  }
+  return out;
+}
+
+bool ValidateRowOrder(const std::vector<uint32_t>& new_to_old) {
+  const uint64_t n = new_to_old.size();
+  Bitvector seen(n);
+  for (uint32_t old_rid : new_to_old) {
+    if (old_rid >= n || seen.Get(old_rid)) return false;
+    seen.Set(old_rid);
+  }
+  return true;
+}
+
+std::vector<uint32_t> InvertRowOrder(const std::vector<uint32_t>& new_to_old) {
+  BIX_CHECK_MSG(ValidateRowOrder(new_to_old), "not a permutation");
+  std::vector<uint32_t> old_to_new(new_to_old.size());
+  for (uint32_t j = 0; j < new_to_old.size(); ++j) {
+    old_to_new[new_to_old[j]] = j;
+  }
+  return old_to_new;
+}
+
+Bitvector MapToOriginalRids(const Bitvector& in,
+                            const std::vector<uint32_t>& new_to_old) {
+  if (new_to_old.empty()) return in;
+  BIX_CHECK_MSG(in.size() >= new_to_old.size(),
+                "result smaller than the row order");
+  Bitvector out(in.size());
+  const uint64_t covered = new_to_old.size();
+  in.ForEachSetBit([&](uint64_t j) {
+    out.Set(j < covered ? new_to_old[j] : j);
+  });
+  return out;
+}
+
+}  // namespace bix

@@ -1,0 +1,88 @@
+#ifndef BIX_INDEX_REORDER_H_
+#define BIX_INDEX_REORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitvector/bitvector.h"
+#include "index/column.h"
+#include "index/decomposition.h"
+
+namespace bix {
+
+// Offline row-reordering preprocessing (DESIGN.md section 18). All the
+// compressed codecs (BBC/WAH/Roaring) are run-length sensitive, so
+// permuting the rows to cluster equal attribute values before the index is
+// built lengthens every bitmap's runs and shrinks the whole compressed
+// tier ("Sorting improves word-aligned bitmap indexes"; "Histogram-Aware
+// Sorting for Enhanced Word-Aligned Compression in Bitmap Indexes" —
+// PAPERS.md). The reorder must be provably invisible to query results:
+// the index is built over the permuted rows and carries the permutation,
+// and every result bitmap is mapped back to original RIDs before it leaves
+// the executor.
+//
+// Conventions. A row order is a `new_to_old` vector: the row stored at
+// index position j is the original row new_to_old[j]. The empty vector is
+// the identity order (the common, unreordered case costs nothing). Rows
+// appended after the index is built (writable path) take positions beyond
+// new_to_old.size() and map to themselves, so a stored order is always a
+// bijection of [0, new_to_old.size()) and never has to grow.
+enum class ReorderStrategy : uint8_t {
+  kNone = 0,
+  // Rows sorted by attribute value (digit vectors compared msb-first —
+  // for a positional decomposition that is exactly numeric value order).
+  // Equal values become one contiguous run in every bitmap.
+  kLexicographic = 1,
+  // Rows sorted by the reflected mixed-radix Gray rank of their value's
+  // digit vector: adjacent value blocks differ in a single digit, so each
+  // component's slot bitmaps flip at most one run boundary per block —
+  // strictly fewer transitions than lexicographic order on
+  // multi-component decompositions.
+  kGrayCode = 2,
+  // Histogram-aware: value blocks ordered by descending frequency (ties
+  // by value). The longest runs come first and the sparse tail of rare
+  // values is packed together, which is where byte/word-aligned codecs
+  // waste partial words.
+  kHistogram = 3,
+};
+
+const char* ReorderStrategyName(ReorderStrategy strategy);
+// The three active strategies (everything except kNone).
+const std::vector<ReorderStrategy>& AllReorderStrategies();
+
+// Position of `value`'s digit vector in the reflected mixed-radix Gray
+// enumeration of the decomposition's digit space. Exposed for tests (the
+// adjacency property is asserted directly).
+uint64_t GrayRank(const Decomposition& d, uint32_t value);
+
+// Computes the new_to_old permutation the strategy prescribes for
+// `column`. Stable: rows with equal sort keys keep their arrival order, so
+// the result is deterministic. kNone returns the empty (identity) order.
+// Requires column.row_count() <= UINT32_MAX (BIX_CHECK).
+std::vector<uint32_t> ComputeRowOrder(const Column& column,
+                                      const Decomposition& d,
+                                      ReorderStrategy strategy);
+
+// The permuted column: result.values[j] = column.values[new_to_old[j]].
+// An empty order returns the column unchanged.
+Column ApplyRowOrder(const Column& column,
+                     const std::vector<uint32_t>& new_to_old);
+
+// True iff `new_to_old` is a bijection of [0, new_to_old.size()). The
+// empty order is valid (identity).
+bool ValidateRowOrder(const std::vector<uint32_t>& new_to_old);
+
+// old_to_new: inverse permutation (InvertRowOrder(p)[p[j]] == j).
+// Requires a valid order (BIX_CHECK).
+std::vector<uint32_t> InvertRowOrder(const std::vector<uint32_t>& new_to_old);
+
+// Maps a result bitmap over index positions back to original RID space:
+// bit j of `in` becomes bit new_to_old[j] of the result (bits at positions
+// >= new_to_old.size() — appended rows — map to themselves). The empty
+// order returns `in` unchanged. Counts are preserved by construction.
+Bitvector MapToOriginalRids(const Bitvector& in,
+                            const std::vector<uint32_t>& new_to_old);
+
+}  // namespace bix
+
+#endif  // BIX_INDEX_REORDER_H_

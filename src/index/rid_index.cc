@@ -1,7 +1,9 @@
 #include "index/rid_index.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "index/reorder.h"
 #include "util/check.h"
 
 namespace bix {
@@ -15,6 +17,17 @@ RidListIndex RidListIndex::Build(const Column& column) {
     BIX_CHECK(v < column.cardinality);
     index.lists_[v].push_back(static_cast<uint32_t>(r));
   }
+  return index;
+}
+
+RidListIndex RidListIndex::Build(const Column& column,
+                                 std::vector<uint32_t> new_to_old) {
+  if (new_to_old.empty()) return Build(column);
+  BIX_CHECK_MSG(new_to_old.size() == column.row_count(),
+                "row order does not cover the column");
+  BIX_CHECK_MSG(ValidateRowOrder(new_to_old), "not a permutation");
+  RidListIndex index = Build(ApplyRowOrder(column, new_to_old));
+  index.row_order_ = std::move(new_to_old);
   return index;
 }
 
@@ -42,6 +55,7 @@ Bitvector RidListIndex::EvaluateMembership(const std::vector<uint32_t>& values,
     }
     for (uint32_t r : list) result.Set(r);
   }
+  if (!row_order_.empty()) return MapToOriginalRids(result, row_order_);
   return result;
 }
 

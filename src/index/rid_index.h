@@ -26,6 +26,14 @@ namespace bix {
 class RidListIndex {
  public:
   static RidListIndex Build(const Column& column);
+  // Reordered build (src/index/reorder, DESIGN.md section 18): the lists
+  // hold positions in the physically reordered row file — each value's
+  // rows are one contiguous range, so the modeled scan of a list is a
+  // single sequential read — and the index carries `new_to_old` so every
+  // result bitmap is mapped back to original RIDs before it is returned.
+  // An empty order is the identity (same as the one-argument Build).
+  static RidListIndex Build(const Column& column,
+                            std::vector<uint32_t> new_to_old);
 
   uint64_t row_count() const { return row_count_; }
   uint32_t cardinality() const {
@@ -45,10 +53,13 @@ class RidListIndex {
   const std::vector<uint32_t>& ListForValue(uint32_t v) const {
     return lists_[v];
   }
+  // new_to_old row order the lists are expressed in; empty = identity.
+  const std::vector<uint32_t>& row_order() const { return row_order_; }
 
  private:
   uint64_t row_count_ = 0;
-  std::vector<std::vector<uint32_t>> lists_;  // by value, sorted rids
+  std::vector<std::vector<uint32_t>> lists_;  // by value, sorted positions
+  std::vector<uint32_t> row_order_;           // empty = identity
 };
 
 }  // namespace bix

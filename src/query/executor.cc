@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "index/reorder.h"
 #include "query/interval_rewrite.h"
 #include "query/membership_rewrite.h"
 
@@ -180,7 +181,11 @@ uint64_t QueryExecutor::EvaluateCountRewritten(
 
 Result<Bitvector> QueryExecutor::TryEvaluateRewritten(
     const std::vector<ExprPtr>& exprs, const CancelToken* cancel) {
-  return EvalCore(exprs, cancel, /*count_out=*/nullptr);
+  Result<Bitvector> result = EvalCore(exprs, cancel, /*count_out=*/nullptr);
+  if (!result.ok() || !index_->reordered()) return result;
+  // Reordered index (DESIGN.md section 18): EvalCore's bits are index
+  // positions; permute them back so callers only ever see original RIDs.
+  return MapToOriginalRids(result.value(), index_->row_order());
 }
 
 Result<uint64_t> QueryExecutor::TryEvaluateCountRewritten(
@@ -197,6 +202,12 @@ Result<Bitvector> QueryExecutor::TryEvaluateRewrittenMerged(
   Result<Bitvector> result = EvalCore(exprs, cancel, /*count_out=*/nullptr);
   if (!result.ok()) return result;
   Bitvector merged = std::move(result.value());
+  // The overlay is keyed by original RIDs (the writable index never
+  // renumbers), so a reordered base's answer must be mapped back *before*
+  // the merge: override/tombstone/append positions then line up.
+  if (index_->reordered()) {
+    merged = MapToOriginalRids(merged, index_->row_order());
+  }
   {
     TraceScope scope(trace_, "delta_merge");
     if (trace_ != nullptr) {

@@ -54,6 +54,11 @@ struct ExecutorOptions {
 // the three-phase pipeline: membership rewrite -> interval rewrite ->
 // bitmap expression evaluation, with buffer-pool-aware scheduling.
 //
+// Indexes built over a reordered column (IndexConfig.reorder, DESIGN.md
+// section 18) are transparent here: every result bitmap is mapped back
+// through the index's row order, so callers always receive original RIDs.
+// Counts need no mapping (permutations preserve popcounts).
+//
 // The executor fetches bitmaps through a BitmapCacheInterface. By default
 // it owns a private BitmapCache (the paper's single-query buffer pool);
 // the second constructor borrows a shared, thread-safe cache instead so

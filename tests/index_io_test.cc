@@ -186,12 +186,12 @@ class IndexIoVersions : public ::testing::Test {
 };
 
 TEST_F(IndexIoVersions, CurrentFormatIsChecksummed) {
-  const std::string path = TempPath("v3.bix");
+  const std::string path = TempPath("v4.bix");
   ASSERT_TRUE(SaveIndex(*index_, path).ok());
   IndexLoadInfo info;
   Result<BitmapIndex> loaded = LoadIndex(path, &info);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  EXPECT_EQ(info.version, 3u);
+  EXPECT_EQ(info.version, 4u);
   EXPECT_TRUE(info.checksummed);
   // Every loaded blob carries a verified payload checksum that the storage
   // layer re-checks on materialization.
@@ -285,7 +285,7 @@ TEST_F(IndexIoVersions, LegacyFormatsCannotCarryNewCodecs) {
 
 class IndexIoCodecSweep : public ::testing::TestWithParam<StorageCodec> {};
 
-TEST_P(IndexIoCodecSweep, V3RoundTripPreservesCodecTags) {
+TEST_P(IndexIoCodecSweep, CurrentRoundTripPreservesCodecTags) {
   const StorageCodec codec = GetParam();
   Column col = GenerateZipfColumn(
       {.rows = 3000, .cardinality = 20, .zipf_z = 1.2, .seed = 84});
@@ -298,7 +298,7 @@ TEST_P(IndexIoCodecSweep, V3RoundTripPreservesCodecTags) {
   IndexLoadInfo info;
   Result<BitmapIndex> loaded = LoadIndex(path, &info);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  EXPECT_EQ(info.version, 3u);
+  EXPECT_EQ(info.version, 4u);
   EXPECT_EQ(loaded.value().storage_codec(), codec);
   EXPECT_EQ(loaded.value().TotalStoredBytes(), original.TotalStoredBytes());
 
@@ -318,6 +318,45 @@ TEST_P(IndexIoCodecSweep, V3RoundTripPreservesCodecTags) {
     }
   });
   EXPECT_GT(count, 0u);
+
+  QueryExecutor exec(&loaded.value(), {});
+  for (uint32_t lo = 0; lo < 20; lo += 3) {
+    EXPECT_EQ(exec.EvaluateInterval({lo, 19}),
+              NaiveEvaluateInterval(col, {lo, 19}));
+  }
+  std::remove(path.c_str());
+}
+
+// A v3 file (no row-order section) written for every codec must load under
+// the v4 reader with the identity order, its codec tags intact, and
+// identical query results — the migration path for every pre-reorder file
+// in the wild.
+TEST_P(IndexIoCodecSweep, V3FilesLoadUnderV4Reader) {
+  const StorageCodec codec = GetParam();
+  Column col = GenerateZipfColumn(
+      {.rows = 3000, .cardinality = 20, .zipf_z = 1.2, .seed = 84});
+  BitmapIndex original =
+      BitmapIndex::Build(col, Decomposition::Make(20, {5, 4}).value(),
+                         EncodingKind::kInterval, codec);
+
+  const std::string path = TempPath("v3_codec.bix");
+  ASSERT_TRUE(SaveIndexAtVersion(original, path, 3).ok());
+  IndexLoadInfo info;
+  Result<BitmapIndex> loaded = LoadIndex(path, &info);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(info.version, 3u);
+  EXPECT_TRUE(info.checksummed);
+  EXPECT_FALSE(loaded.value().reordered());
+  EXPECT_EQ(loaded.value().storage_codec(), codec);
+  EXPECT_EQ(loaded.value().TotalStoredBytes(), original.TotalStoredBytes());
+  loaded.value().store().ForEachBlob(
+      [&](const BitmapKey& key, const BitmapStore::Blob& blob) {
+        Result<const BitmapStore::Blob*> orig =
+            original.store().TryGetBlob(key);
+        ASSERT_TRUE(orig.ok());
+        EXPECT_EQ(blob.codec, orig.value()->codec);
+        EXPECT_EQ(blob.bytes, orig.value()->bytes);
+      });
 
   QueryExecutor exec(&loaded.value(), {});
   for (uint32_t lo = 0; lo < 20; lo += 3) {

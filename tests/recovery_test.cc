@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/writable_index.h"
+#include "index/reorder.h"
+#include "query/executor.h"
 #include "workload/column_gen.h"
 #include "workload/scan_baseline.h"
 
@@ -300,6 +302,127 @@ INSTANTIATE_TEST_SUITE_P(
         case StorageCodec::kAuto: name += "_auto"; break;
       }
       return name;
+    });
+
+// --- Reordered base + delta recovery (DESIGN.md section 18) ------------
+
+// Merged interval results over {reordered base + recovered overlay},
+// checked in *original* RID space against the oracle's logical column.
+// ExpectStateMatchesOracle only covers the sidecar state; this one proves
+// the recovered bitmaps answer through the permutation correctly.
+void ExpectQueriesMatchOracle(const WritableBitmapIndex& index,
+                              const LogicalOracle& oracle,
+                              const std::string& context) {
+  const IndexSnapshot snap = index.Snapshot();
+  Column logical;
+  logical.cardinality = index.cardinality();
+  logical.values = oracle.values;
+  const Bitvector live = oracle.LiveMask();
+  QueryExecutor exec(snap.base.get(), {});
+  const uint32_t c = logical.cardinality;
+  for (const IntervalQuery q :
+       {IntervalQuery{0, c - 1}, IntervalQuery{1, c / 2},
+        IntervalQuery{c - 2, c - 1}}) {
+    std::vector<ExprPtr> exprs;
+    exprs.push_back(exec.Rewrite(q));
+    Result<Bitvector> got = exec.TryEvaluateRewrittenMerged(
+        exprs, snap.delta->View(), ValueSet::Interval(q.lo, q.hi));
+    ASSERT_TRUE(got.ok()) << context;
+    Bitvector expected = NaiveEvaluateInterval(logical, q);
+    expected.AndWith(live);
+    ASSERT_EQ(got.value(), expected)
+        << context << " [" << q.lo << "," << q.hi << "]";
+  }
+}
+
+class ReorderedRecoverySweep
+    : public ::testing::TestWithParam<ReorderStrategy> {};
+
+// The crash-point sweep over a *reordered* base: every WAL prefix must
+// recover to a batch boundary whose merged query results come back in
+// original RIDs — the overlay (WAL records, overrides, tombstones) is
+// keyed by original RIDs while the recovered base's bitmaps are permuted,
+// so any missed translation shows up as a wrong result here.
+TEST_P(ReorderedRecoverySweep, EveryPrefixAnswersInOriginalRids) {
+  const ReorderStrategy strategy = GetParam();
+  constexpr uint32_t kC = 6;
+  Column column = GenerateZipfColumn(
+      {.rows = 40, .cardinality = kC, .zipf_z = 2.0, .seed = 29});
+
+  const std::string src = FreshDir("reorder_sweep_src");
+  IndexConfig config;
+  config.encoding = EncodingKind::kInterval;
+  config.bases_msb_first = {3, 2};
+  config.codec = StorageCodec::kBbc;
+  config.reorder = strategy;
+  {
+    auto created = WritableBitmapIndex::Create(src, column, config);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    ASSERT_TRUE(created.value()->Snapshot().base->reordered());
+    ASSERT_TRUE(created.value()->ApplyBatch(BatchOne(kC)).ok());
+    ASSERT_TRUE(
+        created.value()->ApplyBatch(BatchTwo(column.row_count() + 4, kC)).ok());
+  }
+
+  const std::vector<uint8_t> wal = ReadFileBytes(src + "/wal.log");
+  const std::vector<size_t> boundaries = RecordBoundaries(wal);
+  ASSERT_EQ(boundaries.size(), 2u);
+
+  std::vector<LogicalOracle> oracle_at;
+  oracle_at.emplace_back(column);
+  oracle_at.emplace_back(column);
+  oracle_at.back().Apply(BatchOne(kC));
+  oracle_at.emplace_back(oracle_at.back());
+  oracle_at.back().Apply(BatchTwo(column.row_count() + 4, kC));
+
+  const std::string dst = FreshDir("reorder_sweep_dst");
+  for (const auto& entry : fs::directory_iterator(src)) {
+    if (entry.path().filename() != "wal.log") {
+      fs::copy_file(entry.path(), dst + "/" + entry.path().filename().string());
+    }
+  }
+  // Batch boundaries plus a mid-record cut on either side of each.
+  std::vector<size_t> cuts = {0, wal.size() / 4};
+  for (size_t b : boundaries) {
+    cuts.push_back(b - 3);
+    cuts.push_back(b);
+  }
+  for (size_t cut : cuts) {
+    WriteFileBytes(dst + "/wal.log", wal, cut);
+    auto reopened = WritableBitmapIndex::Open(dst);
+    ASSERT_TRUE(reopened.ok())
+        << "cut=" << cut << ": " << reopened.status().ToString();
+    EXPECT_TRUE(reopened.value()->Snapshot().base->reordered());
+    size_t batches = 0;
+    while (batches < boundaries.size() && boundaries[batches] <= cut) {
+      ++batches;
+    }
+    const std::string context = "cut=" + std::to_string(cut);
+    ExpectStateMatchesOracle(*reopened.value(), oracle_at[batches], context);
+    ExpectQueriesMatchOracle(*reopened.value(), oracle_at[batches], context);
+    // Fold the recovered overlay into the permuted base and re-check: the
+    // compaction path translates override RIDs through the inverse order.
+    ASSERT_TRUE(reopened.value()->Compact(nullptr).ok()) << context;
+    EXPECT_TRUE(reopened.value()->Snapshot().base->reordered()) << context;
+    ExpectQueriesMatchOracle(*reopened.value(), oracle_at[batches],
+                             context + " compacted");
+    // Leave dst pristine for the next cut (compaction rewrote files).
+    fs::remove_all(dst);
+    fs::create_directories(dst);
+    for (const auto& entry : fs::directory_iterator(src)) {
+      if (entry.path().filename() != "wal.log") {
+        fs::copy_file(entry.path(),
+                      dst + "/" + entry.path().filename().string());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, ReorderedRecoverySweep,
+    ::testing::ValuesIn(AllReorderStrategies()),
+    [](const ::testing::TestParamInfo<ReorderStrategy>& info) {
+      return std::string(ReorderStrategyName(info.param));
     });
 
 Column SmallColumn() {
